@@ -1,0 +1,144 @@
+// Extension bench (paper Sec. IX, future work): workload-aware SA
+// planning. When the query distribution is known in advance, the planner
+// picks the SA subset minimizing the *exact* expected noise variance —
+// which can disagree with the paper's per-attribute heuristic when the
+// workload is skewed. This bench contrasts three workloads on a 3-attribute
+// schema and prints, for each, the heuristic's choice, the planner's
+// choice, and the predicted + measured error of both.
+#include <cstdio>
+#include <vector>
+
+#include "privelet/analysis/query_variance.h"
+#include "privelet/analysis/sa_advisor.h"
+#include "privelet/analysis/workload_planner.h"
+#include "privelet/common/math_util.h"
+#include "privelet/data/attribute.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/evaluator.h"
+#include "privelet/query/workload.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace {
+
+using namespace privelet;
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  if (names.empty()) return "{}";
+  std::string out = "{";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ",";
+    out += names[i];
+  }
+  return out + "}";
+}
+
+// Measured mean square error of a mechanism over the workload, averaged
+// over seeds.
+double Measured(const std::vector<std::string>& sa, const data::Schema& schema,
+                const matrix::FrequencyMatrix& m,
+                const std::vector<query::RangeQuery>& workload,
+                const std::vector<double>& acts, double epsilon) {
+  const mechanism::PriveletPlusMechanism mech(sa);
+  double total = 0.0;
+  constexpr std::size_t kSeeds = 25;
+  for (std::size_t seed = 0; seed < kSeeds; ++seed) {
+    auto noisy = mech.Publish(schema, m, epsilon, seed);
+    PRIVELET_CHECK(noisy.ok(), noisy.status().ToString());
+    query::QueryEvaluator eval(schema, *noisy);
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      const double diff = eval.Answer(workload[i]) - acts[i];
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(kSeeds * workload.size());
+}
+
+double Predicted(const std::vector<std::string>& sa,
+                 const data::Schema& schema,
+                 const std::vector<query::RangeQuery>& workload,
+                 double epsilon) {
+  double total = 0.0;
+  for (const auto& q : workload) {
+    total += analysis::PriveletPlusQueryVariance(schema, sa, epsilon, q)
+                 .value();
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+}  // namespace
+
+int main() {
+  const double epsilon = 1.0;
+
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Small", 8));
+  attrs.push_back(data::Attribute::Ordinal("Wide", 512));
+  attrs.push_back(data::Attribute::Nominal(
+      "Cat", data::Hierarchy::Balanced({4, 8}).value()));
+  const data::Schema schema(std::move(attrs));
+
+  matrix::FrequencyMatrix m(schema.DomainSizes());
+  rng::Xoshiro256pp gen(1);
+  for (int i = 0; i < 500'000; ++i) {
+    const std::size_t coords[3] = {gen.NextUint64InRange(0, 7),
+                                   gen.NextUint64InRange(0, 511),
+                                   gen.NextUint64InRange(0, 31)};
+    m.At(coords) += 1.0;
+  }
+
+  std::printf("=== Workload-aware SA planning (future-work extension) ===\n");
+  std::printf("# schema: Small(8, ordinal) Wide(512, ordinal) Cat(32, "
+              "nominal h=3); heuristic SA = %s\n",
+              JoinNames(analysis::AdviseSa(schema)).c_str());
+
+  struct Scenario {
+    const char* label;
+    query::WorkloadOptions options;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    Scenario generic{"generic (1-3 predicates, all attrs)", {}};
+    generic.options.num_queries = 400;
+    generic.options.min_predicates = 1;
+    generic.options.max_predicates = 3;
+    scenarios.push_back(generic);
+    Scenario wide{"point-heavy (3 predicates each)", {}};
+    wide.options.num_queries = 400;
+    wide.options.min_predicates = 3;
+    wide.options.max_predicates = 3;
+    scenarios.push_back(wide);
+    Scenario single{"single-predicate roll-ups", {}};
+    single.options.num_queries = 400;
+    single.options.min_predicates = 1;
+    single.options.max_predicates = 1;
+    scenarios.push_back(single);
+  }
+
+  for (const Scenario& scenario : scenarios) {
+    auto workload = query::GenerateWorkload(schema, scenario.options);
+    PRIVELET_CHECK(workload.ok(), workload.status().ToString());
+    query::QueryEvaluator truth(schema, m);
+    std::vector<double> acts;
+    for (const auto& q : *workload) acts.push_back(truth.Answer(q));
+
+    auto plan = analysis::PlanSaForWorkload(schema, *workload, epsilon);
+    PRIVELET_CHECK(plan.ok(), plan.status().ToString());
+    const auto heuristic = analysis::AdviseSa(schema);
+
+    std::printf("\n-- workload: %s --\n", scenario.label);
+    std::printf("%-24s %-22s %14s %14s\n", "strategy", "SA", "predicted",
+                "measured");
+    std::printf("%-24s %-22s %14.4e %14.4e\n", "heuristic (paper rule)",
+                JoinNames(heuristic).c_str(),
+                Predicted(heuristic, schema, *workload, epsilon),
+                Measured(heuristic, schema, m, *workload, acts, epsilon));
+    std::printf("%-24s %-22s %14.4e %14.4e\n", "planner (exact-variance)",
+                JoinNames(plan->sa_names).c_str(), plan->expected_variance,
+                Measured(plan->sa_names, schema, m, *workload, acts,
+                         epsilon));
+  }
+  std::printf("\n# the planner's prediction column is exact (closed form); "
+              "measured values should match it within sampling noise.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "bench_util.h"
+
+#include <memory>
+
+#include "privelet/common/stopwatch.h"
+
+namespace privelet::bench {
+
+namespace {
+
+const char* CountryName(data::CensusCountry country) {
+  return country == data::CensusCountry::kBrazil ? "Brazil" : "US";
+}
+
+}  // namespace
+
+void RunErrorExperiment(const ErrorExperimentConfig& config,
+                        const char* figure_name) {
+  const bool full = FullScale();
+
+  data::CensusConfig census = full
+                                  ? data::PaperScaleCensusConfig(config.country)
+                                  : data::DefaultCensusConfig(config.country);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = full ? 40'000 : 4'000;
+
+  std::printf("=== %s: average %s vs query %s (%s, %s scale) ===\n",
+              figure_name,
+              config.bucket_by_coverage ? "square error" : "relative error",
+              config.bucket_by_coverage ? "coverage" : "selectivity",
+              CountryName(config.country), full ? "paper" : "reduced");
+  std::printf("# dataset: n=%zu tuples, income domain=%zu; %zu queries\n",
+              census.num_tuples,
+              census.income_domain == 0 ? std::size_t{0} : census.income_domain,
+              wopts.num_queries);
+
+  Stopwatch total_timer;
+  auto table = data::GenerateCensus(census);
+  PRIVELET_CHECK(table.ok(), table.status().ToString());
+  const data::Schema& schema = table->schema();
+  const matrix::FrequencyMatrix m = matrix::FrequencyMatrix::FromTable(*table);
+  std::printf("# frequency matrix: m=%zu entries (built in %.1fs)\n",
+              m.size(), total_timer.ElapsedSeconds());
+
+  auto workload = query::GenerateWorkload(schema, wopts);
+  PRIVELET_CHECK(workload.ok(), workload.status().ToString());
+
+  // True answers, coverages, selectivities — computed once.
+  const double n = static_cast<double>(table->num_rows());
+  std::vector<double> acts, keys;
+  acts.reserve(workload->size());
+  keys.reserve(workload->size());
+  {
+    query::QueryEvaluator truth(schema, m);
+    for (const auto& q : *workload) {
+      const double act = truth.Answer(q);
+      acts.push_back(act);
+      keys.push_back(config.bucket_by_coverage ? q.Coverage(schema) : act / n);
+    }
+  }
+  const double sanity = 0.001 * n;
+
+  const mechanism::BasicMechanism basic;
+  const mechanism::PriveletPlusMechanism plus({"Age", "Gender"});
+  const std::vector<const mechanism::Mechanism*> mechanisms = {&basic, &plus};
+
+  for (double epsilon : PaperEpsilons()) {
+    std::printf("\n-- epsilon = %.2f --\n", epsilon);
+    std::printf("%-14s", config.bucket_by_coverage ? "avg-coverage"
+                                                   : "avg-selectivity");
+    for (const auto* mech : mechanisms) {
+      std::printf(" %16s", std::string(mech->name()).c_str());
+    }
+    std::printf("\n");
+
+    // One publish per mechanism, as in the paper; the error columns are
+    // bucket averages over the shared workload.
+    std::vector<std::vector<query::BucketStat>> columns;
+    for (const auto* mech : mechanisms) {
+      auto noisy = mech->Publish(schema, m, epsilon, /*seed=*/2010);
+      PRIVELET_CHECK(noisy.ok(), noisy.status().ToString());
+      query::QueryEvaluator eval(schema, *noisy);
+      std::vector<double> errors;
+      errors.reserve(workload->size());
+      for (std::size_t i = 0; i < workload->size(); ++i) {
+        const double approx = eval.Answer((*workload)[i]);
+        errors.push_back(config.bucket_by_coverage
+                             ? query::SquareError(approx, acts[i])
+                             : query::RelativeError(approx, acts[i], sanity));
+      }
+      columns.push_back(
+          query::EqualCountBuckets(keys, errors, config.num_buckets));
+    }
+
+    for (std::size_t b = 0; b < config.num_buckets; ++b) {
+      std::printf("%-14.3e", columns[0][b].avg_key);
+      for (const auto& column : columns) {
+        std::printf(" %16.4e", column[b].avg_value);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n# total time: %.1fs\n\n", total_timer.ElapsedSeconds());
+}
+
+}  // namespace privelet::bench

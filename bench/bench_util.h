@@ -1,0 +1,55 @@
+// Shared scaffolding for the figure-reproduction harnesses. Each harness is
+// a standalone binary that regenerates one table/figure of the paper's
+// evaluation (Sec. VII) and prints the same series the paper plots.
+//
+// Scale: by default the harnesses run a reduced configuration that
+// completes in seconds on a laptop (smaller Income domain, fewer tuples,
+// 4,000 instead of 40,000 queries). Set PRIVELET_FULL=1 to run the paper's
+// exact parameters (n = 10M/8M tuples, m ~ 1e8 — needs ~6 GB RAM and
+// minutes per figure).
+#ifndef PRIVELET_BENCH_BENCH_UTIL_H_
+#define PRIVELET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "privelet/common/check.h"
+#include "privelet/data/census_generator.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/basic.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/evaluator.h"
+#include "privelet/query/metrics.h"
+#include "privelet/query/workload.h"
+
+namespace privelet::bench {
+
+/// True when PRIVELET_FULL=1 selects the paper-scale configuration.
+inline bool FullScale() {
+  const char* env = std::getenv("PRIVELET_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// The ε values of Figs. 6-9 (panels a-d).
+inline std::vector<double> PaperEpsilons() { return {0.5, 0.75, 1.0, 1.25}; }
+
+struct ErrorExperimentConfig {
+  data::CensusCountry country = data::CensusCountry::kBrazil;
+  /// "coverage" buckets report average square error vs. query coverage
+  /// (Figs. 6-7); "selectivity" buckets report average relative error vs.
+  /// query selectivity (Figs. 8-9).
+  bool bucket_by_coverage = true;
+  std::size_t num_buckets = 5;
+};
+
+/// Runs the Sec. VII-A error experiment for one country/metric and prints
+/// per-ε tables with one row per quintile and one column per mechanism
+/// (Basic, Privelet+ with the paper's SA = {Age, Gender}).
+void RunErrorExperiment(const ErrorExperimentConfig& config,
+                        const char* figure_name);
+
+}  // namespace privelet::bench
+
+#endif  // PRIVELET_BENCH_BENCH_UTIL_H_

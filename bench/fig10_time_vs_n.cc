@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 10: computation time vs. the number of tuples n,
+// at fixed frequency-matrix size m, on the synthetic 4-attribute dataset
+// (2 ordinal + 2 nominal, per-attribute domain m^(1/4), 3-level hierarchies
+// with sqrt(|A|) level-2 nodes). Privelet+ runs with SA = ∅, its most
+// expensive configuration, exactly as in the paper.
+//
+// Default: m = 2^20, n = 1M..5M. PRIVELET_FULL=1: m = 2^24, n = 1M..5M
+// (the paper's parameters).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "privelet/common/stopwatch.h"
+#include "privelet/data/synthetic_generator.h"
+
+namespace {
+
+// Time mapping the table to its frequency matrix plus Publish — the full
+// pipeline the paper's Sec. VII-B measures.
+double TimedPublishSeconds(const privelet::mechanism::Mechanism& mech,
+                           const privelet::data::Table& table,
+                           double epsilon) {
+  privelet::Stopwatch timer;
+  const auto m = privelet::matrix::FrequencyMatrix::FromTable(table);
+  auto noisy = mech.Publish(table.schema(), m, epsilon, /*seed=*/7);
+  PRIVELET_CHECK(noisy.ok(), noisy.status().ToString());
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace privelet;
+  const bool full = bench::FullScale();
+  const std::size_t m = full ? (std::size_t{1} << 24) : (std::size_t{1} << 20);
+  const std::size_t n_step = 1'000'000;
+
+  auto schema = data::MakeScalabilitySchema(m);
+  PRIVELET_CHECK(schema.ok(), schema.status().ToString());
+
+  std::printf("=== Figure 10: computation time vs n (m=%zu, %s scale) ===\n",
+              schema->TotalDomainSize(), full ? "paper" : "reduced");
+  std::printf("%-12s %14s %14s\n", "n", "Basic(s)", "Privelet+(s)");
+
+  const mechanism::BasicMechanism basic;
+  const mechanism::PriveletMechanism privelet_sa_empty;  // SA = ∅
+  for (std::size_t step = 1; step <= 5; ++step) {
+    const std::size_t n = step * n_step;
+    auto table = data::GenerateUniformTable(*schema, n, /*seed=*/step);
+    PRIVELET_CHECK(table.ok(), table.status().ToString());
+    const double basic_s = TimedPublishSeconds(basic, *table, 1.0);
+    const double privelet_s =
+        TimedPublishSeconds(privelet_sa_empty, *table, 1.0);
+    std::printf("%-12zu %14.3f %14.3f\n", n, basic_s, privelet_s);
+  }
+  return 0;
+}

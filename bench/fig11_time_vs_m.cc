@@ -1,0 +1,51 @@
+// Reproduces paper Fig. 11: computation time vs. the frequency-matrix size
+// m, at fixed tuple count n, on the synthetic 4-attribute dataset.
+//
+// Default: n = 2M, m = 2^18..2^22. PRIVELET_FULL=1: n = 5M,
+// m = 2^22..2^26 (the paper's parameters; 2^26 needs ~2.5 GB).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "privelet/common/stopwatch.h"
+#include "privelet/data/synthetic_generator.h"
+
+namespace {
+
+double TimedPublishSeconds(const privelet::mechanism::Mechanism& mech,
+                           const privelet::data::Table& table,
+                           double epsilon) {
+  privelet::Stopwatch timer;
+  const auto m = privelet::matrix::FrequencyMatrix::FromTable(table);
+  auto noisy = mech.Publish(table.schema(), m, epsilon, /*seed=*/7);
+  PRIVELET_CHECK(noisy.ok(), noisy.status().ToString());
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace privelet;
+  const bool full = bench::FullScale();
+  const std::size_t n = full ? 5'000'000 : 2'000'000;
+  const std::size_t first_log_m = full ? 22 : 18;
+
+  std::printf("=== Figure 11: computation time vs m (n=%zu, %s scale) ===\n",
+              n, full ? "paper" : "reduced");
+  std::printf("%-12s %14s %14s\n", "m", "Basic(s)", "Privelet+(s)");
+
+  const mechanism::BasicMechanism basic;
+  const mechanism::PriveletMechanism privelet_sa_empty;  // SA = ∅
+  for (std::size_t log_m = first_log_m; log_m <= first_log_m + 4; ++log_m) {
+    auto schema = data::MakeScalabilitySchema(std::size_t{1} << log_m);
+    PRIVELET_CHECK(schema.ok(), schema.status().ToString());
+    auto table = data::GenerateUniformTable(*schema, n, /*seed=*/log_m);
+    PRIVELET_CHECK(table.ok(), table.status().ToString());
+    const double basic_s = TimedPublishSeconds(basic, *table, 1.0);
+    const double privelet_s =
+        TimedPublishSeconds(privelet_sa_empty, *table, 1.0);
+    std::printf("%-12zu %14.3f %14.3f\n", schema->TotalDomainSize(), basic_s,
+                privelet_s);
+  }
+  return 0;
+}

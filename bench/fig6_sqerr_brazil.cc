@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 6 (a)-(d): average square error vs. query coverage
+// on the Brazil census surrogate, Basic vs Privelet+ (SA = {Age, Gender}),
+// for epsilon in {0.5, 0.75, 1, 1.25}. Set PRIVELET_FULL=1 for paper scale.
+#include "bench_util.h"
+
+int main() {
+  privelet::bench::ErrorExperimentConfig config;
+  config.country = privelet::data::CensusCountry::kBrazil;
+  config.bucket_by_coverage = true;
+  privelet::bench::RunErrorExperiment(config, "Figure 6");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Fig. 7 (a)-(d): average square error vs. query coverage
+// on the US census surrogate. Set PRIVELET_FULL=1 for paper scale.
+#include "bench_util.h"
+
+int main() {
+  privelet::bench::ErrorExperimentConfig config;
+  config.country = privelet::data::CensusCountry::kUS;
+  config.bucket_by_coverage = true;
+  privelet::bench::RunErrorExperiment(config, "Figure 7");
+  return 0;
+}

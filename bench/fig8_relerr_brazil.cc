@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 8 (a)-(d): average relative error vs. query
+// selectivity on the Brazil census surrogate (sanity bound 0.1% of n).
+// Set PRIVELET_FULL=1 for paper scale.
+#include "bench_util.h"
+
+int main() {
+  privelet::bench::ErrorExperimentConfig config;
+  config.country = privelet::data::CensusCountry::kBrazil;
+  config.bucket_by_coverage = false;
+  privelet::bench::RunErrorExperiment(config, "Figure 8");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 9 (a)-(d): average relative error vs. query
+// selectivity on the US census surrogate. Set PRIVELET_FULL=1 for paper
+// scale.
+#include "bench_util.h"
+
+int main() {
+  privelet::bench::ErrorExperimentConfig config;
+  config.country = privelet::data::CensusCountry::kUS;
+  config.bucket_by_coverage = false;
+  privelet::bench::RunErrorExperiment(config, "Figure 9");
+  return 0;
+}

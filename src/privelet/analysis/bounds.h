@@ -1,0 +1,45 @@
+// Closed-form privacy/utility bookkeeping from paper Sec. VI-C:
+//   P(A) — per-attribute generalized-sensitivity factor,
+//   H(A) — per-attribute variance factor,
+// and the noise-variance bounds of Eq. 4 (Haar), Eq. 6 (nominal) and Eq. 7
+// (Privelet+). All bounds are for ε-differential privacy at the given ε.
+#ifndef PRIVELET_ANALYSIS_BOUNDS_H_
+#define PRIVELET_ANALYSIS_BOUNDS_H_
+
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+
+namespace privelet::analysis {
+
+/// P(A): 1 + log2(|A| padded to a power of two) for ordinal A; the
+/// hierarchy height h for nominal A.
+double PFactor(const data::Attribute& attribute);
+
+/// H(A): (2 + log2(|A| padded)) / 2 for ordinal A; 4 for nominal A.
+double HFactor(const data::Attribute& attribute);
+
+/// Eq. 7: worst-case noise variance of a range-count query under Privelet+
+/// with the given SA attribute names:
+///   8/ε² · Π_{A∈SA} |A| · Π_{A∉SA} P(A)² · H(A).
+/// SA = {} gives Privelet's bound (Eq. 4 / Eq. 6 in one dimension);
+/// SA = all attributes gives Basic's 8m/ε².
+Result<double> PriveletPlusVarianceBound(
+    const data::Schema& schema, const std::vector<std::string>& sa_names,
+    double epsilon);
+
+/// Dwork et al.: 8m/ε² (each covered cell contributes variance 2·(2/ε)²).
+double BasicVarianceBound(const data::Schema& schema, double epsilon);
+
+/// Eq. 4 for a one-dimensional ordinal domain of (padded) size m:
+/// (2 + log2 m) · (2 + 2·log2 m)² / ε². This is what Privelet-with-HWT
+/// yields on a nominal attribute after imposing a total order (Sec. V-D).
+double HaarOrdinalVarianceBound(std::size_t domain_size, double epsilon);
+
+/// Eq. 6 for a hierarchy of height h: 4 · 2 · (2h)²/ε² = 32h²/ε².
+double NominalVarianceBound(std::size_t hierarchy_height, double epsilon);
+
+}  // namespace privelet::analysis
+
+#endif  // PRIVELET_ANALYSIS_BOUNDS_H_

@@ -1,0 +1,44 @@
+// Exact per-query noise variance under Privelet/Privelet+ — a sharper
+// utility metric than the worst-case bounds of Theorem 3 (one of the
+// paper's stated future-work directions is guarantees for finer utility
+// metrics).
+//
+// The computation is closed-form: a range-count answer is a fixed linear
+// combination a^T c of the wavelet coefficients, the injected noise is
+// independent per coefficient with variance 2(λ/WHN(c))², WHN is a tensor
+// product of per-axis weights, the mean-subtraction refinement is a
+// per-axis linear projection, and the contribution vector a is a tensor
+// product of per-axis contribution vectors. The variance therefore
+// factorizes:
+//   Var = 2λ² · Π_axis (a_axis^T P_axis D_axis P_axis^T a_axis)
+// with D_axis = diag(1/w_axis[j]²). Each factor is what
+// Transform1D::RefinedQuadraticForm computes in O(coefficients) time.
+#ifndef PRIVELET_ANALYSIS_QUERY_VARIANCE_H_
+#define PRIVELET_ANALYSIS_QUERY_VARIANCE_H_
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/query/range_query.h"
+#include "privelet/wavelet/hn_transform.h"
+
+namespace privelet::analysis {
+
+/// Exact noise variance of `query`'s answer when the coefficients of
+/// `transform` receive independent Laplace noise of magnitude
+/// lambda / WHN(c) and the noisy matrix is reconstructed with the
+/// transform's refinement. O(sum of per-axis coefficient counts).
+Result<double> ExactQueryNoiseVariance(const wavelet::HnTransform& transform,
+                                       const data::Schema& schema,
+                                       double lambda,
+                                       const query::RangeQuery& query);
+
+/// Convenience wrapper: the exact noise variance of `query` under
+/// Privelet+ with the given SA set at privacy level epsilon (λ = 2ρ/ε as
+/// in the mechanism itself).
+Result<double> PriveletPlusQueryVariance(
+    const data::Schema& schema, const std::vector<std::string>& sa_names,
+    double epsilon, const query::RangeQuery& query);
+
+}  // namespace privelet::analysis
+
+#endif  // PRIVELET_ANALYSIS_QUERY_VARIANCE_H_

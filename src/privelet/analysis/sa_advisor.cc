@@ -1,0 +1,21 @@
+#include "privelet/analysis/sa_advisor.h"
+
+#include "privelet/analysis/bounds.h"
+
+namespace privelet::analysis {
+
+bool BelongsInSa(const data::Attribute& attribute) {
+  const double p = PFactor(attribute);
+  return static_cast<double>(attribute.domain_size()) <=
+         p * p * HFactor(attribute);
+}
+
+std::vector<std::string> AdviseSa(const data::Schema& schema) {
+  std::vector<std::string> sa;
+  for (const data::Attribute& attr : schema.attributes()) {
+    if (BelongsInSa(attr)) sa.push_back(attr.name());
+  }
+  return sa;
+}
+
+}  // namespace privelet::analysis

@@ -1,0 +1,24 @@
+// SA-subset advisor: the paper's rule for choosing Privelet+'s SA set
+// (Sec. VI-D / Sec. VII-A): place attribute A in SA exactly when
+// |A| <= P(A)² · H(A) — i.e. when Basic's per-attribute variance factor is
+// no worse than Privelet's, so skipping the wavelet on that axis can only
+// tighten Eq. 7.
+#ifndef PRIVELET_ANALYSIS_SA_ADVISOR_H_
+#define PRIVELET_ANALYSIS_SA_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "privelet/data/schema.h"
+
+namespace privelet::analysis {
+
+/// Names of the attributes the rule places in SA.
+std::vector<std::string> AdviseSa(const data::Schema& schema);
+
+/// True iff the rule puts this attribute in SA.
+bool BelongsInSa(const data::Attribute& attribute);
+
+}  // namespace privelet::analysis
+
+#endif  // PRIVELET_ANALYSIS_SA_ADVISOR_H_

@@ -1,0 +1,33 @@
+// Empirical generalized-sensitivity probe (Definition 3). Used by the
+// property tests to confirm Lemma 2, Lemma 4, and Theorem 2 on concrete
+// transforms: perturb single entries of random matrices and measure the
+// weighted L1 change of the coefficients.
+#ifndef PRIVELET_ANALYSIS_SENSITIVITY_H_
+#define PRIVELET_ANALYSIS_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "privelet/common/result.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/wavelet/hn_transform.h"
+
+namespace privelet::analysis {
+
+struct SensitivityProbeOptions {
+  std::size_t num_trials = 32;  ///< random (matrix, entry) pairs probed
+  double delta = 1.0;           ///< perturbation size
+  std::uint64_t seed = 11;
+};
+
+/// Returns the maximum observed Σ_c W(c)·|c(M) - c(M')| / δ over random
+/// matrices M and single-entry perturbations M'. For the paper's
+/// transforms this is the exact generalized sensitivity (the per-entry
+/// change is data-independent), so the probe should match
+/// HnTransform::GeneralizedSensitivity() to rounding error.
+Result<double> ProbeGeneralizedSensitivity(
+    const wavelet::HnTransform& transform,
+    const SensitivityProbeOptions& options);
+
+}  // namespace privelet::analysis
+
+#endif  // PRIVELET_ANALYSIS_SENSITIVITY_H_

@@ -1,0 +1,42 @@
+// Workload-aware SA planning — the paper's first future-work direction
+// ("extend Privelet for the case where the distribution of range-count
+// queries is known in advance", Sec. IX). Given a representative workload,
+// the planner evaluates the *exact* expected noise variance (via
+// ExactQueryNoiseVariance) of every SA subset and returns the best one —
+// a data-independent choice, so using it costs no privacy budget.
+#ifndef PRIVELET_ANALYSIS_WORKLOAD_PLANNER_H_
+#define PRIVELET_ANALYSIS_WORKLOAD_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/query/range_query.h"
+
+namespace privelet::analysis {
+
+struct SaPlan {
+  /// Attribute names placed in SA (identity axes).
+  std::vector<std::string> sa_names;
+  /// Mean exact noise variance over the planning workload at the
+  /// requested epsilon.
+  double expected_variance = 0.0;
+};
+
+/// Evaluates every one of the 2^d SA subsets against the workload and
+/// returns them sorted by ascending expected variance (best first).
+/// Rejects schemas with more than 16 attributes (65536 subsets) — use
+/// AdviseSa's per-attribute rule beyond that.
+Result<std::vector<SaPlan>> EvaluateAllSaSubsets(
+    const data::Schema& schema, const std::vector<query::RangeQuery>& workload,
+    double epsilon);
+
+/// The best plan from EvaluateAllSaSubsets.
+Result<SaPlan> PlanSaForWorkload(const data::Schema& schema,
+                                 const std::vector<query::RangeQuery>& workload,
+                                 double epsilon);
+
+}  // namespace privelet::analysis
+
+#endif  // PRIVELET_ANALYSIS_WORKLOAD_PLANNER_H_

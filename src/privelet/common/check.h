@@ -1,0 +1,40 @@
+// Invariant-checking macros. PRIVELET_CHECK fires in all build types and is
+// reserved for programming errors (API misuse that cannot be reported via
+// Status); PRIVELET_DCHECK compiles out of release builds.
+#ifndef PRIVELET_COMMON_CHECK_H_
+#define PRIVELET_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace privelet::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "PRIVELET_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace privelet::internal
+
+#define PRIVELET_CHECK(cond, ...)                              \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::privelet::internal::CheckFailed(__FILE__, __LINE__,    \
+                                        #cond, ::std::string(__VA_ARGS__)); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define PRIVELET_DCHECK(cond, ...) \
+  do {                             \
+    (void)sizeof(cond);            \
+  } while (0)
+#else
+#define PRIVELET_DCHECK(cond, ...) PRIVELET_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+#endif  // PRIVELET_COMMON_CHECK_H_

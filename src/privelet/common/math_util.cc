@@ -1,0 +1,64 @@
+#include "privelet/common/math_util.h"
+
+#include <limits>
+
+#include "privelet/common/check.h"
+
+namespace privelet {
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  PRIVELET_CHECK(n >= 1);
+  std::size_t p = 1;
+  while (p < n) {
+    PRIVELET_CHECK(p <= (std::numeric_limits<std::size_t>::max() >> 1),
+                   "NextPowerOfTwo overflow");
+    p <<= 1;
+  }
+  return p;
+}
+
+std::size_t FloorLog2(std::size_t n) {
+  PRIVELET_CHECK(n >= 1);
+  std::size_t l = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+std::size_t CeilLog2(std::size_t n) {
+  PRIVELET_CHECK(n >= 1);
+  std::size_t l = FloorLog2(n);
+  return IsPowerOfTwo(n) ? l : l + 1;
+}
+
+std::size_t CheckedProduct(const std::vector<std::size_t>& dims) {
+  std::size_t product = 1;
+  for (std::size_t d : dims) {
+    PRIVELET_CHECK(d == 0 || product <= std::numeric_limits<std::size_t>::max() / d,
+                   "dimension product overflow");
+    product *= d;
+  }
+  return product;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+}  // namespace privelet

@@ -1,0 +1,36 @@
+// Small integer/float math helpers shared across modules.
+#ifndef PRIVELET_COMMON_MATH_UTIL_H_
+#define PRIVELET_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace privelet {
+
+/// True iff n is a power of two (n >= 1).
+constexpr bool IsPowerOfTwo(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n >= 1). CHECK-fails on overflow.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// floor(log2(n)) for n >= 1.
+std::size_t FloorLog2(std::size_t n);
+
+/// ceil(log2(n)) for n >= 1. CeilLog2(1) == 0.
+std::size_t CeilLog2(std::size_t n);
+
+/// Product of a dimension vector, checking for overflow.
+std::size_t CheckedProduct(const std::vector<std::size_t>& dims);
+
+/// Sample mean of `values`.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double SampleVariance(const std::vector<double>& values);
+
+}  // namespace privelet
+
+#endif  // PRIVELET_COMMON_MATH_UTIL_H_

@@ -1,0 +1,67 @@
+// Result<T>: a value-or-Status holder, the library's StatusOr analogue.
+#ifndef PRIVELET_COMMON_RESULT_H_
+#define PRIVELET_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "privelet/common/check.h"
+#include "privelet/common/status.h"
+
+namespace privelet {
+
+/// Holds either a T or a non-OK Status. Construction from a T yields an OK
+/// result; construction from a Status requires the status to be non-OK.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {
+    PRIVELET_DCHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Dies (DCHECK) if the result holds an error;
+  /// callers must test ok() first on fallible paths.
+  T& value() & {
+    PRIVELET_DCHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  const T& value() const& {
+    PRIVELET_DCHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    PRIVELET_DCHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is engaged.
+};
+
+}  // namespace privelet
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs` (a declaration or assignable lvalue).
+#define PRIVELET_ASSIGN_OR_RETURN(lhs, expr)                    \
+  PRIVELET_ASSIGN_OR_RETURN_IMPL(                               \
+      PRIVELET_CONCAT_(_privelet_result_, __LINE__), lhs, expr)
+
+#define PRIVELET_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define PRIVELET_CONCAT_(a, b) PRIVELET_CONCAT_IMPL_(a, b)
+#define PRIVELET_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PRIVELET_COMMON_RESULT_H_

@@ -1,0 +1,85 @@
+// Status: lightweight error-reporting type used across the Privelet public
+// API. The library does not throw exceptions across API boundaries;
+// recoverable failures (bad hierarchies, mismatched dimensions, I/O errors)
+// are reported through Status / Result<T> instead.
+#ifndef PRIVELET_COMMON_STATUS_H_
+#define PRIVELET_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace privelet {
+
+/// Error categories used by the library. Mirrors the usual database-engine
+/// set (RocksDB/Arrow style); only the codes the library actually produces
+/// are defined.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kIOError = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of an operation. A default-constructed
+/// Status is OK. Statuses are cheap to move and copy (one string).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace privelet
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T>.
+#define PRIVELET_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::privelet::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#endif  // PRIVELET_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used by the scalability benchmarks (Figs. 10-11).
+#ifndef PRIVELET_COMMON_STOPWATCH_H_
+#define PRIVELET_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace privelet {
+
+/// Monotonic wall-clock timer. Starts on construction; ElapsedSeconds() may
+/// be called repeatedly; Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace privelet
+
+#endif  // PRIVELET_COMMON_STOPWATCH_H_

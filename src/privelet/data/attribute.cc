@@ -1,0 +1,17 @@
+#include "privelet/data/attribute.h"
+
+namespace privelet::data {
+
+Attribute Attribute::Ordinal(std::string name, std::size_t domain_size) {
+  PRIVELET_CHECK(domain_size >= 1, "ordinal domain must be non-empty");
+  return Attribute(std::move(name), AttributeKind::kOrdinal, domain_size,
+                   nullptr);
+}
+
+Attribute Attribute::Nominal(std::string name, Hierarchy hierarchy) {
+  const std::size_t domain_size = hierarchy.num_leaves();
+  return Attribute(std::move(name), AttributeKind::kNominal, domain_size,
+                   std::make_shared<const Hierarchy>(std::move(hierarchy)));
+}
+
+}  // namespace privelet::data

@@ -1,0 +1,58 @@
+// Attribute: one column of a relational table — ordinal (discrete, totally
+// ordered) or nominal (discrete, unordered, with an associated hierarchy).
+#ifndef PRIVELET_DATA_ATTRIBUTE_H_
+#define PRIVELET_DATA_ATTRIBUTE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "privelet/common/check.h"
+#include "privelet/data/hierarchy.h"
+
+namespace privelet::data {
+
+enum class AttributeKind { kOrdinal, kNominal };
+
+/// Immutable attribute description. Domain values are dense indices
+/// 0..domain_size()-1: for ordinal attributes the index order is the value
+/// order; for nominal attributes the index is the position in the
+/// hierarchy's imposed leaf order (Sec. V-A of the paper).
+class Attribute {
+ public:
+  /// Ordinal attribute with the given domain size (>= 1).
+  static Attribute Ordinal(std::string name, std::size_t domain_size);
+
+  /// Nominal attribute; the domain is the hierarchy's leaf set.
+  static Attribute Nominal(std::string name, Hierarchy hierarchy);
+
+  const std::string& name() const { return name_; }
+  AttributeKind kind() const { return kind_; }
+  bool is_ordinal() const { return kind_ == AttributeKind::kOrdinal; }
+  bool is_nominal() const { return kind_ == AttributeKind::kNominal; }
+  std::size_t domain_size() const { return domain_size_; }
+
+  /// Hierarchy of a nominal attribute. CHECK-fails on ordinal attributes.
+  const Hierarchy& hierarchy() const {
+    PRIVELET_CHECK(is_nominal(), "ordinal attributes have no hierarchy");
+    return *hierarchy_;
+  }
+
+ private:
+  Attribute(std::string name, AttributeKind kind, std::size_t domain_size,
+            std::shared_ptr<const Hierarchy> hierarchy)
+      : name_(std::move(name)),
+        kind_(kind),
+        domain_size_(domain_size),
+        hierarchy_(std::move(hierarchy)) {}
+
+  std::string name_;
+  AttributeKind kind_;
+  std::size_t domain_size_;
+  std::shared_ptr<const Hierarchy> hierarchy_;  // null for ordinal
+};
+
+}  // namespace privelet::data
+
+#endif  // PRIVELET_DATA_ATTRIBUTE_H_

@@ -1,0 +1,92 @@
+#include "privelet/data/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace privelet::data {
+
+Status WriteCsv(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const Schema& schema = table.schema();
+  for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (c > 0) out << ',';
+    out << schema.attribute(c).name();
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) out << ',';
+      out << table.value(r, c);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (missing header)");
+  }
+  // Check the header against the schema.
+  {
+    std::stringstream header(line);
+    std::string field;
+    std::size_t col = 0;
+    while (std::getline(header, field, ',')) {
+      if (col >= schema.num_attributes() ||
+          field != schema.attribute(col).name()) {
+        return Status::InvalidArgument("CSV header does not match schema");
+      }
+      ++col;
+    }
+    if (col != schema.num_attributes()) {
+      return Status::InvalidArgument("CSV header does not match schema");
+    }
+  }
+
+  Table table(schema);
+  std::vector<std::uint32_t> row(schema.num_attributes());
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::stringstream fields(line);
+    std::string field;
+    std::size_t col = 0;
+    while (std::getline(fields, field, ',')) {
+      if (col >= row.size()) {
+        return Status::InvalidArgument(
+            "too many fields at line " + std::to_string(line_number));
+      }
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            "non-integer field at line " + std::to_string(line_number));
+      }
+      row[col++] = static_cast<std::uint32_t>(value);
+    }
+    if (col != row.size()) {
+      return Status::InvalidArgument(
+          "too few fields at line " + std::to_string(line_number));
+    }
+    PRIVELET_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace privelet::data

@@ -1,0 +1,206 @@
+#include "privelet/data/hierarchy.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "privelet/common/check.h"
+
+namespace privelet::data {
+
+namespace {
+
+// Depth of the spec tree (a lone leaf has depth 1).
+std::size_t SpecDepth(const HierarchySpec& spec) {
+  std::size_t deepest = 0;
+  for (const auto& child : spec.children) {
+    deepest = std::max(deepest, SpecDepth(child));
+  }
+  return deepest + 1;
+}
+
+}  // namespace
+
+Result<Hierarchy> Hierarchy::FromSpec(const HierarchySpec& spec) {
+  const std::size_t height = SpecDepth(spec);
+  if (height < 2) {
+    return Status::InvalidArgument(
+        "hierarchy must have at least two levels (root plus leaves)");
+  }
+
+  Hierarchy h;
+  h.height_ = height;
+
+  // BFS over the spec, materializing nodes in level order.
+  struct Pending {
+    const HierarchySpec* spec;
+    std::size_t parent;
+    std::size_t level;
+  };
+  std::queue<Pending> queue;
+  queue.push({&spec, 0, 1});
+  while (!queue.empty()) {
+    const Pending item = queue.front();
+    queue.pop();
+    const std::size_t id = h.nodes_.size();
+    Node node;
+    node.parent = (id == 0) ? 0 : item.parent;
+    node.level = item.level;
+    h.nodes_.push_back(node);
+    if (id != 0) h.nodes_[item.parent].children.push_back(id);
+
+    if (item.spec->children.empty()) {
+      if (item.level != height) {
+        return Status::InvalidArgument(
+            "all hierarchy leaves must lie at the same depth");
+      }
+    } else {
+      if (item.spec->children.size() < 2) {
+        return Status::InvalidArgument(
+            "every internal hierarchy node must have fanout >= 2");
+      }
+      for (const auto& child : item.spec->children) {
+        queue.push({&child, id, item.level + 1});
+      }
+    }
+  }
+
+  // Assign leaf indices in left-to-right order and propagate leaf ranges
+  // bottom-up. BFS order guarantees children have larger ids than parents,
+  // so one reverse pass suffices.
+  for (auto& node : h.nodes_) {
+    node.leaf_begin = 0;
+    node.leaf_end = 0;
+  }
+  // Left-to-right leaf numbering = DFS order; do an explicit DFS.
+  {
+    std::vector<std::size_t> stack = {kRoot};
+    while (!stack.empty()) {
+      const std::size_t id = stack.back();
+      stack.pop_back();
+      if (h.nodes_[id].children.empty()) {
+        const std::size_t leaf_index = h.leaf_nodes_.size();
+        h.nodes_[id].leaf_begin = leaf_index;
+        h.nodes_[id].leaf_end = leaf_index + 1;
+        h.leaf_nodes_.push_back(id);
+      } else {
+        // Push children right-to-left so the leftmost is visited first.
+        const auto& kids = h.nodes_[id].children;
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+  h.num_leaves_ = h.leaf_nodes_.size();
+  for (std::size_t id = h.nodes_.size(); id-- > 0;) {
+    auto& node = h.nodes_[id];
+    if (!node.children.empty()) {
+      node.leaf_begin = h.nodes_[node.children.front()].leaf_begin;
+      node.leaf_end = h.nodes_[node.children.back()].leaf_end;
+    }
+  }
+
+  PRIVELET_RETURN_IF_ERROR(h.Validate());
+  return h;
+}
+
+Result<Hierarchy> Hierarchy::Balanced(const std::vector<std::size_t>& fanouts) {
+  if (fanouts.empty()) {
+    return Status::InvalidArgument("balanced hierarchy needs >= 1 fanout");
+  }
+  // Build the spec bottom-up: start from a leaf and wrap it level by level.
+  HierarchySpec level_spec;  // a leaf
+  for (auto it = fanouts.rbegin(); it != fanouts.rend(); ++it) {
+    if (*it < 2) {
+      return Status::InvalidArgument("balanced hierarchy fanouts must be >= 2");
+    }
+    HierarchySpec parent;
+    parent.children.assign(*it, level_spec);
+    level_spec = std::move(parent);
+  }
+  return FromSpec(level_spec);
+}
+
+Result<Hierarchy> Hierarchy::FromGroupSizes(
+    const std::vector<std::size_t>& group_sizes) {
+  if (group_sizes.size() < 2) {
+    return Status::InvalidArgument("need >= 2 groups");
+  }
+  HierarchySpec root;
+  for (std::size_t size : group_sizes) {
+    if (size < 2) {
+      return Status::InvalidArgument("every group needs >= 2 leaves");
+    }
+    HierarchySpec group;
+    group.children.assign(size, HierarchySpec{});
+    root.children.push_back(std::move(group));
+  }
+  return FromSpec(root);
+}
+
+Result<Hierarchy> Hierarchy::Flat(std::size_t num_leaves) {
+  if (num_leaves < 2) {
+    return Status::InvalidArgument("flat hierarchy needs >= 2 leaves");
+  }
+  HierarchySpec root;
+  root.children.assign(num_leaves, HierarchySpec{});
+  return FromSpec(root);
+}
+
+std::vector<std::size_t> Hierarchy::NodesAtLevel(std::size_t level) const {
+  std::vector<std::size_t> out;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].level == level) out.push_back(id);
+  }
+  return out;
+}
+
+Status Hierarchy::Validate() const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty hierarchy");
+  if (height_ < 2) return Status::FailedPrecondition("height must be >= 2");
+  if (nodes_[kRoot].level != 1 || nodes_[kRoot].parent != kRoot) {
+    return Status::Internal("malformed root");
+  }
+  std::size_t leaf_count = 0;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.children.empty()) {
+      ++leaf_count;
+      if (node.level != height_) {
+        return Status::FailedPrecondition("leaf not at leaf level");
+      }
+      if (node.leaf_end != node.leaf_begin + 1) {
+        return Status::Internal("leaf must cover exactly one leaf index");
+      }
+    } else {
+      if (node.children.size() < 2) {
+        return Status::FailedPrecondition("internal node with fanout < 2");
+      }
+      for (std::size_t child : node.children) {
+        if (child >= nodes_.size() || nodes_[child].parent != id ||
+            nodes_[child].level != node.level + 1) {
+          return Status::Internal("inconsistent parent/child links");
+        }
+      }
+      if (node.leaf_begin != nodes_[node.children.front()].leaf_begin ||
+          node.leaf_end != nodes_[node.children.back()].leaf_end) {
+        return Status::Internal("inconsistent leaf ranges");
+      }
+    }
+    // BFS layout: parents precede children.
+    if (id != kRoot && node.parent >= id) {
+      return Status::Internal("nodes not in level order");
+    }
+  }
+  if (leaf_count != num_leaves_ || leaf_nodes_.size() != num_leaves_) {
+    return Status::Internal("leaf bookkeeping out of sync");
+  }
+  for (std::size_t i = 0; i < leaf_nodes_.size(); ++i) {
+    if (nodes_[leaf_nodes_[i]].leaf_begin != i) {
+      return Status::Internal("leaf order mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace privelet::data

@@ -1,0 +1,103 @@
+// Hierarchy: the tree associated with a nominal attribute (paper Fig. 1).
+// Leaves are the attribute's domain values; each internal node summarizes
+// the leaves in its subtree. The nominal wavelet transform (paper Sec. V)
+// derives its decomposition tree from this structure, and OLAP-style
+// predicates select either a leaf or the full subtree of an internal node.
+#ifndef PRIVELET_DATA_HIERARCHY_H_
+#define PRIVELET_DATA_HIERARCHY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/common/status.h"
+
+namespace privelet::data {
+
+/// Recursive specification used to build arbitrary hierarchies (mostly by
+/// tests and generators). A node with no children is a leaf.
+struct HierarchySpec {
+  std::vector<HierarchySpec> children;
+};
+
+/// Immutable hierarchy tree.
+///
+/// Invariants established by the builders (and checked by Validate):
+///  * every internal node has fanout >= 2, except that the paper's
+///    decomposition-tree construction implicitly demands this only of
+///    hierarchy-internal nodes — which is exactly what we enforce;
+///  * all leaves lie at the same depth (the paper's reconstruction, Eq. 5,
+///    indexes one ancestor per level);
+///  * nodes are stored in BFS (level) order, so node ids already follow the
+///    "level-order traversal, base coefficient first" layout that the
+///    multi-dimensional transform requires (Sec. VI-A).
+///
+/// Leaves are numbered 0..num_leaves()-1 left to right; this is the imposed
+/// total order of Sec. V-A, under which every subtree is a contiguous leaf
+/// range.
+class Hierarchy {
+ public:
+  struct Node {
+    std::size_t parent = 0;      ///< parent id; root points to itself
+    std::size_t level = 1;       ///< 1-based; root is level 1
+    std::size_t leaf_begin = 0;  ///< first leaf (inclusive) under this node
+    std::size_t leaf_end = 0;    ///< last leaf (exclusive) under this node
+    std::vector<std::size_t> children;  ///< child ids; empty for leaves
+  };
+
+  /// Builds a hierarchy from a recursive spec. Fails unless all leaves are
+  /// at the same depth, every internal node has >= 2 children, and there
+  /// are at least 2 levels (a lone root is not a usable hierarchy).
+  static Result<Hierarchy> FromSpec(const HierarchySpec& spec);
+
+  /// Perfectly balanced hierarchy: `fanouts[i]` is the fanout of every node
+  /// at level i+1. Height is fanouts.size() + 1 and the number of leaves is
+  /// the product of the fanouts.
+  static Result<Hierarchy> Balanced(const std::vector<std::size_t>& fanouts);
+
+  /// Three-level hierarchy (root, groups, leaves) with the given per-group
+  /// leaf counts. Every group must have >= 2 leaves.
+  static Result<Hierarchy> FromGroupSizes(
+      const std::vector<std::size_t>& group_sizes);
+
+  /// Flat two-level hierarchy: a root with `num_leaves` leaf children.
+  static Result<Hierarchy> Flat(std::size_t num_leaves);
+
+  /// Number of levels, counting both the root level and the leaf level.
+  /// This is the paper's h.
+  std::size_t height() const { return height_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const { return num_leaves_; }
+  std::size_t num_internal_nodes() const {
+    return nodes_.size() - num_leaves_;
+  }
+
+  static constexpr std::size_t kRoot = 0;
+
+  const Node& node(std::size_t id) const { return nodes_[id]; }
+  bool is_leaf(std::size_t id) const { return nodes_[id].children.empty(); }
+  std::size_t fanout(std::size_t id) const { return nodes_[id].children.size(); }
+
+  /// Node id of the i-th leaf in the imposed total order.
+  std::size_t leaf_node(std::size_t leaf_index) const {
+    return leaf_nodes_[leaf_index];
+  }
+
+  /// All node ids at the given 1-based level, in left-to-right order.
+  std::vector<std::size_t> NodesAtLevel(std::size_t level) const;
+
+  /// Re-checks all class invariants; used by tests and after deserialization.
+  Status Validate() const;
+
+ private:
+  std::vector<Node> nodes_;            // BFS order; index 0 is the root
+  std::vector<std::size_t> leaf_nodes_;  // leaf index -> node id
+  std::size_t num_leaves_ = 0;
+  std::size_t height_ = 0;
+};
+
+}  // namespace privelet::data
+
+#endif  // PRIVELET_DATA_HIERARCHY_H_

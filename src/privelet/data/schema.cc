@@ -1,0 +1,30 @@
+#include "privelet/data/schema.h"
+
+#include <string>
+
+#include "privelet/common/math_util.h"
+
+namespace privelet::data {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Result<std::size_t> Schema::FindAttribute(std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name() == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+std::vector<std::size_t> Schema::DomainSizes() const {
+  std::vector<std::size_t> dims;
+  dims.reserve(attributes_.size());
+  for (const auto& attr : attributes_) dims.push_back(attr.domain_size());
+  return dims;
+}
+
+std::size_t Schema::TotalDomainSize() const {
+  return CheckedProduct(DomainSizes());
+}
+
+}  // namespace privelet::data

@@ -1,0 +1,40 @@
+// Schema: the ordered attribute list of a relational table; defines the
+// shape (and total size m) of the frequency matrix.
+#ifndef PRIVELET_DATA_SCHEMA_H_
+#define PRIVELET_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/attribute.h"
+
+namespace privelet::data {
+
+/// Immutable ordered collection of attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  std::size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given name.
+  Result<std::size_t> FindAttribute(std::string_view name) const;
+
+  /// Domain sizes per attribute = the frequency-matrix dimensions.
+  std::vector<std::size_t> DomainSizes() const;
+
+  /// Total domain size m = product of the attribute domain sizes.
+  std::size_t TotalDomainSize() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace privelet::data
+
+#endif  // PRIVELET_DATA_SCHEMA_H_

@@ -1,0 +1,63 @@
+#include "privelet/data/synthetic_generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "privelet/rng/splitmix64.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::data {
+
+Result<Hierarchy> MakeSqrtGroupHierarchy(std::size_t num_leaves) {
+  if (num_leaves < 4) {
+    return Status::InvalidArgument(
+        "sqrt-group hierarchy needs >= 4 leaves");
+  }
+  auto num_groups = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(num_leaves))));
+  // Keep every group at >= 2 leaves.
+  num_groups = std::min(num_groups, num_leaves / 2);
+  if (num_groups < 2) num_groups = 2;
+
+  // Distribute leaves as evenly as possible.
+  std::vector<std::size_t> group_sizes(num_groups, num_leaves / num_groups);
+  for (std::size_t i = 0; i < num_leaves % num_groups; ++i) ++group_sizes[i];
+  return Hierarchy::FromGroupSizes(group_sizes);
+}
+
+Result<Schema> MakeScalabilitySchema(std::size_t total_domain_size) {
+  const auto per_attr = static_cast<std::size_t>(std::llround(
+      std::pow(static_cast<double>(total_domain_size), 0.25)));
+  if (per_attr < 4) {
+    return Status::InvalidArgument(
+        "total domain too small: per-attribute domain must be >= 4");
+  }
+  PRIVELET_ASSIGN_OR_RETURN(Hierarchy h1, MakeSqrtGroupHierarchy(per_attr));
+  PRIVELET_ASSIGN_OR_RETURN(Hierarchy h2, MakeSqrtGroupHierarchy(per_attr));
+
+  std::vector<Attribute> attributes;
+  attributes.push_back(Attribute::Ordinal("O1", per_attr));
+  attributes.push_back(Attribute::Ordinal("O2", per_attr));
+  attributes.push_back(Attribute::Nominal("N1", std::move(h1)));
+  attributes.push_back(Attribute::Nominal("N2", std::move(h2)));
+  return Schema(std::move(attributes));
+}
+
+Result<Table> GenerateUniformTable(const Schema& schema,
+                                   std::size_t num_tuples,
+                                   std::uint64_t seed) {
+  rng::Xoshiro256pp gen(rng::DeriveSeed(seed, 0x5CA1AB1E));
+  Table table(schema);
+  table.Reserve(num_tuples);
+  std::vector<std::uint32_t> row(schema.num_attributes());
+  for (std::size_t i = 0; i < num_tuples; ++i) {
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      row[a] = static_cast<std::uint32_t>(
+          gen.NextUint64InRange(0, schema.attribute(a).domain_size() - 1));
+    }
+    PRIVELET_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace privelet::data

@@ -1,0 +1,33 @@
+// Synthetic datasets for the scalability experiments (paper Sec. VII-B,
+// Figs. 10-11): two ordinal and two nominal attributes, each with domain
+// size m^(1/4); every nominal hierarchy has three levels with sqrt(|A|)
+// level-2 nodes; tuple values are uniform over the attribute domains.
+#ifndef PRIVELET_DATA_SYNTHETIC_GENERATOR_H_
+#define PRIVELET_DATA_SYNTHETIC_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "privelet/common/result.h"
+#include "privelet/data/table.h"
+
+namespace privelet::data {
+
+/// Builds the 4-attribute scalability schema for a frequency matrix of
+/// (approximately) `total_domain_size` entries. The per-attribute domain is
+/// round(total^(1/4)) and must be >= 4 so that the 3-level hierarchies have
+/// fanout >= 2 everywhere.
+Result<Schema> MakeScalabilitySchema(std::size_t total_domain_size);
+
+/// A 3-level hierarchy over `num_leaves` leaves with ~sqrt(num_leaves)
+/// level-2 groups of near-equal size (each >= 2 leaves). num_leaves >= 4.
+Result<Hierarchy> MakeSqrtGroupHierarchy(std::size_t num_leaves);
+
+/// Generates `num_tuples` tuples uniform over the schema's domains.
+Result<Table> GenerateUniformTable(const Schema& schema,
+                                   std::size_t num_tuples,
+                                   std::uint64_t seed);
+
+}  // namespace privelet::data
+
+#endif  // PRIVELET_DATA_SYNTHETIC_GENERATOR_H_

@@ -1,0 +1,33 @@
+#include "privelet/data/table.h"
+
+#include <string>
+
+namespace privelet::data {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+Status Table::AppendRow(std::span<const std::uint32_t> row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] >= schema_.attribute(i).domain_size()) {
+      return Status::OutOfRange(
+          "value " + std::to_string(row[i]) + " out of domain for attribute '" +
+          schema_.attribute(i).name() + "'");
+    }
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::Reserve(std::size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+}  // namespace privelet::data

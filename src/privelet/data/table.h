@@ -1,0 +1,53 @@
+// Table: a relational table whose cells are dense domain indices. Stored
+// column-major, which is what both the frequency-matrix builder and the CSV
+// writer consume.
+#ifndef PRIVELET_DATA_TABLE_H_
+#define PRIVELET_DATA_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "privelet/common/status.h"
+#include "privelet/data/schema.h"
+
+namespace privelet::data {
+
+/// Column-major relational table. Values are validated against the schema's
+/// domain sizes on insertion.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one tuple; `row[i]` is the domain index for attribute i.
+  Status AppendRow(std::span<const std::uint32_t> row);
+  Status AppendRow(std::initializer_list<std::uint32_t> row) {
+    return AppendRow(std::span<const std::uint32_t>(row.begin(), row.size()));
+  }
+
+  /// Value of attribute `col` in row `row`.
+  std::uint32_t value(std::size_t row, std::size_t col) const {
+    return columns_[col][row];
+  }
+
+  const std::vector<std::uint32_t>& column(std::size_t col) const {
+    return columns_[col];
+  }
+
+  void Reserve(std::size_t rows);
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::uint32_t>> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace privelet::data
+
+#endif  // PRIVELET_DATA_TABLE_H_

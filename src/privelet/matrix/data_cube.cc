@@ -1,0 +1,87 @@
+#include "privelet/matrix/data_cube.h"
+
+namespace privelet::matrix {
+
+Result<FrequencyMatrix> ProjectMarginal(
+    const FrequencyMatrix& m, const std::vector<std::size_t>& axes) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("marginal needs >= 1 axis");
+  }
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    if (axes[i] >= m.num_dims() || (i > 0 && axes[i] <= axes[i - 1])) {
+      return Status::InvalidArgument(
+          "axes must be strictly ascending and in range");
+    }
+  }
+  std::vector<std::size_t> out_dims;
+  out_dims.reserve(axes.size());
+  for (std::size_t axis : axes) out_dims.push_back(m.dim(axis));
+  FrequencyMatrix out(out_dims);
+
+  // Single pass with an incremental odometer over the source coordinates;
+  // recompute the projected flat index only from the changed axis down.
+  std::vector<std::size_t> coords(m.num_dims(), 0);
+  std::vector<std::size_t> out_coords(axes.size());
+  for (std::size_t flat = 0; flat < m.size(); ++flat) {
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      out_coords[i] = coords[axes[i]];
+    }
+    out.At(out_coords) += m[flat];
+    // Row-major odometer.
+    std::size_t axis = m.num_dims();
+    while (axis-- > 0) {
+      if (++coords[axis] < m.dim(axis)) break;
+      coords[axis] = 0;
+    }
+  }
+  return out;
+}
+
+Result<FrequencyMatrix> RollUpNominalAxis(const FrequencyMatrix& m,
+                                          const data::Schema& schema,
+                                          std::size_t axis,
+                                          std::size_t level) {
+  if (axis >= m.num_dims() || axis >= schema.num_attributes()) {
+    return Status::InvalidArgument("axis out of range");
+  }
+  const data::Attribute& attribute = schema.attribute(axis);
+  if (!attribute.is_nominal()) {
+    return Status::InvalidArgument("axis '" + attribute.name() +
+                                   "' is not nominal");
+  }
+  if (m.dim(axis) != attribute.domain_size()) {
+    return Status::InvalidArgument("matrix does not match the schema");
+  }
+  const data::Hierarchy& hierarchy = attribute.hierarchy();
+  if (level < 1 || level > hierarchy.height()) {
+    return Status::OutOfRange("level must be in [1, height]");
+  }
+
+  // leaf -> index of its ancestor at `level` (nodes at a level are in
+  // left-to-right order, so their leaf ranges are consecutive).
+  const std::vector<std::size_t> nodes = hierarchy.NodesAtLevel(level);
+  std::vector<std::size_t> leaf_to_group(hierarchy.num_leaves());
+  for (std::size_t g = 0; g < nodes.size(); ++g) {
+    const auto& node = hierarchy.node(nodes[g]);
+    for (std::size_t leaf = node.leaf_begin; leaf < node.leaf_end; ++leaf) {
+      leaf_to_group[leaf] = g;
+    }
+  }
+
+  std::vector<std::size_t> out_dims = m.dims();
+  out_dims[axis] = nodes.size();
+  FrequencyMatrix out(out_dims);
+  std::vector<double> line(m.dim(axis));
+  std::vector<double> rolled(nodes.size());
+  for (std::size_t l = 0; l < m.NumLines(axis); ++l) {
+    m.GatherLine(axis, l, line.data());
+    std::fill(rolled.begin(), rolled.end(), 0.0);
+    for (std::size_t leaf = 0; leaf < line.size(); ++leaf) {
+      rolled[leaf_to_group[leaf]] += line[leaf];
+    }
+    out.ScatterLine(axis, l, rolled.data());
+  }
+  return out;
+}
+
+}  // namespace privelet::matrix

@@ -1,0 +1,37 @@
+// Data-cube operations above the frequency matrix. The paper treats the
+// frequency matrix as "the lowest level of the data cube of T"
+// (Sec. II-B); these helpers materialize the higher levels: marginal
+// projections onto attribute subsets (group-by) and coarsenings of a
+// nominal axis to one of its hierarchy levels (roll-up). Applied to a
+// *published* noisy matrix they are data-independent post-processing, so
+// they preserve ε-differential privacy.
+#ifndef PRIVELET_MATRIX_DATA_CUBE_H_
+#define PRIVELET_MATRIX_DATA_CUBE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+
+namespace privelet::matrix {
+
+/// Projects `m` onto the given axes (strictly ascending, non-empty):
+/// the result's entry at (y_1..y_k) sums all entries of `m` whose
+/// coordinates on `axes` equal y. O(m).
+Result<FrequencyMatrix> ProjectMarginal(const FrequencyMatrix& m,
+                                        const std::vector<std::size_t>& axes);
+
+/// Rolls the nominal axis `axis` of `m` up to hierarchy level `level`
+/// (1 = the root, hierarchy.height() = the leaves / no-op): the axis is
+/// re-indexed by the level's nodes in left-to-right order, each entry
+/// summing its subtree's leaves. O(m).
+Result<FrequencyMatrix> RollUpNominalAxis(const FrequencyMatrix& m,
+                                          const data::Schema& schema,
+                                          std::size_t axis,
+                                          std::size_t level);
+
+}  // namespace privelet::matrix
+
+#endif  // PRIVELET_MATRIX_DATA_CUBE_H_

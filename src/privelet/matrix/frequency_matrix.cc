@@ -1,0 +1,91 @@
+#include "privelet/matrix/frequency_matrix.h"
+
+#include "privelet/common/math_util.h"
+
+namespace privelet::matrix {
+
+FrequencyMatrix::FrequencyMatrix(std::vector<std::size_t> dims)
+    : dims_(std::move(dims)) {
+  PRIVELET_CHECK(!dims_.empty(), "matrix needs >= 1 dimension");
+  for (std::size_t d : dims_) PRIVELET_CHECK(d >= 1, "axis size must be >= 1");
+  strides_.resize(dims_.size());
+  std::size_t stride = 1;
+  for (std::size_t axis = dims_.size(); axis-- > 0;) {
+    strides_[axis] = stride;
+    stride *= dims_[axis];
+  }
+  values_.assign(CheckedProduct(dims_), 0.0);
+}
+
+std::size_t FrequencyMatrix::FlatIndex(
+    std::span<const std::size_t> coords) const {
+  PRIVELET_DCHECK(coords.size() == dims_.size(), "coordinate arity mismatch");
+  std::size_t flat = 0;
+  for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+    PRIVELET_DCHECK(coords[axis] < dims_[axis], "coordinate out of range");
+    flat += coords[axis] * strides_[axis];
+  }
+  return flat;
+}
+
+std::vector<std::size_t> FrequencyMatrix::Coords(std::size_t flat) const {
+  PRIVELET_DCHECK(flat < values_.size(), "flat index out of range");
+  std::vector<std::size_t> coords(dims_.size());
+  for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+    coords[axis] = flat / strides_[axis];
+    flat %= strides_[axis];
+  }
+  return coords;
+}
+
+std::size_t FrequencyMatrix::NumLines(std::size_t axis) const {
+  PRIVELET_DCHECK(axis < dims_.size());
+  return values_.size() / dims_[axis];
+}
+
+std::size_t FrequencyMatrix::LineBase(std::size_t axis, std::size_t line) const {
+  // A line is identified by the coordinates of the other axes. Split the
+  // line index into the part "outside" the axis (slower-varying axes) and
+  // the part "inside" it, so the numbering is independent of dims_[axis].
+  const std::size_t inner = strides_[axis];
+  return (line / inner) * (inner * dims_[axis]) + (line % inner);
+}
+
+void FrequencyMatrix::GatherLine(std::size_t axis, std::size_t line,
+                                 double* out) const {
+  const std::size_t stride = strides_[axis];
+  std::size_t index = LineBase(axis, line);
+  for (std::size_t k = 0; k < dims_[axis]; ++k, index += stride) {
+    out[k] = values_[index];
+  }
+}
+
+void FrequencyMatrix::ScatterLine(std::size_t axis, std::size_t line,
+                                  const double* in) {
+  const std::size_t stride = strides_[axis];
+  std::size_t index = LineBase(axis, line);
+  for (std::size_t k = 0; k < dims_[axis]; ++k, index += stride) {
+    values_[index] = in[k];
+  }
+}
+
+FrequencyMatrix FrequencyMatrix::FromTable(const data::Table& table) {
+  FrequencyMatrix m(table.schema().DomainSizes());
+  const std::size_t num_attrs = table.schema().num_attributes();
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    std::size_t flat = 0;
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      flat += static_cast<std::size_t>(table.value(row, a)) * m.strides_[a];
+    }
+    m.values_[flat] += 1.0;
+  }
+  return m;
+}
+
+double FrequencyMatrix::Total() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+}  // namespace privelet::matrix

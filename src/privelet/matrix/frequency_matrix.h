@@ -1,0 +1,86 @@
+// FrequencyMatrix: dense d-dimensional array of doubles — the lowest level
+// of the data cube (paper Sec. II-B). Entry <x1,...,xd> counts the tuples
+// with those attribute values; noisy matrices produced by the mechanisms
+// reuse the same type. Also used for intermediate wavelet-coefficient
+// matrices, whose axes may be longer than the data axes (the nominal
+// transform is over-complete).
+#ifndef PRIVELET_MATRIX_FREQUENCY_MATRIX_H_
+#define PRIVELET_MATRIX_FREQUENCY_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "privelet/common/check.h"
+#include "privelet/data/table.h"
+
+namespace privelet::matrix {
+
+/// Dense row-major d-dimensional matrix (last axis contiguous).
+class FrequencyMatrix {
+ public:
+  FrequencyMatrix() = default;
+
+  /// Zero-filled matrix with the given per-axis sizes (all >= 1).
+  explicit FrequencyMatrix(std::vector<std::size_t> dims);
+
+  std::size_t num_dims() const { return dims_.size(); }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::size_t dim(std::size_t axis) const { return dims_[axis]; }
+
+  /// Total number of entries (the paper's m for data matrices).
+  std::size_t size() const { return values_.size(); }
+
+  double operator[](std::size_t flat) const { return values_[flat]; }
+  double& operator[](std::size_t flat) { return values_[flat]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Row-major flat index of a coordinate vector.
+  std::size_t FlatIndex(std::span<const std::size_t> coords) const;
+
+  /// Inverse of FlatIndex.
+  std::vector<std::size_t> Coords(std::size_t flat) const;
+
+  double At(std::span<const std::size_t> coords) const {
+    return values_[FlatIndex(coords)];
+  }
+  double& At(std::span<const std::size_t> coords) {
+    return values_[FlatIndex(coords)];
+  }
+
+  /// Stride (in flat elements) between consecutive entries along `axis`.
+  std::size_t Stride(std::size_t axis) const { return strides_[axis]; }
+
+  /// Number of 1-D lines along `axis` (= size / dims[axis]).
+  std::size_t NumLines(std::size_t axis) const;
+
+  /// Flat index of the first element of the `line`-th line along `axis`.
+  /// Elements of the line are then base, base + stride, base + 2*stride, ...
+  /// Lines are numbered so that two matrices differing only in the length
+  /// of `axis` enumerate corresponding lines with the same line index.
+  std::size_t LineBase(std::size_t axis, std::size_t line) const;
+
+  /// Copies the `line`-th line along `axis` into `out` (length dims[axis]).
+  void GatherLine(std::size_t axis, std::size_t line, double* out) const;
+
+  /// Writes `in` (length dims[axis]) into the `line`-th line along `axis`.
+  void ScatterLine(std::size_t axis, std::size_t line, const double* in);
+
+  /// Builds the frequency matrix of a table: dims = attribute domain
+  /// sizes; entry = number of tuples with those values. O(n + m).
+  static FrequencyMatrix FromTable(const data::Table& table);
+
+  /// Sum of all entries (== n for a table-derived matrix).
+  double Total() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<std::size_t> strides_;
+  std::vector<double> values_;
+};
+
+}  // namespace privelet::matrix
+
+#endif  // PRIVELET_MATRIX_FREQUENCY_MATRIX_H_

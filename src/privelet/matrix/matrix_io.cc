@@ -1,0 +1,77 @@
+#include "privelet/matrix/matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace privelet::matrix {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'V', 'L', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+Status WriteMatrix(const std::string& path, const FrequencyMatrix& m) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const auto num_dims = static_cast<std::uint32_t>(m.num_dims());
+  out.write(reinterpret_cast<const char*>(&num_dims), sizeof(num_dims));
+  for (std::size_t d : m.dims()) {
+    const auto dim = static_cast<std::uint64_t>(d);
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  out.write(reinterpret_cast<const char*>(m.values().data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<FrequencyMatrix> ReadMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a matrix file");
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    return Status::InvalidArgument("unsupported matrix file version");
+  }
+  std::uint32_t num_dims = 0;
+  in.read(reinterpret_cast<char*>(&num_dims), sizeof(num_dims));
+  if (!in || num_dims == 0 || num_dims > 64) {
+    return Status::InvalidArgument("corrupt matrix header");
+  }
+  std::vector<std::size_t> dims(num_dims);
+  for (auto& d : dims) {
+    std::uint64_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (!in || dim == 0) {
+      return Status::InvalidArgument("corrupt matrix dimensions");
+    }
+    d = static_cast<std::size_t>(dim);
+  }
+  FrequencyMatrix m(dims);
+  in.read(reinterpret_cast<char*>(m.values().data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(m.size() * sizeof(double))) {
+    return Status::InvalidArgument("truncated matrix payload");
+  }
+  return m;
+}
+
+}  // namespace privelet::matrix

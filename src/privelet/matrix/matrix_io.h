@@ -1,0 +1,24 @@
+// Binary serialization of frequency matrices — the artifact a publishing
+// pipeline actually releases (and the input analysts load).
+//
+// Format (little-endian): magic "PVLM", u32 version, u32 num_dims,
+// u64 dims[num_dims], f64 values[product(dims)].
+#ifndef PRIVELET_MATRIX_MATRIX_IO_H_
+#define PRIVELET_MATRIX_MATRIX_IO_H_
+
+#include <string>
+
+#include "privelet/common/result.h"
+#include "privelet/matrix/frequency_matrix.h"
+
+namespace privelet::matrix {
+
+/// Writes `m` to `path`, overwriting any existing file.
+Status WriteMatrix(const std::string& path, const FrequencyMatrix& m);
+
+/// Reads a matrix previously written by WriteMatrix.
+Result<FrequencyMatrix> ReadMatrix(const std::string& path);
+
+}  // namespace privelet::matrix
+
+#endif  // PRIVELET_MATRIX_MATRIX_IO_H_

@@ -1,0 +1,8 @@
+#include "privelet/matrix/prefix_sum.h"
+
+namespace privelet::matrix {
+
+template class PrefixSumTable<long double>;
+template class PrefixSumTable<std::int64_t>;
+
+}  // namespace privelet::matrix

@@ -1,0 +1,99 @@
+// d-dimensional prefix-sum (summed-area) table. Every range-count query in
+// the paper is a contiguous box over the frequency matrix (ordinal
+// predicates are intervals; nominal subtree predicates are contiguous in
+// the imposed leaf order, Sec. V-A), so after O(m) preprocessing any query
+// is answered with 2^d table lookups.
+#ifndef PRIVELET_MATRIX_PREFIX_SUM_H_
+#define PRIVELET_MATRIX_PREFIX_SUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "privelet/common/check.h"
+#include "privelet/matrix/frequency_matrix.h"
+
+namespace privelet::matrix {
+
+/// Prefix-sum table with accumulator type T. Use Accum = long double for
+/// noisy (real-valued) matrices to control cancellation error, and
+/// Accum = std::int64_t for exact integer count matrices.
+template <typename Accum>
+class PrefixSumTable {
+ public:
+  explicit PrefixSumTable(const FrequencyMatrix& source)
+      : dims_(source.dims()), strides_(source.num_dims()) {
+    std::size_t stride = 1;
+    for (std::size_t axis = dims_.size(); axis-- > 0;) {
+      strides_[axis] = stride;
+      stride *= dims_[axis];
+    }
+    sums_.resize(source.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      sums_[i] = static_cast<Accum>(source[i]);
+    }
+    // One running-sum pass per axis turns the copy into an inclusive
+    // d-dimensional prefix table.
+    for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+      const std::size_t stride_a = strides_[axis];
+      const std::size_t lines = sums_.size() / dims_[axis];
+      for (std::size_t line = 0; line < lines; ++line) {
+        std::size_t base =
+            (line / stride_a) * (stride_a * dims_[axis]) + (line % stride_a);
+        for (std::size_t k = 1; k < dims_[axis]; ++k) {
+          sums_[base + k * stride_a] += sums_[base + (k - 1) * stride_a];
+        }
+      }
+    }
+  }
+
+  /// Sum of all entries with lo[i] <= coord[i] <= hi[i] (inclusive bounds).
+  Accum RangeSum(std::span<const std::size_t> lo,
+                 std::span<const std::size_t> hi) const {
+    const std::size_t d = dims_.size();
+    PRIVELET_DCHECK(lo.size() == d && hi.size() == d, "bound arity mismatch");
+    for (std::size_t axis = 0; axis < d; ++axis) {
+      PRIVELET_DCHECK(lo[axis] <= hi[axis] && hi[axis] < dims_[axis],
+                      "bad range bounds");
+    }
+    // Inclusion-exclusion over the 2^d box corners. Corner bit = 1 picks
+    // hi[axis]; bit = 0 picks lo[axis]-1 (empty => the term vanishes).
+    Accum total = 0;
+    const std::size_t corners = std::size_t{1} << d;
+    for (std::size_t corner = 0; corner < corners; ++corner) {
+      std::size_t flat = 0;
+      bool empty = false;
+      int low_sides = 0;
+      for (std::size_t axis = 0; axis < d; ++axis) {
+        if (corner & (std::size_t{1} << axis)) {
+          flat += hi[axis] * strides_[axis];
+        } else {
+          ++low_sides;
+          if (lo[axis] == 0) {
+            empty = true;
+            break;
+          }
+          flat += (lo[axis] - 1) * strides_[axis];
+        }
+      }
+      if (empty) continue;
+      total += (low_sides % 2 == 0) ? sums_[flat] : -sums_[flat];
+    }
+    return total;
+  }
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<std::size_t> strides_;
+  std::vector<Accum> sums_;
+};
+
+extern template class PrefixSumTable<long double>;
+extern template class PrefixSumTable<std::int64_t>;
+
+}  // namespace privelet::matrix
+
+#endif  // PRIVELET_MATRIX_PREFIX_SUM_H_

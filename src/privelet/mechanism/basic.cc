@@ -1,0 +1,45 @@
+#include "privelet/mechanism/basic.h"
+
+#include "privelet/rng/distributions.h"
+#include "privelet/rng/splitmix64.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::mechanism {
+
+Status CheckPublishArgs(const data::Schema& schema,
+                        const matrix::FrequencyMatrix& m, double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (m.dims() != schema.DomainSizes()) {
+    return Status::InvalidArgument(
+        "frequency matrix dims do not match the schema");
+  }
+  return Status::OK();
+}
+
+Result<matrix::FrequencyMatrix> BasicMechanism::Publish(
+    const data::Schema& schema, const matrix::FrequencyMatrix& m,
+    double epsilon, std::uint64_t seed) const {
+  PRIVELET_RETURN_IF_ERROR(CheckPublishArgs(schema, m, epsilon));
+  // Sensitivity of the frequency matrix is 2 (one tuple change moves two
+  // entries by one each), so Laplace magnitude 2/ε gives ε-DP (Theorem 1).
+  const double lambda = 2.0 / epsilon;
+  rng::Xoshiro256pp gen(rng::DeriveSeed(seed, 0xBA51C));
+  matrix::FrequencyMatrix noisy = m;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] += rng::SampleLaplace(gen, lambda);
+  }
+  return noisy;
+}
+
+Result<double> BasicMechanism::NoiseVarianceBound(const data::Schema& schema,
+                                                  double epsilon) const {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const double m = static_cast<double>(schema.TotalDomainSize());
+  return 8.0 * m / (epsilon * epsilon);
+}
+
+}  // namespace privelet::mechanism

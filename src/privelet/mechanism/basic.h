@@ -1,0 +1,30 @@
+// Basic: Dwork et al.'s method (paper Sec. II-B) — add independent
+// Laplace(2/ε) noise to every frequency-matrix entry. The per-entry noise
+// variance is 8/ε², so a query covering k entries carries noise variance
+// 8k/ε² — Θ(m/ε²) in the worst case. This is the baseline the paper
+// compares against; it is implemented independently of the wavelet stack.
+#ifndef PRIVELET_MECHANISM_BASIC_H_
+#define PRIVELET_MECHANISM_BASIC_H_
+
+#include "privelet/mechanism/mechanism.h"
+
+namespace privelet::mechanism {
+
+class BasicMechanism final : public Mechanism {
+ public:
+  BasicMechanism() = default;
+
+  std::string_view name() const override { return "Basic"; }
+
+  Result<matrix::FrequencyMatrix> Publish(
+      const data::Schema& schema, const matrix::FrequencyMatrix& m,
+      double epsilon, std::uint64_t seed) const override;
+
+  /// 8m/ε² (each of up to m covered entries contributes 2·(2/ε)²).
+  Result<double> NoiseVarianceBound(const data::Schema& schema,
+                                    double epsilon) const override;
+};
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_BASIC_H_

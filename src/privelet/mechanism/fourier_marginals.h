@@ -1,0 +1,82 @@
+// Barak et al.'s Fourier-domain marginal release ("Privacy, accuracy, and
+// consistency too", PODS 2007) — the framework the paper's related work
+// contrasts Privelet against (Sec. VIII): same transform-noise-invert
+// shape, but optimized for *marginals* (projections of the frequency
+// matrix onto attribute subsets) instead of range-count queries.
+//
+// Scope: binary-attribute contingency tables (the setting of the original
+// paper; m = 2^d). The frequency vector f over {0,1}^d is transformed by
+// the Walsh-Hadamard characters chi_alpha(x) = (-1)^(alpha . x):
+//
+//   fhat_alpha = sum_x f(x) * chi_alpha(x).
+//
+// A marginal over attribute subset S depends only on {fhat_alpha :
+// alpha subset of S}, so releasing the downward closure of the requested
+// marginal subsets with Laplace noise yields every requested marginal,
+// and — because all marginals are derived from the same noisy
+// coefficients — they are mutually consistent (sum of any marginal equals
+// the noisy total, shared sub-marginals agree). One tuple change moves
+// every fhat_alpha by at most 2, so releasing k coefficients with
+// Laplace(2k/eps) noise each is eps-differentially private.
+//
+// Deviation from Barak et al.: we omit their linear program that restores
+// non-negativity/integrality (it needs an LP over all 2^d cells, which
+// the paper criticizes as impractical for large m); the released
+// marginals here are unbiased but may contain negative entries.
+#ifndef PRIVELET_MECHANISM_FOURIER_MARGINALS_H_
+#define PRIVELET_MECHANISM_FOURIER_MARGINALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/matrix/frequency_matrix.h"
+
+namespace privelet::mechanism {
+
+/// One released marginal: the projection of the (noisy) frequency matrix
+/// onto `attributes`, with counts[y] indexed by the packed bits of the
+/// attribute values (attributes[0] is the least significant bit).
+struct Marginal {
+  std::vector<std::size_t> attributes;  ///< ascending attribute indices
+  std::vector<double> counts;           ///< size 2^attributes.size()
+};
+
+/// In-place Walsh-Hadamard transform of a length-2^d vector (unnormalized;
+/// applying it twice multiplies by 2^d). Exposed for tests and analysis.
+void WalshHadamardTransform(std::vector<double>* values);
+
+class FourierMarginalMechanism {
+ public:
+  /// `marginal_sets`: the attribute subsets whose marginals to release
+  /// (e.g. {{0,1},{1,2}} for two 2-way marginals). Subsets must be
+  /// non-empty with ascending in-range indices.
+  explicit FourierMarginalMechanism(
+      std::vector<std::vector<std::size_t>> marginal_sets);
+
+  /// Publishes the requested marginals of `m` (which must be a 2x2x...x2
+  /// matrix — d binary attributes) under epsilon-DP. Deterministic in
+  /// `seed`.
+  Result<std::vector<Marginal>> Publish(const matrix::FrequencyMatrix& m,
+                                        double epsilon,
+                                        std::uint64_t seed) const;
+
+  /// Number of Fourier coefficients released (the downward-closure size);
+  /// the per-coefficient Laplace magnitude is 2 * this / epsilon.
+  std::size_t NumReleasedCoefficients() const { return closure_.size(); }
+
+  /// Worst-case noise variance of a single marginal entry of a
+  /// |S|-attribute marginal at the given epsilon: each entry averages
+  /// 2^(d-|S|) cells, i.e. sums 2^|S| coefficients scaled by 2^-|S|.
+  Result<double> MarginalEntryVarianceBound(std::size_t num_dims,
+                                            std::size_t marginal_arity,
+                                            double epsilon) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> marginal_sets_;
+  std::vector<std::uint64_t> closure_;  ///< released alpha masks, sorted
+};
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_FOURIER_MARGINALS_H_

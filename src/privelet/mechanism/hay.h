@@ -1,0 +1,42 @@
+// Hay et al.'s hierarchical mechanism ("Boosting the accuracy of
+// differentially-private queries through consistency", 2009) — the
+// independent contemporaneous approach discussed in the paper's related
+// work (Sec. VIII). Implemented here as an extension baseline for
+// one-dimensional ordinal data: noisy counts are published for every node
+// of a binary interval tree over the (power-of-two padded) domain, then a
+// two-pass weighted-averaging step enforces parent = sum(children)
+// consistency, which provably minimizes L2 error among linear unbiased
+// estimates.
+//
+// Privacy: one tuple affects one node per tree level, so per-node noise
+// Laplace(h/ε), h = number of levels, yields ε-DP.
+#ifndef PRIVELET_MECHANISM_HAY_H_
+#define PRIVELET_MECHANISM_HAY_H_
+
+#include "privelet/mechanism/mechanism.h"
+
+namespace privelet::mechanism {
+
+class HayHierarchicalMechanism final : public Mechanism {
+ public:
+  HayHierarchicalMechanism() = default;
+
+  std::string_view name() const override { return "Hay"; }
+
+  /// Only one-dimensional schemas with a single ordinal attribute are
+  /// supported (the published algorithm is one-dimensional; the paper
+  /// makes the same point when comparing, Sec. VIII).
+  Result<matrix::FrequencyMatrix> Publish(
+      const data::Schema& schema, const matrix::FrequencyMatrix& m,
+      double epsilon, std::uint64_t seed) const override;
+
+  /// O(h³/ε²) bound: a range decomposes into <= 2h tree nodes, each with
+  /// post-consistency noise variance at most 2(h/ε)² — we report
+  /// 2h · 2(h/ε)² = 4h³/ε² (consistency only tightens this).
+  Result<double> NoiseVarianceBound(const data::Schema& schema,
+                                    double epsilon) const override;
+};
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_HAY_H_

@@ -1,0 +1,43 @@
+// Mechanism: the interface of an ε-differentially-private data-publishing
+// algorithm. A mechanism consumes a table's frequency matrix and produces a
+// noisy frequency matrix of the same shape; all range-count queries are
+// then answered from the noisy matrix.
+#ifndef PRIVELET_MECHANISM_MECHANISM_H_
+#define PRIVELET_MECHANISM_MECHANISM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+
+namespace privelet::mechanism {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Publishes a noisy version of `m` (dims must equal the schema's domain
+  /// sizes) satisfying `epsilon`-differential privacy. Deterministic in
+  /// `seed`. epsilon must be > 0.
+  virtual Result<matrix::FrequencyMatrix> Publish(
+      const data::Schema& schema, const matrix::FrequencyMatrix& m,
+      double epsilon, std::uint64_t seed) const = 0;
+
+  /// Worst-case noise variance of a single range-count query answered from
+  /// the published matrix (the paper's utility bound for this mechanism at
+  /// this ε). Used by the analysis module and the ablation benches.
+  virtual Result<double> NoiseVarianceBound(const data::Schema& schema,
+                                            double epsilon) const = 0;
+};
+
+/// Validates the common Publish preconditions; shared by implementations.
+Status CheckPublishArgs(const data::Schema& schema,
+                        const matrix::FrequencyMatrix& m, double epsilon);
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_MECHANISM_H_

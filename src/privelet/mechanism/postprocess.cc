@@ -1,0 +1,24 @@
+#include "privelet/mechanism/postprocess.h"
+
+#include <cmath>
+
+namespace privelet::mechanism {
+
+void ClampNonNegative(matrix::FrequencyMatrix* m) {
+  for (double& v : m->values()) {
+    if (v < 0.0) v = 0.0;
+  }
+}
+
+void RoundToIntegers(matrix::FrequencyMatrix* m) {
+  for (double& v : m->values()) v = std::round(v);
+}
+
+void ScaleToTotal(matrix::FrequencyMatrix* m, double target_total) {
+  const double total = m->Total();
+  if (total <= 0.0) return;
+  const double scale = target_total / total;
+  for (double& v : m->values()) v *= scale;
+}
+
+}  // namespace privelet::mechanism

@@ -1,0 +1,36 @@
+// Data-independent post-processing of published matrices. Differential
+// privacy is closed under post-processing, so none of these operations
+// consumes privacy budget; they trade unbiasedness for plausibility
+// (non-negative and/or integral counts — the consistency properties Barak
+// et al. optimize for, Sec. VIII of the paper).
+#ifndef PRIVELET_MECHANISM_POSTPROCESS_H_
+#define PRIVELET_MECHANISM_POSTPROCESS_H_
+
+#include "privelet/matrix/frequency_matrix.h"
+
+namespace privelet::mechanism {
+
+/// Clamps every entry to >= 0.
+///
+/// WARNING: clamping is biased. Each clamped cell gains E[max(0, -noise)]
+/// in expectation, so on sparse matrices (m >> n, where most cells are
+/// zero plus noise) a range covering k cells drifts upward by Theta(k)
+/// times the per-cell noise scale — easily dwarfing the true count. Use
+/// it for releases queried at (near-)cell granularity; keep the unbiased
+/// raw release when analysts run wide range-count queries. (The paper's
+/// mechanisms deliberately publish unbiased, possibly-negative counts;
+/// Barak et al., discussed in Sec. VIII, pay a linear program to get
+/// non-negativity without this bias.)
+void ClampNonNegative(matrix::FrequencyMatrix* m);
+
+/// Rounds every entry to the nearest integer (half away from zero).
+void RoundToIntegers(matrix::FrequencyMatrix* m);
+
+/// Rescales all entries by a common factor so they sum to `target_total`
+/// (e.g. a publicly known population size). No-op if the current total is
+/// not positive.
+void ScaleToTotal(matrix::FrequencyMatrix* m, double target_total);
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_POSTPROCESS_H_

@@ -1,0 +1,65 @@
+// Privelet and Privelet+ (paper Secs. IV-VI, Fig. 5).
+//
+// Privelet+ takes a subset SA of the attributes: the frequency matrix is
+// conceptually divided into sub-matrices along the SA dimensions and the
+// HN wavelet transform is applied to each sub-matrix. We realize this by
+// running the HN transform with the identity 1-D transform on every SA
+// axis (see IdentityTransform), which is algebraically the same thing and
+// gives one code path for Privelet (SA = ∅), every hybrid, and the
+// degenerate SA = all-attributes case (which coincides with Basic).
+//
+// Given ε, the Laplace magnitude is calibrated as λ = 2ρ/ε where
+// ρ = Π_{A ∉ SA} P(A) is the HN transform's generalized sensitivity
+// (Theorem 2 + Lemma 1, Corollary 1); coefficient c receives noise of
+// magnitude λ / WHN(c).
+#ifndef PRIVELET_MECHANISM_PRIVELET_MECHANISM_H_
+#define PRIVELET_MECHANISM_PRIVELET_MECHANISM_H_
+
+#include <string>
+#include <vector>
+
+#include "privelet/mechanism/mechanism.h"
+#include "privelet/wavelet/hn_transform.h"
+
+namespace privelet::mechanism {
+
+class PriveletPlusMechanism : public Mechanism {
+ public:
+  /// `sa_names`: names of the attributes in SA (may be empty). Unknown
+  /// names are reported at Publish time.
+  explicit PriveletPlusMechanism(std::vector<std::string> sa_names = {});
+
+  std::string_view name() const override { return name_; }
+
+  Result<matrix::FrequencyMatrix> Publish(
+      const data::Schema& schema, const matrix::FrequencyMatrix& m,
+      double epsilon, std::uint64_t seed) const override;
+
+  /// Eq. 7: 8/ε² · Π_{A∈SA} |A| · Π_{A∉SA} P(A)²·H(A).
+  Result<double> NoiseVarianceBound(const data::Schema& schema,
+                                    double epsilon) const override;
+
+  /// The Laplace magnitude λ = 2ρ/ε used at this ε for this schema.
+  Result<double> LaplaceMagnitude(const data::Schema& schema,
+                                  double epsilon) const;
+
+  const std::vector<std::string>& sa_names() const { return sa_names_; }
+
+  /// Resolves SA names to attribute indices for `schema`.
+  Result<std::vector<std::size_t>> ResolveSa(const data::Schema& schema) const;
+
+ private:
+  std::vector<std::string> sa_names_;
+  std::string name_;
+};
+
+/// Privelet proper: Privelet+ with SA = ∅ (paper Secs. IV-VI).
+class PriveletMechanism final : public PriveletPlusMechanism {
+ public:
+  PriveletMechanism()
+      : PriveletPlusMechanism(std::vector<std::string>{}) {}
+};
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_PRIVELET_MECHANISM_H_

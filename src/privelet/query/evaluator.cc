@@ -1,0 +1,46 @@
+#include "privelet/query/evaluator.h"
+
+namespace privelet::query {
+
+QueryEvaluator::QueryEvaluator(const data::Schema& schema,
+                               const matrix::FrequencyMatrix& m)
+    : schema_(schema), table_(m) {}
+
+double QueryEvaluator::Answer(const RangeQuery& query) const {
+  query.ResolveBounds(schema_, &lo_, &hi_);
+  return static_cast<double>(table_.RangeSum(lo_, hi_));
+}
+
+ExactEvaluator::ExactEvaluator(const data::Schema& schema,
+                               const matrix::FrequencyMatrix& m)
+    : schema_(schema), table_(m) {}
+
+std::int64_t ExactEvaluator::Answer(const RangeQuery& query) const {
+  query.ResolveBounds(schema_, &lo_, &hi_);
+  return table_.RangeSum(lo_, hi_);
+}
+
+double BruteForceAnswer(const data::Schema& schema,
+                        const matrix::FrequencyMatrix& m,
+                        const RangeQuery& query) {
+  std::vector<std::size_t> lo, hi;
+  query.ResolveBounds(schema, &lo, &hi);
+  const std::size_t d = m.num_dims();
+  std::vector<std::size_t> coords = lo;
+  double total = 0.0;
+  while (true) {
+    total += m.At(coords);
+    // Odometer increment within [lo, hi].
+    std::size_t axis = d;
+    while (axis-- > 0) {
+      if (coords[axis] < hi[axis]) {
+        ++coords[axis];
+        break;
+      }
+      coords[axis] = lo[axis];
+      if (axis == 0) return total;
+    }
+  }
+}
+
+}  // namespace privelet::query

@@ -1,0 +1,55 @@
+// Query evaluation over frequency matrices. Exact counts come from an
+// int64 prefix-sum table over the true matrix; noisy answers come from a
+// long-double table over a mechanism's output. A brute-force evaluator is
+// provided as the test oracle.
+#ifndef PRIVELET_QUERY_EVALUATOR_H_
+#define PRIVELET_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/matrix/prefix_sum.h"
+#include "privelet/query/range_query.h"
+
+namespace privelet::query {
+
+/// Answers range-count queries over a real-valued (typically noisy) matrix
+/// in O(2^d) after O(m) setup.
+class QueryEvaluator {
+ public:
+  QueryEvaluator(const data::Schema& schema,
+                 const matrix::FrequencyMatrix& m);
+
+  double Answer(const RangeQuery& query) const;
+
+ private:
+  const data::Schema& schema_;
+  matrix::PrefixSumTable<long double> table_;
+  mutable std::vector<std::size_t> lo_, hi_;  // scratch
+};
+
+/// Answers range-count queries over an exact count matrix with integer
+/// arithmetic (no rounding for any data size).
+class ExactEvaluator {
+ public:
+  ExactEvaluator(const data::Schema& schema,
+                 const matrix::FrequencyMatrix& m);
+
+  std::int64_t Answer(const RangeQuery& query) const;
+
+ private:
+  const data::Schema& schema_;
+  matrix::PrefixSumTable<std::int64_t> table_;
+  mutable std::vector<std::size_t> lo_, hi_;  // scratch
+};
+
+/// O(m)-per-query reference evaluator used to validate the tables.
+double BruteForceAnswer(const data::Schema& schema,
+                        const matrix::FrequencyMatrix& m,
+                        const RangeQuery& query);
+
+}  // namespace privelet::query
+
+#endif  // PRIVELET_QUERY_EVALUATOR_H_

@@ -1,0 +1,40 @@
+#include "privelet/query/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace privelet::query {
+
+std::vector<BucketStat> EqualCountBuckets(const std::vector<double>& keys,
+                                          const std::vector<double>& values,
+                                          std::size_t num_buckets) {
+  PRIVELET_CHECK(keys.size() == values.size(), "keys/values size mismatch");
+  PRIVELET_CHECK(num_buckets >= 1, "need >= 1 bucket");
+  PRIVELET_CHECK(keys.size() >= num_buckets, "fewer pairs than buckets");
+
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+
+  std::vector<BucketStat> buckets(num_buckets);
+  const std::size_t n = keys.size();
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const std::size_t begin = b * n / num_buckets;
+    const std::size_t end = (b + 1) * n / num_buckets;
+    BucketStat& stat = buckets[b];
+    stat.count = end - begin;
+    double key_sum = 0.0, value_sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      key_sum += keys[order[i]];
+      value_sum += values[order[i]];
+    }
+    stat.avg_key = key_sum / static_cast<double>(stat.count);
+    stat.avg_value = value_sum / static_cast<double>(stat.count);
+  }
+  return buckets;
+}
+
+}  // namespace privelet::query

@@ -1,0 +1,48 @@
+// Error metrics and bucketing used by the paper's evaluation (Sec. VII-A):
+// square error, relative error with a sanity bound, and quintile bucketing
+// of a workload by coverage or selectivity.
+#ifndef PRIVELET_QUERY_METRICS_H_
+#define PRIVELET_QUERY_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "privelet/common/check.h"
+
+namespace privelet::query {
+
+/// (approx - actual)^2.
+inline double SquareError(double approx, double actual) {
+  const double diff = approx - actual;
+  return diff * diff;
+}
+
+/// |approx - actual| / max(actual, sanity_bound). The sanity bound (the
+/// paper uses 0.1% of the tuple count) mitigates queries with excessively
+/// small selectivity.
+inline double RelativeError(double approx, double actual,
+                            double sanity_bound) {
+  PRIVELET_DCHECK(sanity_bound > 0.0, "sanity bound must be positive");
+  const double denom = (actual > sanity_bound) ? actual : sanity_bound;
+  return (approx > actual ? approx - actual : actual - approx) / denom;
+}
+
+/// One bucket of a keyed aggregation: the mean key, the mean value, and the
+/// member count.
+struct BucketStat {
+  double avg_key = 0.0;
+  double avg_value = 0.0;
+  std::size_t count = 0;
+};
+
+/// Splits (key, value) pairs into `num_buckets` equal-count buckets by
+/// ascending key (the paper's per-quintile aggregation) and returns each
+/// bucket's mean key and mean value. Keys need not be distinct. Requires
+/// keys.size() == values.size() and at least one pair per bucket.
+std::vector<BucketStat> EqualCountBuckets(const std::vector<double>& keys,
+                                          const std::vector<double>& values,
+                                          std::size_t num_buckets);
+
+}  // namespace privelet::query
+
+#endif  // PRIVELET_QUERY_METRICS_H_

@@ -1,0 +1,75 @@
+#include "privelet/query/range_query.h"
+
+#include <string>
+
+namespace privelet::query {
+
+Status RangeQuery::SetRange(const data::Schema& schema, std::size_t attr,
+                            std::size_t lo, std::size_t hi) {
+  if (attr >= ranges_.size() || attr >= schema.num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  if (lo > hi || hi >= schema.attribute(attr).domain_size()) {
+    return Status::OutOfRange("bad interval [" + std::to_string(lo) + ", " +
+                              std::to_string(hi) + "] for attribute '" +
+                              schema.attribute(attr).name() + "'");
+  }
+  ranges_[attr] = ValueRange{lo, hi};
+  return Status::OK();
+}
+
+Status RangeQuery::SetHierarchyNode(const data::Schema& schema,
+                                    std::size_t attr, std::size_t node) {
+  if (attr >= ranges_.size() || attr >= schema.num_attributes()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  const data::Attribute& attribute = schema.attribute(attr);
+  if (!attribute.is_nominal()) {
+    return Status::InvalidArgument("attribute '" + attribute.name() +
+                                   "' is not nominal");
+  }
+  const data::Hierarchy& hierarchy = attribute.hierarchy();
+  if (node >= hierarchy.num_nodes()) {
+    return Status::OutOfRange("hierarchy node out of range");
+  }
+  const auto& n = hierarchy.node(node);
+  ranges_[attr] = ValueRange{n.leaf_begin, n.leaf_end - 1};
+  return Status::OK();
+}
+
+std::size_t RangeQuery::NumPredicates() const {
+  std::size_t count = 0;
+  for (const auto& r : ranges_) {
+    if (r.has_value()) ++count;
+  }
+  return count;
+}
+
+void RangeQuery::ResolveBounds(const data::Schema& schema,
+                               std::vector<std::size_t>* lo,
+                               std::vector<std::size_t>* hi) const {
+  lo->resize(ranges_.size());
+  hi->resize(ranges_.size());
+  for (std::size_t a = 0; a < ranges_.size(); ++a) {
+    if (ranges_[a].has_value()) {
+      (*lo)[a] = ranges_[a]->lo;
+      (*hi)[a] = ranges_[a]->hi;
+    } else {
+      (*lo)[a] = 0;
+      (*hi)[a] = schema.attribute(a).domain_size() - 1;
+    }
+  }
+}
+
+double RangeQuery::Coverage(const data::Schema& schema) const {
+  double coverage = 1.0;
+  for (std::size_t a = 0; a < ranges_.size(); ++a) {
+    if (ranges_[a].has_value()) {
+      coverage *= static_cast<double>(ranges_[a]->width()) /
+                  static_cast<double>(schema.attribute(a).domain_size());
+    }
+  }
+  return coverage;
+}
+
+}  // namespace privelet::query

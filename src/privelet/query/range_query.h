@@ -1,0 +1,71 @@
+// Range-count queries (paper Sec. II-A):
+//   SELECT COUNT(*) FROM T WHERE A1 IN S1 AND ... AND Ad IN Sd
+// with Si an interval for ordinal attributes and, for nominal attributes,
+// either a single leaf or the full subtree of a hierarchy node. Both forms
+// are contiguous in the imposed leaf order, so a query is a d-dimensional
+// box with inclusive per-axis bounds; unconstrained attributes cover their
+// whole domain.
+#ifndef PRIVELET_QUERY_RANGE_QUERY_H_
+#define PRIVELET_QUERY_RANGE_QUERY_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "privelet/common/status.h"
+#include "privelet/data/schema.h"
+
+namespace privelet::query {
+
+/// Inclusive range over one attribute's dense domain.
+struct ValueRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t width() const { return hi - lo + 1; }
+  bool operator==(const ValueRange&) const = default;
+};
+
+/// A range-count query over a d-attribute schema.
+class RangeQuery {
+ public:
+  /// A query with no predicates (answers the table cardinality).
+  explicit RangeQuery(std::size_t num_attributes)
+      : ranges_(num_attributes) {}
+
+  std::size_t num_attributes() const { return ranges_.size(); }
+
+  /// Adds/overwrites the interval predicate "attr in [lo, hi]".
+  Status SetRange(const data::Schema& schema, std::size_t attr,
+                  std::size_t lo, std::size_t hi);
+
+  /// Adds the nominal predicate selecting the subtree of `node` in the
+  /// hierarchy of `attr` (a leaf node selects a single value). This is the
+  /// roll-up/drill-down form from the paper.
+  Status SetHierarchyNode(const data::Schema& schema, std::size_t attr,
+                          std::size_t node);
+
+  const std::optional<ValueRange>& range(std::size_t attr) const {
+    return ranges_[attr];
+  }
+
+  /// Number of attributes with a predicate.
+  std::size_t NumPredicates() const;
+
+  /// Resolved inclusive per-axis bounds over the full matrix (unconstrained
+  /// axes become [0, |A|-1]).
+  void ResolveBounds(const data::Schema& schema,
+                     std::vector<std::size_t>* lo,
+                     std::vector<std::size_t>* hi) const;
+
+  /// Fraction of frequency-matrix entries the query covers (paper's
+  /// "coverage").
+  double Coverage(const data::Schema& schema) const;
+
+ private:
+  std::vector<std::optional<ValueRange>> ranges_;
+};
+
+}  // namespace privelet::query
+
+#endif  // PRIVELET_QUERY_RANGE_QUERY_H_

@@ -1,0 +1,66 @@
+#include "privelet/query/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "privelet/rng/splitmix64.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::query {
+
+Result<std::vector<RangeQuery>> GenerateWorkload(
+    const data::Schema& schema, const WorkloadOptions& options) {
+  const std::size_t num_attrs = schema.num_attributes();
+  if (num_attrs == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  if (options.min_predicates < 1 ||
+      options.min_predicates > options.max_predicates) {
+    return Status::InvalidArgument("bad predicate-count range");
+  }
+  const std::size_t max_preds = std::min(options.max_predicates, num_attrs);
+  const std::size_t min_preds = std::min(options.min_predicates, max_preds);
+
+  rng::Xoshiro256pp gen(rng::DeriveSeed(options.seed, 0x90AD));
+  std::vector<std::size_t> attr_order(num_attrs);
+  std::iota(attr_order.begin(), attr_order.end(), 0);
+
+  std::vector<RangeQuery> workload;
+  workload.reserve(options.num_queries);
+  for (std::size_t q = 0; q < options.num_queries; ++q) {
+    const std::size_t num_preds = static_cast<std::size_t>(
+        gen.NextUint64InRange(min_preds, max_preds));
+    // Partial Fisher-Yates: the first num_preds entries become a uniform
+    // sample of distinct attributes.
+    for (std::size_t i = 0; i < num_preds; ++i) {
+      const std::size_t j = static_cast<std::size_t>(
+          gen.NextUint64InRange(i, num_attrs - 1));
+      std::swap(attr_order[i], attr_order[j]);
+    }
+
+    RangeQuery query(num_attrs);
+    for (std::size_t i = 0; i < num_preds; ++i) {
+      const std::size_t attr = attr_order[i];
+      const data::Attribute& attribute = schema.attribute(attr);
+      if (attribute.is_ordinal()) {
+        const std::size_t domain = attribute.domain_size();
+        std::size_t a = static_cast<std::size_t>(
+            gen.NextUint64InRange(0, domain - 1));
+        std::size_t b = static_cast<std::size_t>(
+            gen.NextUint64InRange(0, domain - 1));
+        if (a > b) std::swap(a, b);
+        PRIVELET_RETURN_IF_ERROR(query.SetRange(schema, attr, a, b));
+      } else {
+        // Random non-root hierarchy node (ids 1..num_nodes-1).
+        const data::Hierarchy& hierarchy = attribute.hierarchy();
+        const std::size_t node = static_cast<std::size_t>(
+            gen.NextUint64InRange(1, hierarchy.num_nodes() - 1));
+        PRIVELET_RETURN_IF_ERROR(query.SetHierarchyNode(schema, attr, node));
+      }
+    }
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+}  // namespace privelet::query

@@ -1,0 +1,33 @@
+// Random range-count workload generator following the paper's evaluation
+// protocol (Sec. VII-A): each query has a uniform number of predicates in
+// [1, 4] over distinct random attributes; ordinal predicates are random
+// intervals; nominal predicates select the subtree of a random non-root
+// hierarchy node.
+#ifndef PRIVELET_QUERY_WORKLOAD_H_
+#define PRIVELET_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/query/range_query.h"
+
+namespace privelet::query {
+
+struct WorkloadOptions {
+  std::size_t num_queries = 40'000;
+  std::size_t min_predicates = 1;
+  std::size_t max_predicates = 4;
+  std::uint64_t seed = 7;
+};
+
+/// Generates the random workload. Deterministic in `options.seed`.
+/// `max_predicates` is capped at the number of attributes.
+Result<std::vector<RangeQuery>> GenerateWorkload(
+    const data::Schema& schema, const WorkloadOptions& options);
+
+}  // namespace privelet::query
+
+#endif  // PRIVELET_QUERY_WORKLOAD_H_

@@ -1,0 +1,85 @@
+#include "privelet/wavelet/haar.h"
+
+#include <algorithm>
+
+#include "privelet/common/check.h"
+#include "privelet/common/math_util.h"
+
+namespace privelet::wavelet {
+
+HaarTransform::HaarTransform(std::size_t n) : n_(n) {
+  PRIVELET_CHECK(n >= 1, "Haar input size must be >= 1");
+  padded_ = NextPowerOfTwo(n);
+  levels_ = FloorLog2(padded_);
+  weights_.resize(padded_);
+  weights_[0] = static_cast<double>(padded_);  // base coefficient
+  for (std::size_t j = 1; j < padded_; ++j) {
+    const std::size_t level = LevelOf(j);
+    // WHaar = 2^(l - i + 1) for a level-i coefficient.
+    weights_[j] = static_cast<double>(std::size_t{1} << (levels_ - level + 1));
+  }
+}
+
+std::size_t HaarTransform::LevelOf(std::size_t j) {
+  PRIVELET_DCHECK(j >= 1, "base coefficient has no level");
+  return FloorLog2(j) + 1;
+}
+
+void HaarTransform::Forward(const double* in, double* out) const {
+  // `buf` holds the running subtree averages; each pass halves it and
+  // emits the detail coefficients of the current (finest remaining) level
+  // into their level-order slots [half, len).
+  std::vector<double> buf(padded_, 0.0);
+  std::copy(in, in + n_, buf.begin());
+  for (std::size_t len = padded_; len > 1; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const double left = buf[2 * i];
+      const double right = buf[2 * i + 1];
+      out[half + i] = (left - right) / 2.0;
+      buf[i] = (left + right) / 2.0;
+    }
+  }
+  out[0] = buf[0];
+}
+
+void HaarTransform::RangeContribution(std::size_t lo, std::size_t hi,
+                                      double* out) const {
+  PRIVELET_DCHECK(lo <= hi && hi < n_, "bad range");
+  // Inclusive-bounds overlap of [lo, hi] with [begin, begin + size).
+  auto overlap = [lo, hi](std::size_t begin, std::size_t size) -> double {
+    const std::size_t end = begin + size;  // exclusive
+    const std::size_t clipped_lo = std::max(lo, begin);
+    const std::size_t clipped_hi = std::min(hi + 1, end);
+    return clipped_hi > clipped_lo
+               ? static_cast<double>(clipped_hi - clipped_lo)
+               : 0.0;
+  };
+  out[0] = static_cast<double>(hi - lo + 1);
+  for (std::size_t j = 1; j < padded_; ++j) {
+    // Coefficient j sits at level FloorLog2(j)+1; its subtree covers a
+    // block of size padded / 2^FloorLog2(j) starting at the block index
+    // (j - 2^level_offset) within that level.
+    const std::size_t level_offset = std::size_t{1} << FloorLog2(j);
+    const std::size_t block = padded_ / level_offset;
+    const std::size_t begin = (j - level_offset) * block;
+    out[j] = overlap(begin, block / 2) - overlap(begin + block / 2, block / 2);
+  }
+}
+
+void HaarTransform::Inverse(const double* coeffs, double* out) const {
+  std::vector<double> buf(padded_);
+  buf[0] = coeffs[0];
+  for (std::size_t len = 2; len <= padded_; len *= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = half; i-- > 0;) {
+      const double avg = buf[i];
+      const double detail = coeffs[half + i];
+      buf[2 * i] = avg + detail;       // left subtree: g = +1 (Eq. 3)
+      buf[2 * i + 1] = avg - detail;   // right subtree: g = -1
+    }
+  }
+  std::copy(buf.begin(), buf.begin() + n_, out);
+}
+
+}  // namespace privelet::wavelet

@@ -1,0 +1,66 @@
+// One-dimensional Haar wavelet transform (paper Sec. IV). The input is
+// padded with zeros to the next power of two 2^l; coefficients are laid out
+// in level order: index 0 is the base coefficient (the mean), index 1 the
+// root of the decomposition tree, and indices [2^(i-1), 2^i) the level-i
+// coefficients. Each coefficient is (avg of left subtree - avg of right
+// subtree) / 2 and the weight function is WHaar (base -> 2^l, level i ->
+// 2^(l-i+1)).
+#ifndef PRIVELET_WAVELET_HAAR_H_
+#define PRIVELET_WAVELET_HAAR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "privelet/wavelet/transform.h"
+
+namespace privelet::wavelet {
+
+class HaarTransform final : public Transform1D {
+ public:
+  /// Transform for data vectors of length `n` (>= 1; padded internally).
+  explicit HaarTransform(std::size_t n);
+
+  std::string_view name() const override { return "haar"; }
+  std::size_t input_size() const override { return n_; }
+  std::size_t coefficient_count() const override { return padded_; }
+
+  void Forward(const double* in, double* out) const override;
+  void Inverse(const double* coeffs, double* out) const override;
+
+  /// a[0] = |S|; a[j] = (leaves of j's left subtree in S) - (leaves of
+  /// j's right subtree in S), per the proof of Lemma 3.
+  void RangeContribution(std::size_t lo, std::size_t hi,
+                         double* out) const override;
+
+  const std::vector<double>& weights() const override { return weights_; }
+
+  /// P(A) = 1 + log2(2^l) (Lemma 2).
+  double p_factor() const override {
+    return 1.0 + static_cast<double>(levels_);
+  }
+
+  /// H(A) = (2 + log2(2^l)) / 2 (Lemma 3).
+  double h_factor() const override {
+    return (2.0 + static_cast<double>(levels_)) / 2.0;
+  }
+
+  /// Padded length 2^l.
+  std::size_t padded_size() const { return padded_; }
+  /// l = log2(padded_size); the decomposition tree has l levels of
+  /// non-base coefficients.
+  std::size_t levels() const { return levels_; }
+
+  /// 1-based level of non-base coefficient index j (j in [1, 2^l)). The
+  /// root is level 1.
+  static std::size_t LevelOf(std::size_t j);
+
+ private:
+  std::size_t n_;
+  std::size_t padded_;
+  std::size_t levels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace privelet::wavelet
+
+#endif  // PRIVELET_WAVELET_HAAR_H_

@@ -1,0 +1,136 @@
+#include "privelet/wavelet/hn_transform.h"
+
+#include <algorithm>
+#include <string>
+
+#include "privelet/common/check.h"
+#include "privelet/wavelet/haar.h"
+#include "privelet/wavelet/identity.h"
+#include "privelet/wavelet/nominal.h"
+
+namespace privelet::wavelet {
+
+double HnCoefficients::WeightAt(std::size_t flat) const {
+  const auto coords = coeffs.Coords(flat);
+  double weight = 1.0;
+  for (std::size_t axis = 0; axis < coords.size(); ++axis) {
+    weight *= (*axis_weights[axis])[coords[axis]];
+  }
+  return weight;
+}
+
+HnTransform::HnTransform(std::vector<std::unique_ptr<Transform1D>> transforms)
+    : transforms_(std::move(transforms)) {
+  input_dims_.reserve(transforms_.size());
+  output_dims_.reserve(transforms_.size());
+  for (const auto& t : transforms_) {
+    input_dims_.push_back(t->input_size());
+    output_dims_.push_back(t->coefficient_count());
+  }
+}
+
+Result<HnTransform> HnTransform::Create(
+    const data::Schema& schema,
+    const std::vector<std::size_t>& identity_axes) {
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  for (std::size_t axis : identity_axes) {
+    if (axis >= schema.num_attributes()) {
+      return Status::InvalidArgument("identity axis out of range");
+    }
+  }
+  std::vector<std::unique_ptr<Transform1D>> transforms;
+  transforms.reserve(schema.num_attributes());
+  for (std::size_t axis = 0; axis < schema.num_attributes(); ++axis) {
+    const data::Attribute& attr = schema.attribute(axis);
+    const bool identity =
+        std::find(identity_axes.begin(), identity_axes.end(), axis) !=
+        identity_axes.end();
+    if (identity) {
+      transforms.push_back(
+          std::make_unique<IdentityTransform>(attr.domain_size()));
+    } else if (attr.is_ordinal()) {
+      transforms.push_back(std::make_unique<HaarTransform>(attr.domain_size()));
+    } else {
+      // Share the schema's hierarchy (attributes hold it by shared_ptr
+      // internally, but the public accessor returns a reference; copying
+      // once per transform is cheap relative to the matrices involved).
+      transforms.push_back(std::make_unique<NominalTransform>(
+          std::make_shared<const data::Hierarchy>(attr.hierarchy())));
+    }
+  }
+  return HnTransform(std::move(transforms));
+}
+
+Result<HnCoefficients> HnTransform::Forward(
+    const matrix::FrequencyMatrix& m) const {
+  if (m.dims() != input_dims_) {
+    return Status::InvalidArgument("matrix dims do not match the transform");
+  }
+  matrix::FrequencyMatrix current = m;
+  // Step i (paper's C_i): transform every 1-D line along axis i.
+  for (std::size_t axis = 0; axis < transforms_.size(); ++axis) {
+    const Transform1D& t = *transforms_[axis];
+    std::vector<std::size_t> next_dims = current.dims();
+    next_dims[axis] = t.coefficient_count();
+    matrix::FrequencyMatrix next(next_dims);
+
+    std::vector<double> in_line(t.input_size());
+    std::vector<double> out_line(t.coefficient_count());
+    const std::size_t lines = current.NumLines(axis);
+    for (std::size_t line = 0; line < lines; ++line) {
+      current.GatherLine(axis, line, in_line.data());
+      t.Forward(in_line.data(), out_line.data());
+      next.ScatterLine(axis, line, out_line.data());
+    }
+    current = std::move(next);
+  }
+
+  HnCoefficients result;
+  result.coeffs = std::move(current);
+  result.axis_weights.reserve(transforms_.size());
+  for (const auto& t : transforms_) result.axis_weights.push_back(&t->weights());
+  return result;
+}
+
+Result<matrix::FrequencyMatrix> HnTransform::Inverse(
+    const HnCoefficients& c) const {
+  if (c.coeffs.dims() != output_dims_) {
+    return Status::InvalidArgument(
+        "coefficient dims do not match the transform");
+  }
+  matrix::FrequencyMatrix current = c.coeffs;
+  for (std::size_t axis = transforms_.size(); axis-- > 0;) {
+    const Transform1D& t = *transforms_[axis];
+    std::vector<std::size_t> next_dims = current.dims();
+    next_dims[axis] = t.input_size();
+    matrix::FrequencyMatrix next(next_dims);
+
+    std::vector<double> coeff_line(t.coefficient_count());
+    std::vector<double> out_line(t.input_size());
+    const std::size_t lines = current.NumLines(axis);
+    for (std::size_t line = 0; line < lines; ++line) {
+      current.GatherLine(axis, line, coeff_line.data());
+      t.Refine(coeff_line.data());
+      t.Inverse(coeff_line.data(), out_line.data());
+      next.ScatterLine(axis, line, out_line.data());
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+double HnTransform::GeneralizedSensitivity() const {
+  double rho = 1.0;
+  for (const auto& t : transforms_) rho *= t->p_factor();
+  return rho;
+}
+
+double HnTransform::VarianceBoundFactor() const {
+  double factor = 1.0;
+  for (const auto& t : transforms_) factor *= t->h_factor();
+  return factor;
+}
+
+}  // namespace privelet::wavelet

@@ -1,0 +1,115 @@
+// The Haar-nominal (HN) wavelet transform (paper Sec. VI-A): standard
+// decomposition that applies a one-dimensional transform along each axis of
+// the frequency matrix in turn — Haar on ordinal axes, the nominal
+// transform on nominal axes, and (for Privelet+) the identity on axes in
+// SA. The per-coefficient weight WHN is the product of the per-axis
+// weights, so it is represented as one weight vector per axis rather than a
+// materialized weight matrix.
+#ifndef PRIVELET_WAVELET_HN_TRANSFORM_H_
+#define PRIVELET_WAVELET_HN_TRANSFORM_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/wavelet/transform.h"
+
+namespace privelet::wavelet {
+
+/// The output of HnTransform::Forward: the d-dimensional coefficient
+/// matrix (axis i has axis_transform(i)->coefficient_count() entries) plus
+/// the per-axis weight vectors defining WHN.
+struct HnCoefficients {
+  matrix::FrequencyMatrix coeffs;
+  std::vector<const std::vector<double>*> axis_weights;
+
+  /// WHN of the coefficient at the given flat index (product of per-axis
+  /// weights). O(d) — use ForEachCoefficient for bulk access.
+  double WeightAt(std::size_t flat) const;
+
+  /// Calls fn(flat_index, weight) for every coefficient, amortized O(1)
+  /// per coefficient (odometer with running weight products).
+  template <typename Fn>
+  void ForEachCoefficient(Fn&& fn) const;
+};
+
+class HnTransform {
+ public:
+  /// Builds the transform for `schema`: Haar on ordinal axes, nominal on
+  /// nominal axes, except that axes whose index appears in
+  /// `identity_axes` get the identity transform (Privelet+'s SA set;
+  /// Sec. VI-D).
+  static Result<HnTransform> Create(const data::Schema& schema,
+                                    const std::vector<std::size_t>&
+                                        identity_axes = {});
+
+  std::size_t num_axes() const { return transforms_.size(); }
+  const Transform1D& axis_transform(std::size_t axis) const {
+    return *transforms_[axis];
+  }
+
+  /// Expected data dims (= schema domain sizes).
+  const std::vector<std::size_t>& input_dims() const { return input_dims_; }
+  /// Coefficient-matrix dims.
+  const std::vector<std::size_t>& output_dims() const { return output_dims_; }
+
+  /// Applies the 1-D transforms along axes 0..d-1 in turn.
+  Result<HnCoefficients> Forward(const matrix::FrequencyMatrix& m) const;
+
+  /// Inverts along axes d-1..0. On each axis the 1-D transform's Refine()
+  /// runs on every coefficient line before inversion (for noise-free
+  /// coefficients this is a no-op by construction).
+  Result<matrix::FrequencyMatrix> Inverse(const HnCoefficients& c) const;
+
+  /// Generalized sensitivity of the transform w.r.t. WHN:
+  /// prod_i P(A_i) (Theorem 2).
+  double GeneralizedSensitivity() const;
+
+  /// Variance factor: noise variance of any range-count answer is at most
+  /// VarianceBoundFactor() * sigma^2 when each coefficient's noise
+  /// variance is at most (sigma/WHN(c))^2 (Theorem 3).
+  double VarianceBoundFactor() const;
+
+ private:
+  explicit HnTransform(std::vector<std::unique_ptr<Transform1D>> transforms);
+
+  std::vector<std::unique_ptr<Transform1D>> transforms_;
+  std::vector<std::size_t> input_dims_;
+  std::vector<std::size_t> output_dims_;
+};
+
+template <typename Fn>
+void HnCoefficients::ForEachCoefficient(Fn&& fn) const {
+  const auto& dims = coeffs.dims();
+  const std::size_t d = dims.size();
+  // partial[a] = product of weights over axes 0..a at the current coords.
+  std::vector<std::size_t> coords(d, 0);
+  std::vector<double> partial(d, 1.0);
+  auto recompute_from = [&](std::size_t axis) {
+    for (std::size_t a = axis; a < d; ++a) {
+      const double prev = (a == 0) ? 1.0 : partial[a - 1];
+      partial[a] = prev * (*axis_weights[a])[coords[a]];
+    }
+  };
+  recompute_from(0);
+  const std::size_t total = coeffs.size();
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    fn(flat, partial[d - 1]);
+    // Row-major odometer: bump the last axis, carry leftward.
+    std::size_t axis = d;
+    while (axis-- > 0) {
+      if (++coords[axis] < dims[axis]) {
+        recompute_from(axis);
+        break;
+      }
+      coords[axis] = 0;
+    }
+  }
+}
+
+}  // namespace privelet::wavelet
+
+#endif  // PRIVELET_WAVELET_HN_TRANSFORM_H_

@@ -1,0 +1,109 @@
+#include "privelet/wavelet/nominal.h"
+
+#include "privelet/common/check.h"
+
+namespace privelet::wavelet {
+
+NominalTransform::NominalTransform(
+    std::shared_ptr<const data::Hierarchy> hierarchy)
+    : hierarchy_(std::move(hierarchy)) {
+  PRIVELET_CHECK(hierarchy_ != nullptr, "hierarchy must not be null");
+  const data::Hierarchy& h = *hierarchy_;
+  weights_.resize(h.num_nodes());
+  weights_[data::Hierarchy::kRoot] = 1.0;  // base coefficient
+  for (std::size_t id = 1; id < h.num_nodes(); ++id) {
+    const std::size_t f = h.fanout(h.node(id).parent);
+    PRIVELET_CHECK(f >= 2, "internal hierarchy node with fanout < 2");
+    const double fd = static_cast<double>(f);
+    weights_[id] = fd / (2.0 * fd - 2.0);
+  }
+}
+
+void NominalTransform::Forward(const double* in, double* out) const {
+  const data::Hierarchy& h = *hierarchy_;
+  // Leaf-sums bottom-up. BFS layout guarantees parent < child, so one
+  // reverse pass accumulates children into parents.
+  std::vector<double> leafsum(h.num_nodes(), 0.0);
+  for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
+    leafsum[h.leaf_node(leaf)] = in[leaf];
+  }
+  for (std::size_t id = h.num_nodes(); id-- > 1;) {
+    leafsum[h.node(id).parent] += leafsum[id];
+  }
+
+  out[data::Hierarchy::kRoot] = leafsum[data::Hierarchy::kRoot];
+  for (std::size_t id = 1; id < h.num_nodes(); ++id) {
+    const std::size_t parent = h.node(id).parent;
+    out[id] = leafsum[id] -
+              leafsum[parent] / static_cast<double>(h.fanout(parent));
+  }
+}
+
+void NominalTransform::Refine(double* coeffs) const {
+  const data::Hierarchy& h = *hierarchy_;
+  for (std::size_t id = 0; id < h.num_nodes(); ++id) {
+    const auto& children = h.node(id).children;
+    if (children.empty()) continue;
+    double sum = 0.0;
+    for (std::size_t child : children) sum += coeffs[child];
+    const double mean = sum / static_cast<double>(children.size());
+    for (std::size_t child : children) coeffs[child] -= mean;
+  }
+}
+
+void NominalTransform::RangeContribution(std::size_t lo, std::size_t hi,
+                                         double* out) const {
+  const data::Hierarchy& h = *hierarchy_;
+  PRIVELET_DCHECK(lo <= hi && hi < h.num_leaves(), "bad range");
+  for (std::size_t id = 0; id < h.num_nodes(); ++id) out[id] = 0.0;
+  for (std::size_t leaf = lo; leaf <= hi; ++leaf) {
+    out[h.leaf_node(leaf)] = 1.0;
+  }
+  // Bottom-up: parents precede children in the BFS layout.
+  for (std::size_t id = h.num_nodes(); id-- > 0;) {
+    const auto& children = h.node(id).children;
+    if (children.empty()) continue;
+    double sum = 0.0;
+    for (std::size_t child : children) sum += out[child];
+    out[id] = sum / static_cast<double>(children.size());
+  }
+}
+
+double NominalTransform::RefinedQuadraticForm(const double* a) const {
+  const data::Hierarchy& h = *hierarchy_;
+  // Base coefficient: untouched by refinement, weight 1.
+  double total = a[data::Hierarchy::kRoot] * a[data::Hierarchy::kRoot];
+  for (std::size_t id = 0; id < h.num_nodes(); ++id) {
+    const auto& children = h.node(id).children;
+    if (children.empty()) continue;
+    // All coefficients in the sibling group share the weight f/(2f-2).
+    const double w = weights_[children.front()];
+    const double v = 1.0 / (w * w);
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t child : children) {
+      sum += a[child];
+      sum_sq += a[child] * a[child];
+    }
+    const double g = static_cast<double>(children.size());
+    total += v * (sum_sq - sum * sum / g);
+  }
+  return total;
+}
+
+void NominalTransform::Inverse(const double* coeffs, double* out) const {
+  const data::Hierarchy& h = *hierarchy_;
+  // Reconstruct leaf-sums top-down (Eq. 5 unrolled):
+  //   leafsum(root) = c0;  leafsum(N) = c(N) + leafsum(parent)/fanout(parent)
+  std::vector<double> leafsum(h.num_nodes(), 0.0);
+  leafsum[data::Hierarchy::kRoot] = coeffs[data::Hierarchy::kRoot];
+  for (std::size_t id = 1; id < h.num_nodes(); ++id) {
+    const std::size_t parent = h.node(id).parent;
+    leafsum[id] = coeffs[id] +
+                  leafsum[parent] / static_cast<double>(h.fanout(parent));
+  }
+  for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
+    out[leaf] = leafsum[h.leaf_node(leaf)];
+  }
+}
+
+}  // namespace privelet::wavelet

@@ -1,0 +1,99 @@
+// Transform1D: the interface every one-dimensional wavelet transform in the
+// Privelet framework implements. A transform instance is bound to a fixed
+// input size (and, for the nominal transform, a hierarchy); the
+// multi-dimensional HN transform composes one instance per matrix axis
+// (paper Sec. VI-A).
+//
+// Besides Forward/Inverse, a transform exposes:
+//  * weights()  — the paper's weight function W over its coefficients; the
+//    mechanism adds Laplace noise of magnitude lambda / W(c) to coefficient
+//    c (Sec. III-B);
+//  * Refine()   — the optional coefficient refinement applied to *noisy*
+//    coefficients before reconstruction (the nominal transform's mean
+//    subtraction, Sec. V-B); a no-op elsewhere;
+//  * p_factor() — the transform's generalized sensitivity with respect to
+//    its weight function (the paper's P(A), Sec. VI-C);
+//  * h_factor() — the transform's per-axis noise-variance factor (the
+//    paper's H(A), Sec. VI-C).
+#ifndef PRIVELET_WAVELET_TRANSFORM_H_
+#define PRIVELET_WAVELET_TRANSFORM_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace privelet::wavelet {
+
+class Transform1D {
+ public:
+  virtual ~Transform1D() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Length of the data vectors this instance transforms.
+  virtual std::size_t input_size() const = 0;
+
+  /// Number of coefficients produced. May exceed input_size() (the nominal
+  /// transform is over-complete) or round it up (Haar pads to a power of
+  /// two).
+  virtual std::size_t coefficient_count() const = 0;
+
+  /// Computes coefficients from data. `in` has input_size() elements,
+  /// `out` coefficient_count() elements, in level order with the base
+  /// coefficient first.
+  virtual void Forward(const double* in, double* out) const = 0;
+
+  /// Refinement applied to noisy coefficients before Inverse. Must not use
+  /// any information beyond the coefficients themselves (privacy relies on
+  /// this, Sec. III-A). Default: no-op.
+  virtual void Refine(double* coeffs) const { (void)coeffs; }
+
+  /// Reconstructs data from (possibly refined) coefficients. Exact inverse
+  /// of Forward for noise-free coefficients.
+  virtual void Inverse(const double* coeffs, double* out) const = 0;
+
+  /// The weight W(c) of each coefficient (all weights are > 0).
+  virtual const std::vector<double>& weights() const = 0;
+
+  /// Generalized sensitivity of this transform w.r.t. weights(): changing
+  /// one input entry by delta changes the weighted coefficient L1 norm by
+  /// at most p_factor() * delta. (Lemma 2 / Lemma 4.)
+  virtual double p_factor() const = 0;
+
+  /// Variance factor: if each coefficient c carries independent noise of
+  /// variance at most (sigma/W(c))^2, any range sum reconstructed from the
+  /// coefficients has noise variance at most h_factor() * sigma^2.
+  /// (Lemma 3 / Lemma 5.)
+  virtual double h_factor() const = 0;
+
+  /// Reconstruction coefficients of a range sum: fills `out`
+  /// (coefficient_count() entries) with the unique a such that
+  /// sum_{v in [lo, hi]} data[v] = sum_j a[j] * coeffs[j] for the exact
+  /// coefficients of any data vector. Requires lo <= hi < input_size().
+  /// Used by the exact query-variance calculator.
+  virtual void RangeContribution(std::size_t lo, std::size_t hi,
+                                 double* out) const = 0;
+
+  /// The per-axis variance factor of the weighted sum a^T coeffs when each
+  /// coefficient j carries independent noise of variance 1/W(j)^2 and the
+  /// transform's Refine() step is applied before reconstruction: returns
+  /// a^T P D P^T a with D = diag(1/W(j)^2) and P the linear map Refine
+  /// performs (identity for transforms without refinement). The total
+  /// noise variance of the range sum under Laplace magnitude lambda/W is
+  /// 2*lambda^2 times the product of this quantity across axes.
+  virtual double RefinedQuadraticForm(const double* a) const;
+};
+
+inline double Transform1D::RefinedQuadraticForm(const double* a) const {
+  const std::vector<double>& w = weights();
+  double total = 0.0;
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    const double scaled = a[j] / w[j];
+    total += scaled * scaled;
+  }
+  return total;
+}
+
+}  // namespace privelet::wavelet
+
+#endif  // PRIVELET_WAVELET_TRANSFORM_H_

@@ -1,0 +1,108 @@
+// Tests for the closed-form P/H bookkeeping and the paper's worked
+// variance-bound numbers (Secs. V-D and VI-C/D), plus the SA advisor rule.
+#include <gtest/gtest.h>
+
+#include "privelet/analysis/bounds.h"
+#include "privelet/analysis/sa_advisor.h"
+#include "privelet/data/census_generator.h"
+
+namespace privelet::analysis {
+namespace {
+
+TEST(PFactorTest, OrdinalUsesPaddedLog) {
+  EXPECT_DOUBLE_EQ(PFactor(data::Attribute::Ordinal("A", 16)), 5.0);
+  EXPECT_DOUBLE_EQ(PFactor(data::Attribute::Ordinal("A", 512)), 10.0);
+  EXPECT_DOUBLE_EQ(PFactor(data::Attribute::Ordinal("A", 101)), 8.0);
+  EXPECT_DOUBLE_EQ(PFactor(data::Attribute::Ordinal("A", 1)), 1.0);
+}
+
+TEST(PFactorTest, NominalUsesHierarchyHeight) {
+  EXPECT_DOUBLE_EQ(PFactor(data::Attribute::Nominal(
+                       "N", data::Hierarchy::Flat(2).value())),
+                   2.0);
+  EXPECT_DOUBLE_EQ(PFactor(data::Attribute::Nominal(
+                       "N", data::Hierarchy::Balanced({16, 32}).value())),
+                   3.0);
+}
+
+TEST(HFactorTest, Values) {
+  EXPECT_DOUBLE_EQ(HFactor(data::Attribute::Ordinal("A", 16)), 3.0);
+  EXPECT_DOUBLE_EQ(HFactor(data::Attribute::Ordinal("A", 512)), 5.5);
+  EXPECT_DOUBLE_EQ(HFactor(data::Attribute::Nominal(
+                       "N", data::Hierarchy::Balanced({4, 4}).value())),
+                   4.0);
+}
+
+TEST(BoundsTest, PaperSectionVDExample) {
+  // Occupation: m = 512 leaves, hierarchy height 3.
+  // HWT-with-imposed-order: 4400/ε²; nominal transform: 288/ε² — the
+  // 15-fold reduction highlighted in Sec. V-D.
+  EXPECT_DOUBLE_EQ(HaarOrdinalVarianceBound(512, 1.0), 4400.0);
+  EXPECT_DOUBLE_EQ(NominalVarianceBound(3, 1.0), 288.0);
+  EXPECT_GT(HaarOrdinalVarianceBound(512, 1.0) / NominalVarianceBound(3, 1.0),
+            15.0);
+}
+
+TEST(BoundsTest, PaperSectionVIDExample) {
+  // Single ordinal attribute |A| = 16: Privelet 600/ε², Basic 128/ε².
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("A", 16));
+  const data::Schema schema(std::move(attrs));
+  auto privelet = PriveletPlusVarianceBound(schema, {}, 1.0);
+  ASSERT_TRUE(privelet.ok());
+  EXPECT_DOUBLE_EQ(*privelet, 600.0);
+  EXPECT_DOUBLE_EQ(BasicVarianceBound(schema, 1.0), 128.0);
+}
+
+TEST(BoundsTest, EpsilonScalesInverseSquare) {
+  EXPECT_DOUBLE_EQ(NominalVarianceBound(3, 0.5), 4.0 * 288.0);
+  EXPECT_DOUBLE_EQ(HaarOrdinalVarianceBound(512, 2.0), 1100.0);
+}
+
+TEST(BoundsTest, SaAllAttributesEqualsBasic) {
+  auto schema = data::MakeCensusSchema(data::CensusCountry::kUS, 0);
+  ASSERT_TRUE(schema.ok());
+  auto bound = PriveletPlusVarianceBound(
+      *schema, {"Age", "Gender", "Occupation", "Income"}, 1.0);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(*bound, BasicVarianceBound(*schema, 1.0));
+}
+
+TEST(BoundsTest, UnknownSaNameFails) {
+  auto schema = data::MakeCensusSchema(data::CensusCountry::kUS, 0);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(PriveletPlusVarianceBound(*schema, {"Nope"}, 1.0).ok());
+  EXPECT_FALSE(PriveletPlusVarianceBound(*schema, {}, 0.0).ok());
+}
+
+TEST(SaAdvisorTest, PaperRuleOnCensusSchema) {
+  // Sec. VII-A: SA = {Age, Gender} because those domains satisfy
+  // |A| <= P(A)²·H(A) while Occupation and Income do not.
+  auto schema = data::MakeCensusSchema(data::CensusCountry::kBrazil, 0);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(AdviseSa(*schema),
+            (std::vector<std::string>{"Age", "Gender"}));
+}
+
+TEST(SaAdvisorTest, PerAttributeRule) {
+  // |A| = 16 ordinal: P²H = 75 >= 16 -> in SA.
+  EXPECT_TRUE(BelongsInSa(data::Attribute::Ordinal("A", 16)));
+  // |A| = 1024 ordinal: P²H = 11²·6.5... -> 121*6 = 726 < 1024 -> out.
+  EXPECT_FALSE(BelongsInSa(data::Attribute::Ordinal("A", 1024)));
+  // Gender-style flat nominal: |A| = 2 <= h²·4 = 16 -> in SA.
+  EXPECT_TRUE(BelongsInSa(
+      data::Attribute::Nominal("G", data::Hierarchy::Flat(2).value())));
+  // Occupation-style 512-leaf h=3 nominal: 512 > 9*4 = 36 -> out.
+  EXPECT_FALSE(BelongsInSa(data::Attribute::Nominal(
+      "O", data::Hierarchy::Balanced({16, 32}).value())));
+}
+
+TEST(SaAdvisorTest, UsSchemaMatchesPaperChoice) {
+  auto schema = data::MakeCensusSchema(data::CensusCountry::kUS, 0);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(AdviseSa(*schema),
+            (std::vector<std::string>{"Age", "Gender"}));
+}
+
+}  // namespace
+}  // namespace privelet::analysis

@@ -1,0 +1,150 @@
+// Tests for the census surrogate and scalability generators: the schemas
+// must reproduce paper Table III exactly; generation must be deterministic
+// and land inside the declared domains.
+#include <gtest/gtest.h>
+
+#include "privelet/data/census_generator.h"
+#include "privelet/data/synthetic_generator.h"
+
+namespace privelet::data {
+namespace {
+
+TEST(CensusSchemaTest, BrazilMatchesTableIII) {
+  auto schema = MakeCensusSchema(CensusCountry::kBrazil, 0);
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->num_attributes(), 4u);
+  EXPECT_EQ(schema->attribute(0).name(), "Age");
+  EXPECT_EQ(schema->attribute(0).domain_size(), 101u);
+  EXPECT_TRUE(schema->attribute(0).is_ordinal());
+  EXPECT_EQ(schema->attribute(1).name(), "Gender");
+  EXPECT_EQ(schema->attribute(1).domain_size(), 2u);
+  EXPECT_EQ(schema->attribute(1).hierarchy().height(), 2u);
+  EXPECT_EQ(schema->attribute(2).name(), "Occupation");
+  EXPECT_EQ(schema->attribute(2).domain_size(), 512u);
+  EXPECT_EQ(schema->attribute(2).hierarchy().height(), 3u);
+  EXPECT_EQ(schema->attribute(3).name(), "Income");
+  EXPECT_EQ(schema->attribute(3).domain_size(), 1001u);
+  EXPECT_TRUE(schema->attribute(3).is_ordinal());
+}
+
+TEST(CensusSchemaTest, UsMatchesTableIII) {
+  auto schema = MakeCensusSchema(CensusCountry::kUS, 0);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute(0).domain_size(), 96u);
+  EXPECT_EQ(schema->attribute(1).domain_size(), 2u);
+  EXPECT_EQ(schema->attribute(2).domain_size(), 511u);
+  EXPECT_EQ(schema->attribute(2).hierarchy().height(), 3u);
+  EXPECT_EQ(schema->attribute(3).domain_size(), 1020u);
+}
+
+TEST(CensusSchemaTest, IncomeDomainOverride) {
+  auto schema = MakeCensusSchema(CensusCountry::kBrazil, 126);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute(3).domain_size(), 126u);
+}
+
+TEST(CensusGeneratorTest, ProducesRequestedTupleCount) {
+  CensusConfig config = DefaultCensusConfig(CensusCountry::kBrazil);
+  config.num_tuples = 5000;
+  auto table = GenerateCensus(config);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 5000u);
+}
+
+TEST(CensusGeneratorTest, DeterministicInSeed) {
+  CensusConfig config = DefaultCensusConfig(CensusCountry::kUS);
+  config.num_tuples = 1000;
+  config.seed = 42;
+  auto a = GenerateCensus(config);
+  auto b = GenerateCensus(config);
+  config.seed = 43;
+  auto c = GenerateCensus(config);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  bool differs_from_c = false;
+  for (std::size_t r = 0; r < 1000; ++r) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      EXPECT_EQ(a->value(r, col), b->value(r, col));
+      if (a->value(r, col) != c->value(r, col)) differs_from_c = true;
+    }
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(CensusGeneratorTest, MarginalsAreNonDegenerate) {
+  CensusConfig config = DefaultCensusConfig(CensusCountry::kBrazil);
+  config.num_tuples = 20000;
+  auto table = GenerateCensus(config);
+  ASSERT_TRUE(table.ok());
+  // Both genders occur; ages span a broad range; occupation is skewed
+  // toward low leaf indices (Zipf).
+  std::size_t gender1 = 0;
+  std::uint32_t max_age = 0;
+  std::size_t occ_low = 0;
+  for (std::size_t r = 0; r < table->num_rows(); ++r) {
+    gender1 += table->value(r, 1);
+    max_age = std::max(max_age, table->value(r, 0));
+    if (table->value(r, 2) < 64) ++occ_low;
+  }
+  EXPECT_GT(gender1, 8000u);
+  EXPECT_LT(gender1, 12000u);
+  EXPECT_GT(max_age, 80u);
+  // Zipf(1.07): the first 64 of 512 leaves carry well over a third of mass.
+  EXPECT_GT(occ_low, table->num_rows() / 3);
+}
+
+TEST(PaperScaleConfigTest, MatchesPaperParameters) {
+  const CensusConfig brazil = PaperScaleCensusConfig(CensusCountry::kBrazil);
+  EXPECT_EQ(brazil.num_tuples, 10'000'000u);
+  EXPECT_EQ(brazil.income_domain, 1001u);
+  const CensusConfig us = PaperScaleCensusConfig(CensusCountry::kUS);
+  EXPECT_EQ(us.num_tuples, 8'000'000u);
+  EXPECT_EQ(us.income_domain, 1020u);
+}
+
+TEST(ScalabilitySchemaTest, FourAttributesOfEqualDomain) {
+  auto schema = MakeScalabilitySchema(1 << 16);  // per-attribute 16
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->num_attributes(), 4u);
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(schema->attribute(a).domain_size(), 16u);
+  }
+  EXPECT_TRUE(schema->attribute(0).is_ordinal());
+  EXPECT_TRUE(schema->attribute(1).is_ordinal());
+  EXPECT_TRUE(schema->attribute(2).is_nominal());
+  EXPECT_TRUE(schema->attribute(3).is_nominal());
+  // 3-level hierarchy with sqrt(16) = 4 level-2 nodes.
+  EXPECT_EQ(schema->attribute(2).hierarchy().height(), 3u);
+  EXPECT_EQ(schema->attribute(2).hierarchy().NodesAtLevel(2).size(), 4u);
+}
+
+TEST(ScalabilitySchemaTest, RejectsTinyDomain) {
+  EXPECT_FALSE(MakeScalabilitySchema(16).ok());  // per-attribute domain 2
+}
+
+TEST(SqrtGroupHierarchyTest, CoversAllLeavesWithMinFanout) {
+  for (std::size_t leaves : {4u, 5u, 7u, 23u, 64u, 100u}) {
+    auto h = MakeSqrtGroupHierarchy(leaves);
+    ASSERT_TRUE(h.ok()) << "leaves=" << leaves;
+    EXPECT_EQ(h->num_leaves(), leaves);
+    EXPECT_EQ(h->height(), 3u);
+    EXPECT_TRUE(h->Validate().ok());
+  }
+}
+
+TEST(UniformTableTest, ValuesInDomainAndDeterministic) {
+  auto schema = MakeScalabilitySchema(1 << 16);
+  ASSERT_TRUE(schema.ok());
+  auto a = GenerateUniformTable(*schema, 2000, 5);
+  auto b = GenerateUniformTable(*schema, 2000, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_rows(), 2000u);
+  for (std::size_t r = 0; r < a->num_rows(); ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_LT(a->value(r, c), schema->attribute(c).domain_size());
+      EXPECT_EQ(a->value(r, c), b->value(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privelet::data

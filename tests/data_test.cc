@@ -1,0 +1,122 @@
+// Tests for attributes, schemas, tables, and the CSV round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "privelet/data/attribute.h"
+#include "privelet/data/csv.h"
+#include "privelet/data/schema.h"
+#include "privelet/data/table.h"
+
+namespace privelet::data {
+namespace {
+
+Schema TwoAttributeSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Ordinal("Age", 8));
+  attrs.push_back(Attribute::Nominal("Country",
+                                     Hierarchy::Balanced({2, 2}).value()));
+  return Schema(std::move(attrs));
+}
+
+TEST(AttributeTest, OrdinalBasics) {
+  const Attribute a = Attribute::Ordinal("Age", 101);
+  EXPECT_EQ(a.name(), "Age");
+  EXPECT_TRUE(a.is_ordinal());
+  EXPECT_FALSE(a.is_nominal());
+  EXPECT_EQ(a.domain_size(), 101u);
+}
+
+TEST(AttributeTest, NominalCarriesHierarchy) {
+  const Attribute a =
+      Attribute::Nominal("Occ", Hierarchy::Balanced({4, 8}).value());
+  EXPECT_TRUE(a.is_nominal());
+  EXPECT_EQ(a.domain_size(), 32u);
+  EXPECT_EQ(a.hierarchy().height(), 3u);
+}
+
+TEST(SchemaTest, DomainSizesAndTotal) {
+  const Schema schema = TwoAttributeSchema();
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  EXPECT_EQ(schema.DomainSizes(), (std::vector<std::size_t>{8, 4}));
+  EXPECT_EQ(schema.TotalDomainSize(), 32u);
+}
+
+TEST(SchemaTest, FindAttribute) {
+  const Schema schema = TwoAttributeSchema();
+  ASSERT_TRUE(schema.FindAttribute("Country").ok());
+  EXPECT_EQ(schema.FindAttribute("Country").value(), 1u);
+  EXPECT_EQ(schema.FindAttribute("Salary").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table(TwoAttributeSchema());
+  ASSERT_TRUE(table.AppendRow({3, 1}).ok());
+  ASSERT_TRUE(table.AppendRow({7, 0}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.value(0, 0), 3u);
+  EXPECT_EQ(table.value(0, 1), 1u);
+  EXPECT_EQ(table.value(1, 0), 7u);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  Table table(TwoAttributeSchema());
+  EXPECT_EQ(table.AppendRow({1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.AppendRow({1, 2, 3}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, RejectsOutOfDomainValue) {
+  Table table(TwoAttributeSchema());
+  EXPECT_EQ(table.AppendRow({8, 0}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.AppendRow({0, 4}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("privelet_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  Table table(TwoAttributeSchema());
+  ASSERT_TRUE(table.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(table.AppendRow({5, 3}).ok());
+  ASSERT_TRUE(table.AppendRow({7, 2}).ok());
+  ASSERT_TRUE(WriteCsv(path_.string(), table).ok());
+
+  auto loaded = ReadCsv(path_.string(), TwoAttributeSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(loaded->value(r, c), table.value(r, c));
+    }
+  }
+}
+
+TEST_F(CsvTest, RejectsHeaderMismatch) {
+  Table table(TwoAttributeSchema());
+  ASSERT_TRUE(WriteCsv(path_.string(), table).ok());
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Ordinal("Wrong", 8));
+  attrs.push_back(Attribute::Ordinal("Names", 4));
+  EXPECT_FALSE(ReadCsv(path_.string(), Schema(std::move(attrs))).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadCsv("/nonexistent/path.csv", TwoAttributeSchema())
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace privelet::data

@@ -1,0 +1,170 @@
+// Tests for the Barak et al. Fourier marginal mechanism (related-work
+// baseline, paper Sec. VIII): WHT correctness, exact marginal
+// reconstruction at negligible noise, the mutual-consistency guarantee,
+// calibration, and validation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "privelet/common/math_util.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/fourier_marginals.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::mechanism {
+namespace {
+
+matrix::FrequencyMatrix RandomBinaryMatrix(std::size_t d,
+                                           std::uint64_t seed) {
+  matrix::FrequencyMatrix m(std::vector<std::size_t>(d, 2));
+  rng::Xoshiro256pp gen(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(gen.NextUint64InRange(0, 40));
+  }
+  return m;
+}
+
+// Brute-force marginal of a binary matrix over `attributes`.
+std::vector<double> TrueMarginal(const matrix::FrequencyMatrix& m,
+                                 const std::vector<std::size_t>& attributes) {
+  std::vector<double> counts(std::size_t{1} << attributes.size(), 0.0);
+  const std::size_t d = m.num_dims();
+  for (std::size_t flat = 0; flat < m.size(); ++flat) {
+    const auto coords = m.Coords(flat);
+    std::size_t y = 0;
+    for (std::size_t i = 0; i < attributes.size(); ++i) {
+      if (coords[attributes[i]] == 1) y |= std::size_t{1} << i;
+    }
+    counts[y] += m[flat];
+    (void)d;
+  }
+  return counts;
+}
+
+TEST(WalshHadamardTest, MatchesDirectCharacterSum) {
+  std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  std::vector<double> transformed = v;
+  WalshHadamardTransform(&transformed);
+  for (std::size_t alpha = 0; alpha < v.size(); ++alpha) {
+    double expected = 0.0;
+    for (std::size_t x = 0; x < v.size(); ++x) {
+      expected += (__builtin_parityll(alpha & x) ? -1.0 : 1.0) * v[x];
+    }
+    EXPECT_DOUBLE_EQ(transformed[alpha], expected) << "alpha " << alpha;
+  }
+}
+
+TEST(WalshHadamardTest, InvolutionUpToScale) {
+  std::vector<double> v = {1.0, -2.0, 0.5, 7.0};
+  std::vector<double> twice = v;
+  WalshHadamardTransform(&twice);
+  WalshHadamardTransform(&twice);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(twice[i], 4.0 * v[i], 1e-12);
+  }
+}
+
+TEST(FourierMarginalTest, HugeEpsilonRecoversTrueMarginals) {
+  const auto m = RandomBinaryMatrix(5, 3);
+  FourierMarginalMechanism mech({{0, 2}, {1, 3, 4}, {2}});
+  auto marginals = mech.Publish(m, 1e12, 1);
+  ASSERT_TRUE(marginals.ok()) << marginals.status().ToString();
+  ASSERT_EQ(marginals->size(), 3u);
+  for (const Marginal& marginal : *marginals) {
+    const auto expected = TrueMarginal(m, marginal.attributes);
+    ASSERT_EQ(marginal.counts.size(), expected.size());
+    for (std::size_t y = 0; y < expected.size(); ++y) {
+      EXPECT_NEAR(marginal.counts[y], expected[y], 1e-3)
+          << "marginal arity " << marginal.attributes.size() << " cell " << y;
+    }
+  }
+}
+
+TEST(FourierMarginalTest, ClosureCountsSubsets) {
+  // {{0,1}} closes to {∅, {0}, {1}, {0,1}} = 4 coefficients.
+  EXPECT_EQ(FourierMarginalMechanism({{0, 1}}).NumReleasedCoefficients(), 4u);
+  // Two overlapping 2-way marginals share subsets: {0,1} and {1,2} close
+  // to {∅,{0},{1},{2},{0,1},{1,2}} = 6.
+  EXPECT_EQ(
+      FourierMarginalMechanism({{0, 1}, {1, 2}}).NumReleasedCoefficients(),
+      6u);
+}
+
+TEST(FourierMarginalTest, MarginalsAreMutuallyConsistent) {
+  // The headline property (Sec. VIII): marginals derived from shared noisy
+  // coefficients agree exactly on common sub-marginals — at ANY noise
+  // level, not just in expectation.
+  const auto m = RandomBinaryMatrix(6, 7);
+  FourierMarginalMechanism mech({{0, 1, 2}, {2, 3, 4}});
+  auto marginals = mech.Publish(m, 0.5, 99);  // strong noise
+  ASSERT_TRUE(marginals.ok());
+  const Marginal& first = (*marginals)[0];   // attributes {0,1,2}
+  const Marginal& second = (*marginals)[1];  // attributes {2,3,4}
+
+  // Common sub-marginal: attribute 2. Sum out the others from each.
+  double first_attr2[2] = {0.0, 0.0};
+  for (std::size_t y = 0; y < first.counts.size(); ++y) {
+    first_attr2[(y >> 2) & 1] += first.counts[y];  // attr 2 is bit 2
+  }
+  double second_attr2[2] = {0.0, 0.0};
+  for (std::size_t y = 0; y < second.counts.size(); ++y) {
+    second_attr2[y & 1] += second.counts[y];  // attr 2 is bit 0
+  }
+  EXPECT_NEAR(first_attr2[0], second_attr2[0], 1e-9);
+  EXPECT_NEAR(first_attr2[1], second_attr2[1], 1e-9);
+
+  // Totals agree too (both equal the shared noisy fhat_0).
+  double total1 = 0.0, total2 = 0.0;
+  for (double c : first.counts) total1 += c;
+  for (double c : second.counts) total2 += c;
+  EXPECT_NEAR(total1, total2, 1e-9);
+}
+
+TEST(FourierMarginalTest, DeterministicInSeed) {
+  const auto m = RandomBinaryMatrix(4, 5);
+  FourierMarginalMechanism mech({{0, 1}});
+  auto a = mech.Publish(m, 1.0, 42);
+  auto b = mech.Publish(m, 1.0, 42);
+  auto c = mech.Publish(m, 1.0, 43);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ((*a)[0].counts, (*b)[0].counts);
+  EXPECT_NE((*a)[0].counts, (*c)[0].counts);
+}
+
+TEST(FourierMarginalTest, EntryNoiseVarianceMatchesBound) {
+  // Zero matrix: entries are pure noise; measure against the bound.
+  matrix::FrequencyMatrix m(std::vector<std::size_t>(4, 2));
+  FourierMarginalMechanism mech({{0, 1}});
+  const double epsilon = 1.0;
+  const double bound =
+      mech.MarginalEntryVarianceBound(4, 2, epsilon).value();
+  std::vector<double> noise;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    auto marginals = mech.Publish(m, epsilon, seed);
+    ASSERT_TRUE(marginals.ok());
+    for (double c : (*marginals)[0].counts) noise.push_back(c);
+  }
+  const double measured = SampleVariance(noise);
+  EXPECT_LT(measured, bound * 1.2);
+  EXPECT_GT(measured, bound * 0.2);  // noise is real, same order
+}
+
+TEST(FourierMarginalTest, ValidatesInput) {
+  FourierMarginalMechanism mech({{0, 1}});
+  matrix::FrequencyMatrix ternary({3, 2});
+  EXPECT_FALSE(mech.Publish(ternary, 1.0, 1).ok());
+  matrix::FrequencyMatrix binary({2, 2});
+  EXPECT_FALSE(mech.Publish(binary, 0.0, 1).ok());
+  FourierMarginalMechanism out_of_range({{0, 5}});
+  EXPECT_FALSE(out_of_range.Publish(binary, 1.0, 1).ok());
+  FourierMarginalMechanism unsorted({{1, 0}});
+  EXPECT_FALSE(unsorted.Publish(binary, 1.0, 1).ok());
+  FourierMarginalMechanism empty_subset(
+      std::vector<std::vector<std::size_t>>{{}});
+  EXPECT_FALSE(empty_subset.Publish(binary, 1.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace privelet::mechanism

@@ -1,0 +1,176 @@
+// Tests for the one-dimensional Haar wavelet transform (paper Sec. IV),
+// anchored on the paper's worked example (Fig. 2) plus randomized
+// round-trip and reconstruction-identity (Eq. 3) properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/wavelet/haar.h"
+
+namespace privelet::wavelet {
+namespace {
+
+TEST(HaarTest, PaperFigure2Coefficients) {
+  // M = [9, 3, 6, 2, 8, 4, 5, 7]  ->  c0..c7 of Fig. 2.
+  const std::vector<double> input = {9, 3, 6, 2, 8, 4, 5, 7};
+  HaarTransform haar(8);
+  ASSERT_EQ(haar.coefficient_count(), 8u);
+  std::vector<double> coeffs(8);
+  haar.Forward(input.data(), coeffs.data());
+  EXPECT_DOUBLE_EQ(coeffs[0], 5.5);   // base
+  EXPECT_DOUBLE_EQ(coeffs[1], -0.5);  // c1
+  EXPECT_DOUBLE_EQ(coeffs[2], 1.0);   // c2
+  EXPECT_DOUBLE_EQ(coeffs[3], 0.0);   // c3
+  EXPECT_DOUBLE_EQ(coeffs[4], 3.0);   // c4
+  EXPECT_DOUBLE_EQ(coeffs[5], 2.0);   // c5
+  EXPECT_DOUBLE_EQ(coeffs[6], 2.0);   // c6
+  EXPECT_DOUBLE_EQ(coeffs[7], -1.0);  // c7
+}
+
+TEST(HaarTest, PaperExample2Reconstruction) {
+  // Example 2: v2 = c0 + c1 + c2 - c4 = 5.5 - 0.5 + 1 - 3 = 3.
+  const std::vector<double> input = {9, 3, 6, 2, 8, 4, 5, 7};
+  HaarTransform haar(8);
+  std::vector<double> coeffs(8);
+  haar.Forward(input.data(), coeffs.data());
+  EXPECT_DOUBLE_EQ(coeffs[0] + coeffs[1] + coeffs[2] - coeffs[4], 3.0);
+  std::vector<double> output(8);
+  haar.Inverse(coeffs.data(), output.data());
+  EXPECT_DOUBLE_EQ(output[1], 3.0);
+}
+
+TEST(HaarTest, WeightsMatchWHaar) {
+  // Fig. 2 text: weights 8, 8, 4, 2 for c0, c1, c2, c4.
+  HaarTransform haar(8);
+  const auto& w = haar.weights();
+  EXPECT_DOUBLE_EQ(w[0], 8.0);  // base: m
+  EXPECT_DOUBLE_EQ(w[1], 8.0);  // level 1: 2^(3-1+1)
+  EXPECT_DOUBLE_EQ(w[2], 4.0);  // level 2
+  EXPECT_DOUBLE_EQ(w[3], 4.0);
+  EXPECT_DOUBLE_EQ(w[4], 2.0);  // level 3
+  EXPECT_DOUBLE_EQ(w[7], 2.0);
+}
+
+TEST(HaarTest, LevelOf) {
+  EXPECT_EQ(HaarTransform::LevelOf(1), 1u);
+  EXPECT_EQ(HaarTransform::LevelOf(2), 2u);
+  EXPECT_EQ(HaarTransform::LevelOf(3), 2u);
+  EXPECT_EQ(HaarTransform::LevelOf(4), 3u);
+  EXPECT_EQ(HaarTransform::LevelOf(7), 3u);
+  EXPECT_EQ(HaarTransform::LevelOf(8), 4u);
+}
+
+TEST(HaarTest, SizeOneInput) {
+  HaarTransform haar(1);
+  EXPECT_EQ(haar.coefficient_count(), 1u);
+  EXPECT_DOUBLE_EQ(haar.p_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(haar.h_factor(), 1.0);
+  const double in = 42.0;
+  double coeff = 0.0, out = 0.0;
+  haar.Forward(&in, &coeff);
+  EXPECT_DOUBLE_EQ(coeff, 42.0);
+  haar.Inverse(&coeff, &out);
+  EXPECT_DOUBLE_EQ(out, 42.0);
+}
+
+TEST(HaarTest, NonPowerOfTwoPadsWithZeros) {
+  // n = 5 pads to 8; the base coefficient is the padded mean.
+  HaarTransform haar(5);
+  EXPECT_EQ(haar.padded_size(), 8u);
+  EXPECT_EQ(haar.coefficient_count(), 8u);
+  const std::vector<double> input = {8, 8, 8, 8, 8};
+  std::vector<double> coeffs(8);
+  haar.Forward(input.data(), coeffs.data());
+  EXPECT_DOUBLE_EQ(coeffs[0], 5.0);  // 40 / 8
+  std::vector<double> output(5);
+  haar.Inverse(coeffs.data(), output.data());
+  for (double v : output) EXPECT_DOUBLE_EQ(v, 8.0);
+}
+
+TEST(HaarTest, PAndHFactors) {
+  // P = 1 + log2(padded), H = (2 + log2(padded)) / 2.
+  EXPECT_DOUBLE_EQ(HaarTransform(16).p_factor(), 5.0);
+  EXPECT_DOUBLE_EQ(HaarTransform(16).h_factor(), 3.0);
+  EXPECT_DOUBLE_EQ(HaarTransform(512).p_factor(), 10.0);
+  EXPECT_DOUBLE_EQ(HaarTransform(512).h_factor(), 5.5);
+  EXPECT_DOUBLE_EQ(HaarTransform(101).p_factor(), 8.0);  // pads to 128
+}
+
+TEST(HaarTest, LinearityOfForward) {
+  // Haar is linear: T(a*x + y) = a*T(x) + T(y).
+  rng::Xoshiro256pp gen(3);
+  const std::size_t n = 16;
+  HaarTransform haar(n);
+  std::vector<double> x(n), y(n), combo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(gen.NextUint64InRange(0, 20));
+    y[i] = static_cast<double>(gen.NextUint64InRange(0, 20));
+    combo[i] = 3.0 * x[i] + y[i];
+  }
+  std::vector<double> tx(n), ty(n), tcombo(n);
+  haar.Forward(x.data(), tx.data());
+  haar.Forward(y.data(), ty.data());
+  haar.Forward(combo.data(), tcombo.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(tcombo[i], 3.0 * tx[i] + ty[i], 1e-9);
+  }
+}
+
+// Round-trip property over a sweep of sizes (both powers of two and not).
+class HaarRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HaarRoundTripTest, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  HaarTransform haar(n);
+  rng::Xoshiro256pp gen(n * 2654435761u + 1);
+  std::vector<double> input(n), coeffs(haar.coefficient_count()), output(n);
+  for (auto& v : input) {
+    v = static_cast<double>(gen.NextUint64InRange(0, 1000)) / 10.0;
+  }
+  haar.Forward(input.data(), coeffs.data());
+  haar.Inverse(coeffs.data(), output.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(output[i], input[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31,
+                                           32, 100, 101, 128, 255, 256, 777,
+                                           1024));
+
+// Eq. 3 identity: every entry equals c0 + sum(gi * ci) over its ancestors,
+// with gi = +1 on the left subtree and -1 on the right.
+class HaarEq3Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HaarEq3Test, EntryEqualsSignedAncestorSum) {
+  const std::size_t n = GetParam();  // power of two
+  HaarTransform haar(n);
+  rng::Xoshiro256pp gen(n + 99);
+  std::vector<double> input(n), coeffs(n);
+  for (auto& v : input) {
+    v = static_cast<double>(gen.NextUint64InRange(0, 50));
+  }
+  haar.Forward(input.data(), coeffs.data());
+
+  const std::size_t levels = haar.levels();
+  for (std::size_t v = 0; v < n; ++v) {
+    double sum = coeffs[0];
+    // The ancestor at level i (1-based) has index 2^(i-1) + (v >> (l-i+1))
+    // ... equivalently walk down from the root.
+    std::size_t node = 1;
+    for (std::size_t level = 1; level <= levels; ++level) {
+      const std::size_t subtree = n >> level;  // leaves per child subtree
+      const std::size_t offset = v % (2 * subtree);
+      const double g = (offset < subtree) ? 1.0 : -1.0;
+      sum += g * coeffs[node];
+      node = 2 * node + ((offset < subtree) ? 0 : 1);
+    }
+    EXPECT_NEAR(sum, input[v], 1e-9) << "entry " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, HaarEq3Test,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace privelet::wavelet

@@ -1,0 +1,127 @@
+// Tests for the Hay et al. hierarchical mechanism (extension baseline from
+// the paper's related work, Sec. VIII).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "privelet/common/math_util.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/hay.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::mechanism {
+namespace {
+
+data::Schema OneDimensionalSchema(std::size_t domain) {
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("A", domain));
+  return data::Schema(std::move(attrs));
+}
+
+matrix::FrequencyMatrix RandomMatrix(const data::Schema& schema,
+                                     std::uint64_t seed) {
+  matrix::FrequencyMatrix m(schema.DomainSizes());
+  rng::Xoshiro256pp gen(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(gen.NextUint64InRange(0, 50));
+  }
+  return m;
+}
+
+TEST(HayTest, RejectsMultiDimensionalAndNominal) {
+  HayHierarchicalMechanism hay;
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("A", 4));
+  attrs.push_back(data::Attribute::Ordinal("B", 4));
+  const data::Schema two(std::move(attrs));
+  EXPECT_FALSE(hay.Publish(two, matrix::FrequencyMatrix({4, 4}), 1.0, 1).ok());
+
+  std::vector<data::Attribute> nominal;
+  nominal.push_back(
+      data::Attribute::Nominal("N", data::Hierarchy::Flat(4).value()));
+  const data::Schema nom(std::move(nominal));
+  EXPECT_FALSE(hay.Publish(nom, matrix::FrequencyMatrix({4}), 1.0, 1).ok());
+}
+
+TEST(HayTest, HugeEpsilonReconstructsAlmostExactly) {
+  HayHierarchicalMechanism hay;
+  const data::Schema schema = OneDimensionalSchema(16);
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 3);
+  auto noisy = hay.Publish(schema, m, 1e9, 1);
+  ASSERT_TRUE(noisy.ok());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR((*noisy)[i], m[i], 1e-4);
+  }
+}
+
+TEST(HayTest, HandlesNonPowerOfTwoDomains) {
+  HayHierarchicalMechanism hay;
+  const data::Schema schema = OneDimensionalSchema(13);
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 5);
+  auto noisy = hay.Publish(schema, m, 1e9, 1);
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_EQ(noisy->size(), 13u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR((*noisy)[i], m[i], 1e-4);
+  }
+}
+
+TEST(HayTest, DeterministicInSeed) {
+  HayHierarchicalMechanism hay;
+  const data::Schema schema = OneDimensionalSchema(32);
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 7);
+  auto a = hay.Publish(schema, m, 0.5, 21);
+  auto b = hay.Publish(schema, m, 0.5, 21);
+  auto c = hay.Publish(schema, m, 0.5, 22);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->values(), b->values());
+  EXPECT_NE(a->values(), c->values());
+}
+
+TEST(HayTest, NoiseIsUnbiasedAcrossSeeds) {
+  HayHierarchicalMechanism hay;
+  const data::Schema schema = OneDimensionalSchema(16);
+  matrix::FrequencyMatrix m(schema.DomainSizes());
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = 100.0;
+  std::vector<double> noise;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    auto noisy = hay.Publish(schema, m, 1.0, seed);
+    ASSERT_TRUE(noisy.ok());
+    for (std::size_t i = 0; i < noisy->size(); ++i) {
+      noise.push_back((*noisy)[i] - 100.0);
+    }
+  }
+  EXPECT_NEAR(Mean(noise), 0.0, 0.6);
+}
+
+TEST(HayTest, ConsistencyReducesLeafVarianceBelowNaive) {
+  // The naive estimate would publish leaf counts with Laplace(h/ε):
+  // variance 2h²/ε². Consistency must not increase it (it provably
+  // decreases it for h >= 2).
+  HayHierarchicalMechanism hay;
+  const data::Schema schema = OneDimensionalSchema(32);  // h = 6 levels
+  matrix::FrequencyMatrix m(schema.DomainSizes());
+  const double epsilon = 1.0;
+  std::vector<double> noise;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    auto noisy = hay.Publish(schema, m, epsilon, seed);
+    ASSERT_TRUE(noisy.ok());
+    for (std::size_t i = 0; i < noisy->size(); ++i) {
+      noise.push_back((*noisy)[i]);
+    }
+  }
+  const double naive_var = 2.0 * 6.0 * 6.0;  // 72
+  EXPECT_LT(SampleVariance(noise), naive_var);
+}
+
+TEST(HayTest, VarianceBoundFormula) {
+  HayHierarchicalMechanism hay;
+  const data::Schema schema = OneDimensionalSchema(16);  // h = 5 levels
+  auto bound = hay.NoiseVarianceBound(schema, 1.0);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(*bound, 4.0 * 125.0);
+}
+
+}  // namespace
+}  // namespace privelet::mechanism

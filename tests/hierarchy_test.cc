@@ -1,0 +1,160 @@
+// Tests for the nominal-attribute hierarchy (paper Fig. 1 / Sec. V-A):
+// builders, invariant validation, leaf ordering, and randomized property
+// checks on subtree leaf ranges.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "privelet/data/hierarchy.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::data {
+namespace {
+
+TEST(HierarchyTest, FlatHierarchy) {
+  auto result = Hierarchy::Flat(4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Hierarchy& h = result.value();
+  EXPECT_EQ(h.height(), 2u);
+  EXPECT_EQ(h.num_leaves(), 4u);
+  EXPECT_EQ(h.num_nodes(), 5u);
+  EXPECT_EQ(h.num_internal_nodes(), 1u);
+  EXPECT_EQ(h.fanout(Hierarchy::kRoot), 4u);
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(HierarchyTest, FlatRejectsTrivial) {
+  EXPECT_FALSE(Hierarchy::Flat(0).ok());
+  EXPECT_FALSE(Hierarchy::Flat(1).ok());
+}
+
+TEST(HierarchyTest, BalancedShape) {
+  // The Fig. 3 hierarchy: root with 2 children, each with 3 leaves.
+  auto result = Hierarchy::Balanced({2, 3});
+  ASSERT_TRUE(result.ok());
+  const Hierarchy& h = result.value();
+  EXPECT_EQ(h.height(), 3u);
+  EXPECT_EQ(h.num_leaves(), 6u);
+  EXPECT_EQ(h.num_nodes(), 9u);  // 1 root + 2 internal + 6 leaves
+  EXPECT_EQ(h.NodesAtLevel(1).size(), 1u);
+  EXPECT_EQ(h.NodesAtLevel(2).size(), 2u);
+  EXPECT_EQ(h.NodesAtLevel(3).size(), 6u);
+}
+
+TEST(HierarchyTest, BalancedRejectsFanoutOne) {
+  EXPECT_FALSE(Hierarchy::Balanced({1, 3}).ok());
+  EXPECT_FALSE(Hierarchy::Balanced({}).ok());
+}
+
+TEST(HierarchyTest, BfsOrderParentsPrecedeChildren) {
+  const Hierarchy h = Hierarchy::Balanced({2, 2, 2}).value();
+  for (std::size_t id = 1; id < h.num_nodes(); ++id) {
+    EXPECT_LT(h.node(id).parent, id);
+  }
+}
+
+TEST(HierarchyTest, LeafOrderIsContiguousPerSubtree) {
+  const Hierarchy h = Hierarchy::Balanced({2, 3}).value();
+  // Level-2 nodes split the 6 leaves into [0,3) and [3,6).
+  const auto level2 = h.NodesAtLevel(2);
+  ASSERT_EQ(level2.size(), 2u);
+  EXPECT_EQ(h.node(level2[0]).leaf_begin, 0u);
+  EXPECT_EQ(h.node(level2[0]).leaf_end, 3u);
+  EXPECT_EQ(h.node(level2[1]).leaf_begin, 3u);
+  EXPECT_EQ(h.node(level2[1]).leaf_end, 6u);
+}
+
+TEST(HierarchyTest, LeafNodeRoundTrip) {
+  const Hierarchy h = Hierarchy::Balanced({3, 2}).value();
+  for (std::size_t i = 0; i < h.num_leaves(); ++i) {
+    const std::size_t node = h.leaf_node(i);
+    EXPECT_TRUE(h.is_leaf(node));
+    EXPECT_EQ(h.node(node).leaf_begin, i);
+  }
+}
+
+TEST(HierarchyTest, FromGroupSizesUneven) {
+  auto result = Hierarchy::FromGroupSizes({2, 5, 3});
+  ASSERT_TRUE(result.ok());
+  const Hierarchy& h = result.value();
+  EXPECT_EQ(h.height(), 3u);
+  EXPECT_EQ(h.num_leaves(), 10u);
+  const auto groups = h.NodesAtLevel(2);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(h.fanout(groups[0]), 2u);
+  EXPECT_EQ(h.fanout(groups[1]), 5u);
+  EXPECT_EQ(h.fanout(groups[2]), 3u);
+  EXPECT_EQ(h.node(groups[1]).leaf_begin, 2u);
+  EXPECT_EQ(h.node(groups[1]).leaf_end, 7u);
+}
+
+TEST(HierarchyTest, FromGroupSizesRejectsSmallGroups) {
+  EXPECT_FALSE(Hierarchy::FromGroupSizes({2, 1}).ok());
+  EXPECT_FALSE(Hierarchy::FromGroupSizes({5}).ok());
+}
+
+TEST(HierarchyTest, FromSpecRejectsUnevenLeafDepth) {
+  // Root with one leaf child and one internal child -> leaves at depths
+  // 2 and 3.
+  HierarchySpec spec;
+  spec.children.resize(2);
+  spec.children[1].children.resize(2);
+  EXPECT_FALSE(Hierarchy::FromSpec(spec).ok());
+}
+
+TEST(HierarchyTest, FromSpecRejectsSingleNode) {
+  EXPECT_FALSE(Hierarchy::FromSpec(HierarchySpec{}).ok());
+}
+
+TEST(HierarchyTest, FromSpecAcceptsMixedFanouts) {
+  // Root: {group of 2, group of 4}; all leaves at depth 3.
+  HierarchySpec spec;
+  spec.children.resize(2);
+  spec.children[0].children.resize(2);
+  spec.children[1].children.resize(4);
+  auto result = Hierarchy::FromSpec(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_leaves(), 6u);
+  EXPECT_TRUE(result.value().Validate().ok());
+}
+
+// Property sweep: random hierarchies satisfy all invariants, every node's
+// leaf range matches the union of its children's ranges, and leaf ranges
+// at each level partition [0, num_leaves).
+class RandomHierarchyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+HierarchySpec RandomSpec(rng::Xoshiro256pp& gen, std::size_t depth) {
+  HierarchySpec spec;
+  if (depth == 0) return spec;
+  const std::size_t fanout = gen.NextUint64InRange(2, 4);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    spec.children.push_back(RandomSpec(gen, depth - 1));
+  }
+  return spec;
+}
+
+TEST_P(RandomHierarchyTest, InvariantsHold) {
+  rng::Xoshiro256pp gen(GetParam());
+  const std::size_t depth = gen.NextUint64InRange(1, 4);
+  auto result = Hierarchy::FromSpec(RandomSpec(gen, depth));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Hierarchy& h = result.value();
+  EXPECT_TRUE(h.Validate().ok());
+  EXPECT_EQ(h.height(), depth + 1);
+
+  // Each level's leaf ranges partition the leaf set.
+  for (std::size_t level = 1; level <= h.height(); ++level) {
+    std::size_t expected_begin = 0;
+    for (std::size_t id : h.NodesAtLevel(level)) {
+      EXPECT_EQ(h.node(id).leaf_begin, expected_begin);
+      expected_begin = h.node(id).leaf_end;
+    }
+    EXPECT_EQ(expected_begin, h.num_leaves());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHierarchyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace privelet::data

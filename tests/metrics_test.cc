@@ -1,0 +1,82 @@
+// Tests for the evaluation metrics (Sec. VII-A): square error, relative
+// error with sanity bound, and equal-count (quintile) bucketing.
+#include <gtest/gtest.h>
+
+#include "privelet/query/metrics.h"
+
+namespace privelet::query {
+namespace {
+
+TEST(SquareErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(SquareError(5.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(SquareError(7.0, 5.0), 4.0);
+  EXPECT_DOUBLE_EQ(SquareError(3.0, 5.0), 4.0);
+}
+
+TEST(RelativeErrorTest, UsesActualWhenAboveSanityBound) {
+  // |x - act| / act when act > s.
+  EXPECT_DOUBLE_EQ(RelativeError(120.0, 100.0, 10.0), 0.2);
+  EXPECT_DOUBLE_EQ(RelativeError(80.0, 100.0, 10.0), 0.2);
+}
+
+TEST(RelativeErrorTest, SanityBoundCapsSmallSelectivities) {
+  // act = 1 but s = 50: denominator is 50.
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 1.0, 50.0), 0.2);
+  // act = 0 (empty query) with noise 5 and s = 50.
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0, 50.0), 0.1);
+}
+
+TEST(RelativeErrorTest, ExactAnswerIsZero) {
+  EXPECT_DOUBLE_EQ(RelativeError(42.0, 42.0, 1.0), 0.0);
+}
+
+TEST(EqualCountBucketsTest, SplitsEvenlyAndAverages) {
+  // keys 1..10, values = 10 * key; quintiles of 2 elements each.
+  std::vector<double> keys, values;
+  for (int i = 1; i <= 10; ++i) {
+    keys.push_back(static_cast<double>(i));
+    values.push_back(10.0 * i);
+  }
+  const auto buckets = EqualCountBuckets(keys, values, 5);
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].avg_key, 1.5);
+  EXPECT_DOUBLE_EQ(buckets[0].avg_value, 15.0);
+  EXPECT_DOUBLE_EQ(buckets[4].avg_key, 9.5);
+  EXPECT_DOUBLE_EQ(buckets[4].avg_value, 95.0);
+}
+
+TEST(EqualCountBucketsTest, SortsByKeyNotInputOrder) {
+  const std::vector<double> keys = {5.0, 1.0, 3.0, 2.0, 4.0, 6.0};
+  const std::vector<double> values = {50.0, 10.0, 30.0, 20.0, 40.0, 60.0};
+  const auto buckets = EqualCountBuckets(keys, values, 3);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].avg_key, 1.5);   // keys 1, 2
+  EXPECT_DOUBLE_EQ(buckets[0].avg_value, 15.0);
+  EXPECT_DOUBLE_EQ(buckets[2].avg_key, 5.5);   // keys 5, 6
+  EXPECT_DOUBLE_EQ(buckets[2].avg_value, 55.0);
+}
+
+TEST(EqualCountBucketsTest, UnevenSizesDifferByAtMostOne) {
+  std::vector<double> keys(13), values(13, 1.0);
+  for (int i = 0; i < 13; ++i) keys[i] = static_cast<double>(i);
+  const auto buckets = EqualCountBuckets(keys, values, 5);
+  std::size_t total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_GE(b.count, 2u);
+    EXPECT_LE(b.count, 3u);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 13u);
+}
+
+TEST(EqualCountBucketsTest, SingleBucketIsGlobalMean) {
+  const auto buckets =
+      EqualCountBuckets({1.0, 2.0, 3.0}, {10.0, 20.0, 60.0}, 1);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].avg_key, 2.0);
+  EXPECT_DOUBLE_EQ(buckets[0].avg_value, 30.0);
+}
+
+}  // namespace
+}  // namespace privelet::query

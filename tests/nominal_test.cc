@@ -1,0 +1,204 @@
+// Tests for the novel nominal wavelet transform (paper Sec. V), anchored on
+// the paper's Fig. 3 worked example, plus round-trip, mean-subtraction and
+// weight-function properties over random hierarchies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "privelet/data/hierarchy.h"
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/wavelet/nominal.h"
+
+namespace privelet::wavelet {
+namespace {
+
+std::shared_ptr<const data::Hierarchy> Fig3Hierarchy() {
+  // Root with 2 children, each with 3 leaf children (h = 3).
+  return std::make_shared<const data::Hierarchy>(
+      data::Hierarchy::Balanced({2, 3}).value());
+}
+
+TEST(NominalTest, PaperFigure3Coefficients) {
+  // M = [9, 3, 6, 2, 8, 2]; expected coefficients (level order):
+  //   c0 = 30 (base), c1 = 3, c2 = -3, c3..c8 = 3, -3, 0, -2, 4, -2.
+  NominalTransform transform(Fig3Hierarchy());
+  ASSERT_EQ(transform.input_size(), 6u);
+  ASSERT_EQ(transform.coefficient_count(), 9u);
+  const std::vector<double> input = {9, 3, 6, 2, 8, 2};
+  std::vector<double> coeffs(9);
+  transform.Forward(input.data(), coeffs.data());
+  EXPECT_DOUBLE_EQ(coeffs[0], 30.0);
+  EXPECT_DOUBLE_EQ(coeffs[1], 3.0);
+  EXPECT_DOUBLE_EQ(coeffs[2], -3.0);
+  EXPECT_DOUBLE_EQ(coeffs[3], 3.0);
+  EXPECT_DOUBLE_EQ(coeffs[4], -3.0);
+  EXPECT_DOUBLE_EQ(coeffs[5], 0.0);
+  EXPECT_DOUBLE_EQ(coeffs[6], -2.0);
+  EXPECT_DOUBLE_EQ(coeffs[7], 4.0);
+  EXPECT_DOUBLE_EQ(coeffs[8], -2.0);
+}
+
+TEST(NominalTest, PaperExample3Reconstruction) {
+  // Example 3: v1 = c3 + c0/2/3 + c1/3 = 3 + 5 + 1 = 9.
+  NominalTransform transform(Fig3Hierarchy());
+  const std::vector<double> input = {9, 3, 6, 2, 8, 2};
+  std::vector<double> coeffs(9);
+  transform.Forward(input.data(), coeffs.data());
+  EXPECT_DOUBLE_EQ(coeffs[3] + coeffs[0] / 2.0 / 3.0 + coeffs[1] / 3.0, 9.0);
+  std::vector<double> output(6);
+  transform.Inverse(coeffs.data(), output.data());
+  EXPECT_DOUBLE_EQ(output[0], 9.0);
+}
+
+TEST(NominalTest, OverCompleteness) {
+  // m' - m = number of internal nodes of H (paper Sec. V-A).
+  NominalTransform transform(Fig3Hierarchy());
+  EXPECT_EQ(transform.coefficient_count() - transform.input_size(),
+            transform.hierarchy().num_internal_nodes());
+}
+
+TEST(NominalTest, WeightsMatchWNom) {
+  NominalTransform transform(Fig3Hierarchy());
+  const auto& w = transform.weights();
+  EXPECT_DOUBLE_EQ(w[0], 1.0);  // base
+  // c1, c2: parent is the root, fanout 2 -> 2/(2*2-2) = 1.
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+  // c3..c8: parents have fanout 3 -> 3/4.
+  for (std::size_t i = 3; i < 9; ++i) EXPECT_DOUBLE_EQ(w[i], 0.75);
+}
+
+TEST(NominalTest, PAndHFactors) {
+  NominalTransform transform(Fig3Hierarchy());
+  EXPECT_DOUBLE_EQ(transform.p_factor(), 3.0);  // hierarchy height
+  EXPECT_DOUBLE_EQ(transform.h_factor(), 4.0);
+}
+
+TEST(NominalTest, SiblingGroupsSumToZero) {
+  // Exact coefficients already satisfy the zero-sum property the mean
+  // subtraction enforces on noisy ones.
+  NominalTransform transform(Fig3Hierarchy());
+  const std::vector<double> input = {9, 3, 6, 2, 8, 2};
+  std::vector<double> coeffs(9);
+  transform.Forward(input.data(), coeffs.data());
+  EXPECT_DOUBLE_EQ(coeffs[1] + coeffs[2], 0.0);
+  EXPECT_DOUBLE_EQ(coeffs[3] + coeffs[4] + coeffs[5], 0.0);
+  EXPECT_DOUBLE_EQ(coeffs[6] + coeffs[7] + coeffs[8], 0.0);
+}
+
+TEST(NominalTest, RefineIsNoOpOnExactCoefficients) {
+  NominalTransform transform(Fig3Hierarchy());
+  const std::vector<double> input = {9, 3, 6, 2, 8, 2};
+  std::vector<double> coeffs(9);
+  transform.Forward(input.data(), coeffs.data());
+  std::vector<double> refined = coeffs;
+  transform.Refine(refined.data());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(refined[i], coeffs[i], 1e-12);
+  }
+}
+
+TEST(NominalTest, RefineZeroesSiblingGroupMeans) {
+  NominalTransform transform(Fig3Hierarchy());
+  // Arbitrary "noisy" coefficients.
+  std::vector<double> coeffs = {30.5, 4.2, -2.1, 3.3, -2.6, 0.4, -1.8, 4.4, -2.5};
+  transform.Refine(coeffs.data());
+  EXPECT_NEAR(coeffs[1] + coeffs[2], 0.0, 1e-12);
+  EXPECT_NEAR(coeffs[3] + coeffs[4] + coeffs[5], 0.0, 1e-12);
+  EXPECT_NEAR(coeffs[6] + coeffs[7] + coeffs[8], 0.0, 1e-12);
+  // Base coefficient untouched.
+  EXPECT_DOUBLE_EQ(coeffs[0], 30.5);
+}
+
+TEST(NominalTest, RefinePreservesSubtreeSumsUpToParentShare) {
+  // After refinement, Inverse still maps coefficients to leaf values whose
+  // total equals the base coefficient.
+  NominalTransform transform(Fig3Hierarchy());
+  std::vector<double> coeffs = {30.5, 4.2, -2.1, 3.3, -2.6, 0.4, -1.8, 4.4, -2.5};
+  transform.Refine(coeffs.data());
+  std::vector<double> leaves(6);
+  transform.Inverse(coeffs.data(), leaves.data());
+  double total = 0.0;
+  for (double v : leaves) total += v;
+  EXPECT_NEAR(total, 30.5, 1e-9);
+}
+
+TEST(NominalTest, LinearityOfForward) {
+  NominalTransform transform(Fig3Hierarchy());
+  rng::Xoshiro256pp gen(17);
+  std::vector<double> x(6), y(6), combo(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    x[i] = static_cast<double>(gen.NextUint64InRange(0, 30));
+    y[i] = static_cast<double>(gen.NextUint64InRange(0, 30));
+    combo[i] = 2.0 * x[i] - y[i];
+  }
+  std::vector<double> tx(9), ty(9), tcombo(9);
+  transform.Forward(x.data(), tx.data());
+  transform.Forward(y.data(), ty.data());
+  transform.Forward(combo.data(), tcombo.data());
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(tcombo[i], 2.0 * tx[i] - ty[i], 1e-9);
+  }
+}
+
+// Round-trip and invariants across random hierarchies.
+class NominalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+data::HierarchySpec RandomSpec(rng::Xoshiro256pp& gen, std::size_t depth) {
+  data::HierarchySpec spec;
+  if (depth == 0) return spec;
+  const std::size_t fanout = gen.NextUint64InRange(2, 5);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    spec.children.push_back(RandomSpec(gen, depth - 1));
+  }
+  return spec;
+}
+
+TEST_P(NominalPropertyTest, RoundTripAndGroupSums) {
+  rng::Xoshiro256pp gen(GetParam());
+  const std::size_t depth = gen.NextUint64InRange(1, 3);
+  auto hierarchy = data::Hierarchy::FromSpec(RandomSpec(gen, depth));
+  ASSERT_TRUE(hierarchy.ok());
+  auto shared =
+      std::make_shared<const data::Hierarchy>(std::move(hierarchy).value());
+  NominalTransform transform(shared);
+
+  std::vector<double> input(transform.input_size());
+  for (auto& v : input) {
+    v = static_cast<double>(gen.NextUint64InRange(0, 100));
+  }
+  std::vector<double> coeffs(transform.coefficient_count());
+  transform.Forward(input.data(), coeffs.data());
+
+  // Every sibling group of exact coefficients sums to zero.
+  for (std::size_t id = 0; id < shared->num_nodes(); ++id) {
+    const auto& children = shared->node(id).children;
+    if (children.empty()) continue;
+    double sum = 0.0;
+    for (std::size_t child : children) sum += coeffs[child];
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+  }
+
+  // Inverse recovers the input exactly.
+  std::vector<double> output(transform.input_size());
+  transform.Inverse(coeffs.data(), output.data());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(output[i], input[i], 1e-9);
+  }
+
+  // Base coefficient = total; weights positive with the WNom form.
+  double total = 0.0;
+  for (double v : input) total += v;
+  EXPECT_NEAR(coeffs[0], total, 1e-9);
+  for (double w : transform.weights()) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);  // f/(2f-2) <= 1 for f >= 2, base weight 1
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NominalPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace privelet::wavelet

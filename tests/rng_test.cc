@@ -1,0 +1,229 @@
+// Tests for the hand-rolled generators and distributions, including
+// statistical checks on the Laplace sampler (the privacy noise primitive).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "privelet/common/math_util.h"
+#include "privelet/rng/distributions.h"
+#include "privelet/rng/splitmix64.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::rng {
+namespace {
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation (Steele/Lea/Flood).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.Next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.Next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.Next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64Test, DeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  const std::uint64_t first_a = a.Next();
+  EXPECT_EQ(first_a, b.Next());
+  EXPECT_NE(first_a, c.Next());
+}
+
+TEST(DeriveSeedTest, DistinctIndicesGiveDistinctSeeds) {
+  const std::uint64_t root = 99;
+  EXPECT_NE(DeriveSeed(root, 0), DeriveSeed(root, 1));
+  EXPECT_NE(DeriveSeed(root, 1), DeriveSeed(root, 2));
+  EXPECT_EQ(DeriveSeed(root, 5), DeriveSeed(root, 5));
+  EXPECT_NE(DeriveSeed(root, 0), DeriveSeed(root + 1, 0));
+}
+
+TEST(Xoshiro256ppTest, DeterministicPerSeed) {
+  Xoshiro256pp a(7), b(7), c(8);
+  const std::uint64_t first_a = a.Next();
+  EXPECT_EQ(first_a, b.Next());
+  EXPECT_NE(first_a, c.Next());
+}
+
+TEST(Xoshiro256ppTest, NextDoubleInUnitInterval) {
+  Xoshiro256pp gen(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256ppTest, NextDoubleOpenZeroNeverZero) {
+  Xoshiro256pp gen(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.NextDoubleOpenZero();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256ppTest, RangeIsInclusiveAndCovered) {
+  Xoshiro256pp gen(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = gen.NextUint64InRange(10, 14);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 14u);
+    ++counts[v - 10];
+  }
+  // All five values should appear with roughly equal frequency (10k each).
+  for (int c : counts) EXPECT_GT(c, 9000);
+}
+
+TEST(Xoshiro256ppTest, DegenerateRange) {
+  Xoshiro256pp gen(11);
+  EXPECT_EQ(gen.NextUint64InRange(3, 3), 3u);
+}
+
+TEST(Xoshiro256ppTest, UniformMeanIsHalf) {
+  Xoshiro256pp gen(21);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += gen.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(LaplaceTest, ZeroMagnitudeIsZero) {
+  Xoshiro256pp gen(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleLaplace(gen, 0.0), 0.0);
+}
+
+// Statistical property sweep: for several magnitudes, the sample mean is
+// ~0 and the sample variance is ~2b^2 (Sec. II-B: Laplace(b) has variance
+// 2b^2 — the DP calibration depends on this).
+class LaplaceMagnitudeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceMagnitudeTest, MeanAndVarianceMatchTheory) {
+  const double b = GetParam();
+  Xoshiro256pp gen(31337);
+  const int n = 400000;
+  std::vector<double> samples(n);
+  for (int i = 0; i < n; ++i) samples[i] = SampleLaplace(gen, b);
+  const double mean = Mean(samples);
+  const double var = SampleVariance(samples);
+  const double expected_var = 2.0 * b * b;
+  EXPECT_NEAR(mean, 0.0, 0.02 * b + 1e-12);
+  EXPECT_NEAR(var / expected_var, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, LaplaceMagnitudeTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 8.0, 40.0));
+
+TEST(LaplaceTest, MedianIsZeroAndSymmetric) {
+  Xoshiro256pp gen(99);
+  int positive = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleLaplace(gen, 1.0) > 0.0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.01);
+}
+
+TEST(LaplaceTest, TailProbabilityMatchesExponential) {
+  // P(|X| > t) = exp(-t/b) for Laplace(b).
+  Xoshiro256pp gen(123);
+  const double b = 2.0, t = 3.0;
+  int exceed = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(SampleLaplace(gen, b)) > t) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / n, std::exp(-t / b), 0.01);
+}
+
+TEST(BernoulliTest, FrequencyMatchesP) {
+  Xoshiro256pp gen(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleBernoulli(gen, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(BernoulliTest, ClampsProbability) {
+  Xoshiro256pp gen(5);
+  EXPECT_FALSE(SampleBernoulli(gen, -1.0));
+  EXPECT_TRUE(SampleBernoulli(gen, 2.0));
+}
+
+TEST(NormalTest, MomentsMatchStandardNormal) {
+  Xoshiro256pp gen(77);
+  const int n = 400000;
+  std::vector<double> samples(n);
+  for (int i = 0; i < n; ++i) samples[i] = SampleStandardNormal(gen);
+  EXPECT_NEAR(Mean(samples), 0.0, 0.01);
+  EXPECT_NEAR(SampleVariance(samples), 1.0, 0.02);
+}
+
+TEST(ZipfTest, RankFrequenciesDecrease) {
+  Xoshiro256pp gen(13);
+  ZipfSampler zipf(64, 1.1);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(gen)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[4], counts[32]);
+}
+
+TEST(ZipfTest, RatioOfTopRanksMatchesExponent) {
+  Xoshiro256pp gen(13);
+  const double s = 1.0;
+  ZipfSampler zipf(1024, s);
+  std::vector<int> counts(1024, 0);
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(gen)];
+  // P(0)/P(1) = 2^s.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.15);
+}
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  Xoshiro256pp gen(17);
+  ZipfSampler zipf(10, 1.5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(gen), 10u);
+}
+
+TEST(DiscretizedLogNormalTest, SamplesWithinDomain) {
+  Xoshiro256pp gen(19);
+  DiscretizedLogNormal income(1001, std::log(50.0), 0.8);
+  for (int i = 0; i < 20000; ++i) EXPECT_LT(income.Sample(gen), 1001u);
+}
+
+TEST(DiscretizedLogNormalTest, MedianNearExpMu) {
+  Xoshiro256pp gen(19);
+  const double mu = std::log(100.0);
+  DiscretizedLogNormal dist(100000, mu, 0.5);
+  std::vector<double> samples;
+  const int n = 100001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(static_cast<double>(dist.Sample(gen)));
+  }
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], 100.0, 5.0);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  Xoshiro256pp gen(23);
+  DiscreteSampler sampler({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(gen)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.6, 0.01);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  Xoshiro256pp gen(29);
+  DiscreteSampler sampler({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Sample(gen), 1u);
+}
+
+}  // namespace
+}  // namespace privelet::rng
