@@ -77,7 +77,9 @@ int main() {
   // Schema for the full-matrix mechanisms.
   std::vector<data::Attribute> attrs;
   for (std::size_t a = 0; a < kDims; ++a) {
-    attrs.push_back(data::Attribute::Ordinal("B" + std::to_string(a), 2));
+    std::string name = "B";
+    name += std::to_string(a);
+    attrs.push_back(data::Attribute::Ordinal(name, 2));
   }
   const data::Schema schema(std::move(attrs));
 

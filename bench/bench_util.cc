@@ -12,7 +12,52 @@ const char* CountryName(data::CensusCountry country) {
   return country == data::CensusCountry::kBrazil ? "Brazil" : "US";
 }
 
+// "Figure 6" -> "figure_6": lowercase with non-alphanumerics collapsed to
+// underscores, so printed figure names double as report file names.
+std::string SlugOf(const char* text) {
+  std::string slug;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      slug.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      slug.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
 }  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+BenchReport::~BenchReport() {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "# warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(f, "  {");
+    for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.17g", i == 0 ? "" : ", ",
+                   rows_[r][i].first.c_str(), rows_[r][i].second);
+    }
+    std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("# wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+}
+
+void BenchReport::AddRow(std::vector<std::pair<std::string, double>> fields) {
+  rows_.push_back(std::move(fields));
+}
 
 void RunErrorExperiment(const ErrorExperimentConfig& config,
                         const char* figure_name) {
@@ -64,6 +109,7 @@ void RunErrorExperiment(const ErrorExperimentConfig& config,
   const mechanism::PriveletPlusMechanism plus({"Age", "Gender"});
   const std::vector<const mechanism::Mechanism*> mechanisms = {&basic, &plus};
 
+  BenchReport report(SlugOf(figure_name));
   for (double epsilon : PaperEpsilons()) {
     std::printf("\n-- epsilon = %.2f --\n", epsilon);
     std::printf("%-14s", config.bucket_by_coverage ? "avg-coverage"
@@ -98,6 +144,17 @@ void RunErrorExperiment(const ErrorExperimentConfig& config,
         std::printf(" %16.4e", column[b].avg_value);
       }
       std::printf("\n");
+
+      std::vector<std::pair<std::string, double>> row = {
+          {"epsilon", epsilon},
+          {"bucket", static_cast<double>(b)},
+          {"avg_key", columns[0][b].avg_key},
+      };
+      for (std::size_t c = 0; c < mechanisms.size(); ++c) {
+        row.emplace_back("err_" + std::string(mechanisms[c]->name()),
+                         columns[c][b].avg_value);
+      }
+      report.AddRow(std::move(row));
     }
   }
   std::printf("\n# total time: %.1fs\n\n", total_timer.ElapsedSeconds());

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "privelet/common/check.h"
@@ -34,6 +35,27 @@ inline bool FullScale() {
 
 /// The ε values of Figs. 6-9 (panels a-d).
 inline std::vector<double> PaperEpsilons() { return {0.5, 0.75, 1.0, 1.25}; }
+
+/// Machine-readable companion to the printed tables: harnesses append flat
+/// {key: number} rows, and the destructor writes them as a JSON array of
+/// objects to BENCH_<name>.json in the current working directory. The
+/// artifacts are build outputs (gitignored), meant for plotting scripts and
+/// regression tracking.
+class BenchReport {
+ public:
+  /// `name` must be filesystem-safe (it becomes BENCH_<name>.json).
+  explicit BenchReport(std::string name);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void AddRow(std::vector<std::pair<std::string, double>> fields);
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 struct ErrorExperimentConfig {
   data::CensusCountry country = data::CensusCountry::kBrazil;

@@ -44,6 +44,7 @@ int main() {
 
   const mechanism::BasicMechanism basic;
   const mechanism::PriveletMechanism privelet_sa_empty;  // SA = ∅
+  bench::BenchReport report("fig10_time_vs_n");
   for (std::size_t step = 1; step <= 5; ++step) {
     const std::size_t n = step * n_step;
     auto table = data::GenerateUniformTable(*schema, n, /*seed=*/step);
@@ -52,6 +53,9 @@ int main() {
     const double privelet_s =
         TimedPublishSeconds(privelet_sa_empty, *table, 1.0);
     std::printf("%-12zu %14.3f %14.3f\n", n, basic_s, privelet_s);
+    report.AddRow({{"n", static_cast<double>(n)},
+                   {"basic_seconds", basic_s},
+                   {"privelet_seconds", privelet_s}});
   }
   return 0;
 }

@@ -36,6 +36,7 @@ int main() {
 
   const mechanism::BasicMechanism basic;
   const mechanism::PriveletMechanism privelet_sa_empty;  // SA = ∅
+  bench::BenchReport report("fig11_time_vs_m");
   for (std::size_t log_m = first_log_m; log_m <= first_log_m + 4; ++log_m) {
     auto schema = data::MakeScalabilitySchema(std::size_t{1} << log_m);
     PRIVELET_CHECK(schema.ok(), schema.status().ToString());
@@ -46,6 +47,9 @@ int main() {
         TimedPublishSeconds(privelet_sa_empty, *table, 1.0);
     std::printf("%-12zu %14.3f %14.3f\n", schema->TotalDomainSize(), basic_s,
                 privelet_s);
+    report.AddRow({{"m", static_cast<double>(schema->TotalDomainSize())},
+                   {"basic_seconds", basic_s},
+                   {"privelet_seconds", privelet_s}});
   }
   return 0;
 }

@@ -42,6 +42,24 @@ void BM_HaarForward(benchmark::State& state) {
 }
 BENCHMARK(BM_HaarForward)->Range(1 << 10, 1 << 20);
 
+// Before/after of the workspace-reuse fix: the default Forward/Inverse now
+// reuse a workspace sized at construction; these variants pay a fresh
+// heap allocation per call, which is exactly what the old implementation
+// did on every transform.
+void BM_HaarForwardAllocPerCall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  wavelet::HaarTransform haar(n);
+  const auto input = RandomVector(n, 1);
+  std::vector<double> coeffs(haar.coefficient_count());
+  for (auto _ : state) {
+    std::vector<double> scratch(haar.padded_size());
+    haar.Forward(input.data(), coeffs.data(), scratch.data());
+    benchmark::DoNotOptimize(coeffs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HaarForwardAllocPerCall)->Range(1 << 10, 1 << 20);
+
 void BM_HaarInverse(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   wavelet::HaarTransform haar(n);
@@ -54,6 +72,20 @@ void BM_HaarInverse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_HaarInverse)->Range(1 << 10, 1 << 20);
+
+void BM_HaarInverseAllocPerCall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  wavelet::HaarTransform haar(n);
+  auto coeffs = RandomVector(haar.coefficient_count(), 2);
+  std::vector<double> output(n);
+  for (auto _ : state) {
+    std::vector<double> scratch(haar.padded_size());
+    haar.Inverse(coeffs.data(), output.data(), scratch.data());
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HaarInverseAllocPerCall)->Range(1 << 10, 1 << 20);
 
 void BM_NominalForward(benchmark::State& state) {
   const auto leaves = static_cast<std::size_t>(state.range(0));

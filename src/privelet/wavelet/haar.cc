@@ -11,6 +11,7 @@ HaarTransform::HaarTransform(std::size_t n) : n_(n) {
   PRIVELET_CHECK(n >= 1, "Haar input size must be >= 1");
   padded_ = NextPowerOfTwo(n);
   levels_ = FloorLog2(padded_);
+  scratch_.resize(padded_);
   weights_.resize(padded_);
   weights_[0] = static_cast<double>(padded_);  // base coefficient
   for (std::size_t j = 1; j < padded_; ++j) {
@@ -21,31 +22,36 @@ HaarTransform::HaarTransform(std::size_t n) : n_(n) {
 }
 
 std::size_t HaarTransform::LevelOf(std::size_t j) {
-  PRIVELET_DCHECK(j >= 1, "base coefficient has no level");
+  PRIVELET_CHECK(j >= 1, "base coefficient has no level");
   return FloorLog2(j) + 1;
 }
 
 void HaarTransform::Forward(const double* in, double* out) const {
-  // `buf` holds the running subtree averages; each pass halves it and
+  Forward(in, out, scratch_.data());
+}
+
+void HaarTransform::Forward(const double* in, double* out,
+                            double* scratch) const {
+  // `scratch` holds the running subtree averages; each pass halves it and
   // emits the detail coefficients of the current (finest remaining) level
   // into their level-order slots [half, len).
-  std::vector<double> buf(padded_, 0.0);
-  std::copy(in, in + n_, buf.begin());
+  std::copy(in, in + n_, scratch);
+  std::fill(scratch + n_, scratch + padded_, 0.0);
   for (std::size_t len = padded_; len > 1; len /= 2) {
     const std::size_t half = len / 2;
     for (std::size_t i = 0; i < half; ++i) {
-      const double left = buf[2 * i];
-      const double right = buf[2 * i + 1];
+      const double left = scratch[2 * i];
+      const double right = scratch[2 * i + 1];
       out[half + i] = (left - right) / 2.0;
-      buf[i] = (left + right) / 2.0;
+      scratch[i] = (left + right) / 2.0;
     }
   }
-  out[0] = buf[0];
+  out[0] = scratch[0];
 }
 
 void HaarTransform::RangeContribution(std::size_t lo, std::size_t hi,
                                       double* out) const {
-  PRIVELET_DCHECK(lo <= hi && hi < n_, "bad range");
+  PRIVELET_CHECK(lo <= hi && hi < n_, "bad range");
   // Inclusive-bounds overlap of [lo, hi] with [begin, begin + size).
   auto overlap = [lo, hi](std::size_t begin, std::size_t size) -> double {
     const std::size_t end = begin + size;  // exclusive
@@ -68,18 +74,22 @@ void HaarTransform::RangeContribution(std::size_t lo, std::size_t hi,
 }
 
 void HaarTransform::Inverse(const double* coeffs, double* out) const {
-  std::vector<double> buf(padded_);
-  buf[0] = coeffs[0];
+  Inverse(coeffs, out, scratch_.data());
+}
+
+void HaarTransform::Inverse(const double* coeffs, double* out,
+                            double* scratch) const {
+  scratch[0] = coeffs[0];
   for (std::size_t len = 2; len <= padded_; len *= 2) {
     const std::size_t half = len / 2;
     for (std::size_t i = half; i-- > 0;) {
-      const double avg = buf[i];
+      const double avg = scratch[i];
       const double detail = coeffs[half + i];
-      buf[2 * i] = avg + detail;       // left subtree: g = +1 (Eq. 3)
-      buf[2 * i + 1] = avg - detail;   // right subtree: g = -1
+      scratch[2 * i] = avg + detail;       // left subtree: g = +1 (Eq. 3)
+      scratch[2 * i + 1] = avg - detail;   // right subtree: g = -1
     }
   }
-  std::copy(buf.begin(), buf.begin() + n_, out);
+  std::copy(scratch, scratch + n_, out);
 }
 
 }  // namespace privelet::wavelet

@@ -24,8 +24,19 @@ class HaarTransform final : public Transform1D {
   std::size_t input_size() const override { return n_; }
   std::size_t coefficient_count() const override { return padded_; }
 
+  /// Allocation-free: both overloads reuse a workspace sized at
+  /// construction, so per-query transforms never touch the heap. Because
+  /// the workspace is a member, concurrent Forward/Inverse calls on the
+  /// *same* instance race; use one instance per thread (or the explicit
+  /// scratch overloads below) for parallel transforms.
   void Forward(const double* in, double* out) const override;
   void Inverse(const double* coeffs, double* out) const override;
+
+  /// Core implementations with caller-provided scratch of padded_size()
+  /// elements. These never allocate and are safe to call concurrently on a
+  /// shared instance as long as each caller passes its own scratch.
+  void Forward(const double* in, double* out, double* scratch) const;
+  void Inverse(const double* coeffs, double* out, double* scratch) const;
 
   /// a[0] = |S|; a[j] = (leaves of j's left subtree in S) - (leaves of
   /// j's right subtree in S), per the proof of Lemma 3.
@@ -59,6 +70,9 @@ class HaarTransform final : public Transform1D {
   std::size_t padded_;
   std::size_t levels_;
   std::vector<double> weights_;
+  // Reusable workspace for the scratch-less Forward/Inverse overloads;
+  // mutable because transforming does not observably change the instance.
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace privelet::wavelet

@@ -21,7 +21,7 @@ void IdentityTransform::Inverse(const double* coeffs, double* out) const {
 
 void IdentityTransform::RangeContribution(std::size_t lo, std::size_t hi,
                                           double* out) const {
-  PRIVELET_DCHECK(lo <= hi && hi < n_, "bad range");
+  PRIVELET_CHECK(lo <= hi && hi < n_, "bad range");
   std::fill(out, out + n_, 0.0);
   std::fill(out + lo, out + hi + 1, 1.0);
 }

@@ -54,7 +54,7 @@ void NominalTransform::Refine(double* coeffs) const {
 void NominalTransform::RangeContribution(std::size_t lo, std::size_t hi,
                                          double* out) const {
   const data::Hierarchy& h = *hierarchy_;
-  PRIVELET_DCHECK(lo <= hi && hi < h.num_leaves(), "bad range");
+  PRIVELET_CHECK(lo <= hi && hi < h.num_leaves(), "bad range");
   for (std::size_t id = 0; id < h.num_nodes(); ++id) out[id] = 0.0;
   for (std::size_t leaf = lo; leaf <= hi; ++leaf) {
     out[h.leaf_node(leaf)] = 1.0;

@@ -1,0 +1,64 @@
+// Rejected-input tests for the always-on PRIVELET_CHECK guards on public
+// API boundaries. These used to be PRIVELET_DCHECKs, which compile out of
+// release builds and silently let out-of-range queries read out of bounds;
+// the checks must now fire in every build type.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "privelet/data/hierarchy.h"
+#include "privelet/wavelet/haar.h"
+#include "privelet/wavelet/identity.h"
+#include "privelet/wavelet/nominal.h"
+
+namespace privelet::wavelet {
+namespace {
+
+TEST(ApiGuardDeathTest, HaarRangeContributionRejectsInvertedRange) {
+  HaarTransform haar(8);
+  std::vector<double> out(haar.coefficient_count());
+  EXPECT_DEATH(haar.RangeContribution(5, 2, out.data()), "bad range");
+}
+
+TEST(ApiGuardDeathTest, HaarRangeContributionRejectsOutOfBoundsHi) {
+  // n = 6 pads to 8; hi in [6, 8) is inside the padded domain but outside
+  // the input domain and must still be rejected.
+  HaarTransform haar(6);
+  std::vector<double> out(haar.coefficient_count());
+  EXPECT_DEATH(haar.RangeContribution(0, 6, out.data()), "bad range");
+}
+
+TEST(ApiGuardDeathTest, HaarLevelOfRejectsBaseCoefficient) {
+  EXPECT_DEATH(HaarTransform::LevelOf(0), "base coefficient has no level");
+}
+
+TEST(ApiGuardDeathTest, IdentityRangeContributionRejectsBadRanges) {
+  IdentityTransform identity(4);
+  std::vector<double> out(identity.coefficient_count());
+  EXPECT_DEATH(identity.RangeContribution(3, 1, out.data()), "bad range");
+  EXPECT_DEATH(identity.RangeContribution(0, 4, out.data()), "bad range");
+}
+
+TEST(ApiGuardDeathTest, NominalRangeContributionRejectsBadRanges) {
+  auto hierarchy = std::make_shared<const data::Hierarchy>(
+      data::Hierarchy::Flat(5).value());
+  NominalTransform nominal(hierarchy);
+  std::vector<double> out(nominal.coefficient_count());
+  EXPECT_DEATH(nominal.RangeContribution(4, 2, out.data()), "bad range");
+  EXPECT_DEATH(nominal.RangeContribution(0, 5, out.data()), "bad range");
+}
+
+TEST(ApiGuardDeathTest, ValidBoundaryRangesAreAccepted) {
+  // The full-domain and single-point ranges sit exactly on the guard's
+  // boundary and must pass.
+  HaarTransform haar(6);
+  std::vector<double> out(haar.coefficient_count());
+  haar.RangeContribution(0, 5, out.data());
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  haar.RangeContribution(5, 5, out.data());
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+}  // namespace
+}  // namespace privelet::wavelet

@@ -189,7 +189,10 @@ TEST_P(HnRoundTripTest, InverseRecoversInput) {
   std::vector<std::size_t> identity_axes;
   for (std::size_t a = 0; a < d; ++a) {
     const std::uint64_t kind = gen.NextUint64InRange(0, 2);
-    const std::string name = "A" + std::to_string(a);
+    // Built via += : `"A" + std::to_string(a)` trips GCC 12's -Wrestrict
+    // false positive (PR 105651) under -O2.
+    std::string name = "A";
+    name += std::to_string(a);
     if (kind == 0) {
       attrs.push_back(
           data::Attribute::Ordinal(name, gen.NextUint64InRange(1, 9)));
