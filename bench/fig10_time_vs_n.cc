@@ -11,7 +11,10 @@
 
 #include "bench_util.h"
 #include "privelet/common/stopwatch.h"
+#include "privelet/common/thread_pool.h"
 #include "privelet/data/synthetic_generator.h"
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/wavelet/hn_transform.h"
 
 namespace {
 
@@ -56,6 +59,50 @@ int main() {
     report.AddRow({{"n", static_cast<double>(n)},
                    {"basic_seconds", basic_s},
                    {"privelet_seconds", privelet_s}});
+  }
+
+  // Thread-count sweep on a 2^22-cell cube (2^24 at paper scale): HN
+  // forward transform and full Privelet publish at 1/2/4/8 workers. The
+  // published matrix is bit-identical across the sweep; only wall-clock
+  // moves. Speedup is relative to the 1-worker pool.
+  const std::size_t sweep_m =
+      full ? (std::size_t{1} << 24) : (std::size_t{1} << 22);
+  auto sweep_schema = data::MakeScalabilitySchema(sweep_m);
+  PRIVELET_CHECK(sweep_schema.ok(), sweep_schema.status().ToString());
+  auto transform = wavelet::HnTransform::Create(*sweep_schema);
+  PRIVELET_CHECK(transform.ok(), transform.status().ToString());
+  matrix::FrequencyMatrix cube(sweep_schema->DomainSizes());
+  rng::Xoshiro256pp fill(12);
+  for (std::size_t i = 0; i < cube.size(); ++i) cube[i] = fill.NextDouble();
+
+  std::printf("\n=== Thread sweep (m=%zu cells) ===\n",
+              sweep_schema->TotalDomainSize());
+  std::printf("%-8s %16s %16s %10s\n", "threads", "forward(s)",
+              "publish(s)", "speedup");
+  bench::BenchReport sweep_report("fig10_thread_sweep");
+  double forward_1t = 0.0;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    common::ThreadPool pool(threads);
+    Stopwatch fwd_timer;
+    auto coeffs = transform->Forward(cube, &pool);
+    PRIVELET_CHECK(coeffs.ok(), coeffs.status().ToString());
+    const double forward_s = fwd_timer.ElapsedSeconds();
+
+    mechanism::PriveletMechanism privelet;
+    privelet.set_thread_pool(&pool);
+    Stopwatch pub_timer;
+    auto noisy = privelet.Publish(*sweep_schema, cube, 1.0, /*seed=*/7);
+    PRIVELET_CHECK(noisy.ok(), noisy.status().ToString());
+    const double publish_s = pub_timer.ElapsedSeconds();
+
+    if (threads == 1) forward_1t = forward_s;
+    const double speedup = forward_1t / forward_s;
+    std::printf("%-8zu %16.3f %16.3f %9.2fx\n", threads, forward_s,
+                publish_s, speedup);
+    sweep_report.AddRow({{"threads", static_cast<double>(threads)},
+                         {"forward_seconds", forward_s},
+                         {"publish_seconds", publish_s},
+                         {"forward_speedup_vs_1t", speedup}});
   }
   return 0;
 }

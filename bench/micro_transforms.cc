@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "privelet/common/thread_pool.h"
 #include "privelet/data/attribute.h"
 #include "privelet/data/synthetic_generator.h"
 #include "privelet/matrix/frequency_matrix.h"
@@ -134,6 +135,66 @@ void BM_HnForward4D(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.size()));
 }
 BENCHMARK(BM_HnForward4D)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// Thread-count sweeps on the ISSUE's 2^22-cell cube: the per-axis line
+// fan-out should scale near-linearly with cores (each line transform is
+// independent). Wall-clock (real time) is the meaningful metric for
+// internally-parallel work.
+void BM_HnForward4DThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  auto schema = data::MakeScalabilitySchema(std::size_t{1} << 22);
+  auto transform = wavelet::HnTransform::Create(*schema);
+  matrix::FrequencyMatrix m(schema->DomainSizes());
+  rng::Xoshiro256pp gen(8);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = gen.NextDouble();
+  common::ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto coeffs = transform->Forward(m, &pool);
+    benchmark::DoNotOptimize(coeffs->coeffs.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.size()));
+}
+BENCHMARK(BM_HnForward4DThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_HnInverse4DThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  auto schema = data::MakeScalabilitySchema(std::size_t{1} << 22);
+  auto transform = wavelet::HnTransform::Create(*schema);
+  matrix::FrequencyMatrix m(schema->DomainSizes());
+  rng::Xoshiro256pp gen(9);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = gen.NextDouble();
+  auto coeffs = transform->Forward(m);
+  common::ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto back = transform->Inverse(*coeffs, &pool);
+    benchmark::DoNotOptimize(back->values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.size()));
+}
+BENCHMARK(BM_HnInverse4DThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// End-to-end Publish (transform + sharded noise + inverse) under the same
+// sweep; output is bit-identical across the sweep by construction.
+void BM_PublishPriveletThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  auto schema = data::MakeScalabilitySchema(std::size_t{1} << 20);
+  matrix::FrequencyMatrix m(schema->DomainSizes());
+  mechanism::PriveletMechanism mech;
+  common::ThreadPool pool(threads);
+  mech.set_thread_pool(&pool);
+  for (auto _ : state) {
+    auto noisy = mech.Publish(*schema, m, 1.0, 1);
+    benchmark::DoNotOptimize(noisy->values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.size()));
+}
+BENCHMARK(BM_PublishPriveletThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_PrefixSumBuild(benchmark::State& state) {
   const auto total = static_cast<std::size_t>(state.range(0));

@@ -6,8 +6,11 @@
 //   3. publish under ε-DP,
 //   4. post-process (non-negative integer counts; DP-preserving),
 //   5. serialize the release to disk,
-// and then, acting as the analyst, load the release and answer queries,
-// comparing against the predicted noise variance.
+// and then, acting as the analyst, load the release into a
+// PublishingSession (the thread-safe serving facade) and answer a query
+// batch, comparing against the predicted noise variance. Publishing and
+// serving both run on a worker pool; thanks to the determinism contract
+// the release is bit-identical to a serial run for the same seed.
 //
 //   build/examples/publishing_pipeline
 #include <cmath>
@@ -15,6 +18,7 @@
 
 #include "privelet/analysis/query_variance.h"
 #include "privelet/analysis/workload_planner.h"
+#include "privelet/common/thread_pool.h"
 #include "privelet/data/census_generator.h"
 #include "privelet/data/csv.h"
 #include "privelet/matrix/frequency_matrix.h"
@@ -22,6 +26,7 @@
 #include "privelet/mechanism/postprocess.h"
 #include "privelet/mechanism/privelet_mechanism.h"
 #include "privelet/query/evaluator.h"
+#include "privelet/query/publishing_session.h"
 #include "privelet/query/workload.h"
 
 using namespace privelet;
@@ -73,7 +78,9 @@ int main() {
   // clamp negatives: on a sparse matrix (m >> n) clamping adds a positive
   // bias of Theta(covered cells), which would dwarf every wide range
   // count — see the warning on ClampNonNegative.
-  const mechanism::PriveletPlusMechanism mech(plan->sa_names);
+  common::ThreadPool pool(common::ThreadPool::DefaultThreadCount());
+  mechanism::PriveletPlusMechanism mech(plan->sa_names);
+  mech.set_thread_pool(&pool);  // parallel transform + sharded noise
   auto noisy = mech.Publish(schema, m, epsilon, /*seed=*/2026);
   if (!noisy.ok()) return 1;
   mechanism::RoundToIntegers(&*noisy);
@@ -82,9 +89,14 @@ int main() {
               static_cast<double>(noisy->size() * sizeof(double)) / 1e6);
 
   // --- analyst side -----------------------------------------------------
+  // Load the release into a PublishingSession: it owns the noisy cube and
+  // its prefix-sum table, answers batches across the pool, and is safe to
+  // share between any number of serving threads.
   auto release = matrix::ReadMatrix(release_path);
   if (!release.ok()) return 1;
-  query::QueryEvaluator private_eval(schema, *release);
+  auto session =
+      query::PublishingSession::FromMatrix(schema, std::move(*release), &pool);
+  if (!session.ok()) return 1;
   query::QueryEvaluator truth(schema, m);  // for demonstration only
 
   std::printf("%-44s %10s %10s %12s\n", "query", "true", "private",
@@ -95,6 +107,7 @@ int main() {
   analyst.seed = 555;
   auto queries = query::GenerateWorkload(schema, analyst);
   if (!queries.ok()) return 1;
+  const std::vector<double> answers = session->AnswerAll(*queries);
   for (std::size_t i = 0; i < queries->size(); ++i) {
     const auto& q = (*queries)[i];
     const double predicted_var =
@@ -105,7 +118,7 @@ int main() {
     std::snprintf(label, sizeof(label), "workload query #%zu (%zu preds)",
                   i + 1, q.NumPredicates());
     std::printf("%-44s %10.0f %10.0f %12.1f\n", label, truth.Answer(q),
-                private_eval.Answer(q), std::sqrt(predicted_var));
+                answers[i], std::sqrt(predicted_var));
   }
 
   std::printf("\nnotes: private answers should sit within ~3 predicted "

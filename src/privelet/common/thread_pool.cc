@@ -1,0 +1,139 @@
+#include "privelet/common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "privelet/common/check.h"
+
+namespace privelet::common {
+
+namespace {
+
+// Shared state of one ParallelFor call. Tasks claim chunks from `next`;
+// the caller waits until every claimed chunk has run to completion. Held
+// by shared_ptr so tasks that dequeue after the loop already finished
+// (possible when other chunks were claimed faster) can still read it and
+// exit cleanly.
+struct LoopState {
+  std::size_t n = 0;
+  std::size_t grain = 0;
+  std::size_t num_chunks = 0;
+  std::function<void(std::size_t, std::size_t)> body;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::size_t done = 0;
+};
+
+// Claims and runs chunks until none remain. Returns after contributing to
+// the completion count for every chunk it ran.
+void RunChunks(LoopState& state) {
+  std::size_t ran = 0;
+  for (;;) {
+    const std::size_t chunk = state.next.fetch_add(1);
+    if (chunk >= state.num_chunks) break;
+    const std::size_t begin = chunk * state.grain;
+    const std::size_t end = std::min(begin + state.grain, state.n);
+    state.body(begin, end);
+    ++ran;
+  }
+  if (ran > 0) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.done += ran;
+    if (state.done == state.num_chunks) state.all_done.notify_all();
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  PRIVELET_CHECK(num_threads >= 1, "thread pool needs >= 1 worker");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) {
+    // Auto chunking: enough chunks for dynamic balancing, few enough that
+    // per-chunk setup (buffer allocation in transform bodies) amortizes.
+    grain = std::max<std::size_t>(1, n / (num_threads() * 4));
+  }
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) {
+    body(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->body = body;
+
+  // One assist task per worker, capped by the chunk count (the caller
+  // claims chunks too, so even a fully busy pool makes progress).
+  const std::size_t assists = std::min(num_threads(), num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < assists; ++i) {
+      queue_.emplace_back([state] { RunChunks(*state); });
+    }
+  }
+  work_available_.notify_all();
+
+  RunChunks(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock,
+                       [&] { return state->done == state->num_chunks; });
+}
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, grain, body);
+    return;
+  }
+  if (n == 0) return;
+  if (grain == 0) {
+    body(0, n);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    body(begin, std::min(begin + grain, n));
+  }
+}
+
+}  // namespace privelet::common

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "privelet/common/check.h"
+#include "privelet/common/thread_pool.h"
 #include "privelet/matrix/frequency_matrix.h"
 
 namespace privelet::matrix {
@@ -22,7 +23,13 @@ namespace privelet::matrix {
 template <typename Accum>
 class PrefixSumTable {
  public:
-  explicit PrefixSumTable(const FrequencyMatrix& source)
+  /// Builds the table in O(m) per axis. A non-null `pool` fans each axis
+  /// pass's independent running-sum lines across its workers; each line
+  /// is a serial accumulation over disjoint elements, so the table is
+  /// bit-identical for every pool size. The pool is only used during
+  /// construction.
+  explicit PrefixSumTable(const FrequencyMatrix& source,
+                          common::ThreadPool* pool = nullptr)
       : dims_(source.dims()), strides_(source.num_dims()) {
     std::size_t stride = 1;
     for (std::size_t axis = dims_.size(); axis-- > 0;) {
@@ -30,21 +37,28 @@ class PrefixSumTable {
       stride *= dims_[axis];
     }
     sums_.resize(source.size());
-    for (std::size_t i = 0; i < source.size(); ++i) {
-      sums_[i] = static_cast<Accum>(source[i]);
-    }
+    common::ParallelFor(pool, source.size(), /*grain=*/0,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            sums_[i] = static_cast<Accum>(source[i]);
+                          }
+                        });
     // One running-sum pass per axis turns the copy into an inclusive
     // d-dimensional prefix table.
     for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
       const std::size_t stride_a = strides_[axis];
-      const std::size_t lines = sums_.size() / dims_[axis];
-      for (std::size_t line = 0; line < lines; ++line) {
-        std::size_t base =
-            (line / stride_a) * (stride_a * dims_[axis]) + (line % stride_a);
-        for (std::size_t k = 1; k < dims_[axis]; ++k) {
-          sums_[base + k * stride_a] += sums_[base + (k - 1) * stride_a];
-        }
-      }
+      const std::size_t axis_dim = dims_[axis];
+      const std::size_t lines = sums_.size() / axis_dim;
+      common::ParallelFor(
+          pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t line = begin; line < end; ++line) {
+              std::size_t base = (line / stride_a) * (stride_a * axis_dim) +
+                                 (line % stride_a);
+              for (std::size_t k = 1; k < axis_dim; ++k) {
+                sums_[base + k * stride_a] += sums_[base + (k - 1) * stride_a];
+              }
+            }
+          });
     }
   }
 

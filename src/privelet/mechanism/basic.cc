@@ -1,8 +1,9 @@
 #include "privelet/mechanism/basic.h"
 
-#include "privelet/rng/distributions.h"
+#include <span>
+
+#include "privelet/mechanism/noise.h"
 #include "privelet/rng/splitmix64.h"
-#include "privelet/rng/xoshiro256pp.h"
 
 namespace privelet::mechanism {
 
@@ -25,11 +26,9 @@ Result<matrix::FrequencyMatrix> BasicMechanism::Publish(
   // Sensitivity of the frequency matrix is 2 (one tuple change moves two
   // entries by one each), so Laplace magnitude 2/ε gives ε-DP (Theorem 1).
   const double lambda = 2.0 / epsilon;
-  rng::Xoshiro256pp gen(rng::DeriveSeed(seed, 0xBA51C));
   matrix::FrequencyMatrix noisy = m;
-  for (std::size_t i = 0; i < noisy.size(); ++i) {
-    noisy[i] += rng::SampleLaplace(gen, lambda);
-  }
+  AddLaplaceNoise(std::span<double>(noisy.values()), lambda,
+                  rng::DeriveSeed(seed, 0xBA51C), thread_pool());
   return noisy;
 }
 

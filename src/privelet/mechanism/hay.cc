@@ -1,12 +1,12 @@
 #include "privelet/mechanism/hay.h"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "privelet/common/math_util.h"
-#include "privelet/rng/distributions.h"
+#include "privelet/mechanism/noise.h"
 #include "privelet/rng/splitmix64.h"
-#include "privelet/rng/xoshiro256pp.h"
 
 namespace privelet::mechanism {
 
@@ -42,12 +42,13 @@ Result<matrix::FrequencyMatrix> HayHierarchicalMechanism::Publish(
   }
 
   // Uniform budget split: each level gets ε/h, i.e. Laplace(h/ε) per node.
+  // Sharded per-node noise (node 1 = shard offset 0, matching the old
+  // serial draw order on single-shard trees).
   const double lambda = static_cast<double>(levels) / epsilon;
-  rng::Xoshiro256pp gen(rng::DeriveSeed(seed, 0x4A7));
-  std::vector<double> noisy(2 * padded, 0.0);
-  for (std::size_t v = 1; v < 2 * padded; ++v) {
-    noisy[v] = true_count[v] + rng::SampleLaplace(gen, lambda);
-  }
+  std::vector<double> noisy = true_count;
+  noisy[0] = 0.0;
+  AddLaplaceNoise(std::span<double>(noisy).subspan(1), lambda,
+                  rng::DeriveSeed(seed, 0x4A7), thread_pool());
 
   // Consistency, pass 1 (bottom-up): z[v] is the best subtree-local
   // estimate. For a node whose subtree has k levels:

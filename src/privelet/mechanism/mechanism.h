@@ -12,6 +12,10 @@
 #include "privelet/data/schema.h"
 #include "privelet/matrix/frequency_matrix.h"
 
+namespace privelet::common {
+class ThreadPool;
+}  // namespace privelet::common
+
 namespace privelet::mechanism {
 
 class Mechanism {
@@ -19,6 +23,15 @@ class Mechanism {
   virtual ~Mechanism() = default;
 
   virtual std::string_view name() const = 0;
+
+  /// Optional worker pool used by Publish implementations for internal
+  /// parallelism (transform fan-out, sharded noise). Not owned; must
+  /// outlive every Publish call. Publish output is bit-identical for a
+  /// given seed whatever the pool — nullptr (serial, the default) and any
+  /// pool size produce the same matrix — so threading is purely a
+  /// performance knob.
+  void set_thread_pool(common::ThreadPool* pool) { thread_pool_ = pool; }
+  common::ThreadPool* thread_pool() const { return thread_pool_; }
 
   /// Publishes a noisy version of `m` (dims must equal the schema's domain
   /// sizes) satisfying `epsilon`-differential privacy. Deterministic in
@@ -32,6 +45,9 @@ class Mechanism {
   /// this ε). Used by the analysis module and the ablation benches.
   virtual Result<double> NoiseVarianceBound(const data::Schema& schema,
                                             double epsilon) const = 0;
+
+ private:
+  common::ThreadPool* thread_pool_ = nullptr;
 };
 
 /// Validates the common Publish preconditions; shared by implementations.

@@ -1,0 +1,38 @@
+#include "privelet/mechanism/noise.h"
+
+#include <vector>
+
+#include "privelet/rng/distributions.h"
+
+namespace privelet::mechanism {
+
+void ForEachNoiseShard(
+    std::size_t total, std::uint64_t noise_seed, common::ThreadPool* pool,
+    const std::function<void(std::size_t, std::size_t, rng::Xoshiro256pp&)>&
+        body) {
+  if (total == 0) return;
+  const std::size_t shards = (total + kNoiseShardSize - 1) / kNoiseShardSize;
+  // The streams are materialized up front (a Jump is ~256 state steps, a
+  // few percent of the 8192 draws a full shard makes) so the parallel
+  // phase touches only its own generator.
+  std::vector<rng::Xoshiro256pp> streams =
+      rng::MakeJumpStreams(noise_seed, shards);
+  common::ParallelFor(pool, total, kNoiseShardSize,
+                      [&](std::size_t begin, std::size_t end) {
+                        body(begin, end, streams[begin / kNoiseShardSize]);
+                      });
+}
+
+void AddLaplaceNoise(std::span<double> values, double magnitude,
+                     std::uint64_t noise_seed, common::ThreadPool* pool) {
+  ForEachNoiseShard(
+      values.size(), noise_seed, pool,
+      [values, magnitude](std::size_t begin, std::size_t end,
+                          rng::Xoshiro256pp& gen) {
+        for (std::size_t i = begin; i < end; ++i) {
+          values[i] += rng::SampleLaplace(gen, magnitude);
+        }
+      });
+}
+
+}  // namespace privelet::mechanism

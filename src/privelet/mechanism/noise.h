@@ -1,0 +1,47 @@
+// Sharded Laplace noise injection shared by the publishing mechanisms.
+//
+// Determinism contract: the element range [0, total) is cut into fixed
+// kNoiseShardSize-wide shards, and shard i always draws from jump-stream i
+// of the noise seed (see rng::MakeJumpStreams). The noise added at a given
+// index therefore depends only on (seed, index) — never on the thread
+// pool or its size — so published matrices are bit-identical across
+// thread counts. With a single shard, stream 0 is the plain
+// Xoshiro256pp(seed) sequence, i.e. exactly what the pre-sharding serial
+// mechanisms drew.
+#ifndef PRIVELET_MECHANISM_NOISE_H_
+#define PRIVELET_MECHANISM_NOISE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "privelet/common/thread_pool.h"
+#include "privelet/rng/xoshiro256pp.h"
+
+namespace privelet::mechanism {
+
+/// Fixed shard width of the noise-injection index space. Part of the
+/// published-output format for a given seed: changing it changes every
+/// multi-shard release.
+inline constexpr std::size_t kNoiseShardSize = 8192;
+
+/// Calls body(begin, end, gen) for every shard of [0, total), where `gen`
+/// is the shard's private jump stream of `noise_seed`, fanned across
+/// `pool` (nullptr runs the shards serially, in index order, with
+/// identical draws). `body` must consume gen identically regardless of
+/// scheduling (it sees each shard exactly once) and must not touch state
+/// shared with other shards.
+void ForEachNoiseShard(
+    std::size_t total, std::uint64_t noise_seed, common::ThreadPool* pool,
+    const std::function<void(std::size_t, std::size_t, rng::Xoshiro256pp&)>&
+        body);
+
+/// values[i] += Laplace(magnitude) with the sharded stream scheme above —
+/// the whole noise step of the Basic and Hay mechanisms.
+void AddLaplaceNoise(std::span<double> values, double magnitude,
+                     std::uint64_t noise_seed, common::ThreadPool* pool);
+
+}  // namespace privelet::mechanism
+
+#endif  // PRIVELET_MECHANISM_NOISE_H_

@@ -1,5 +1,6 @@
 #include "privelet/mechanism/privelet_mechanism.h"
 
+#include "privelet/mechanism/noise.h"
 #include "privelet/rng/distributions.h"
 #include "privelet/rng/splitmix64.h"
 #include "privelet/rng/xoshiro256pp.h"
@@ -53,20 +54,28 @@ Result<matrix::FrequencyMatrix> PriveletPlusMechanism::Publish(
   const double lambda =
       2.0 * transform.GeneralizedSensitivity() / epsilon;
 
+  common::ThreadPool* pool = thread_pool();
+
   // Step 1: wavelet transform.
   PRIVELET_ASSIGN_OR_RETURN(wavelet::HnCoefficients coefficients,
-                            transform.Forward(m));
+                            transform.Forward(m, pool));
 
-  // Step 2: Laplace noise of magnitude λ / WHN(c) per coefficient.
-  rng::Xoshiro256pp gen(rng::DeriveSeed(seed, 0x9121E7));
+  // Step 2: Laplace noise of magnitude λ / WHN(c) per coefficient, fanned
+  // across fixed index shards with per-shard jump streams so the draws are
+  // independent of the pool (see mechanism/noise.h).
   auto& values = coefficients.coeffs.values();
-  coefficients.ForEachCoefficient([&](std::size_t flat, double weight) {
-    values[flat] += rng::SampleLaplace(gen, lambda / weight);
-  });
+  ForEachNoiseShard(
+      values.size(), rng::DeriveSeed(seed, 0x9121E7), pool,
+      [&](std::size_t begin, std::size_t end, rng::Xoshiro256pp& gen) {
+        coefficients.ForEachCoefficientInRange(
+            begin, end, [&](std::size_t flat, double weight) {
+              values[flat] += rng::SampleLaplace(gen, lambda / weight);
+            });
+      });
 
   // Step 3: refine (mean subtraction on nominal axes, inside Inverse) and
   // reconstruct the noisy frequency matrix.
-  return transform.Inverse(coefficients);
+  return transform.Inverse(coefficients, pool);
 }
 
 Result<double> PriveletPlusMechanism::NoiseVarianceBound(

@@ -3,21 +3,53 @@
 namespace privelet::query {
 
 QueryEvaluator::QueryEvaluator(const data::Schema& schema,
-                               const matrix::FrequencyMatrix& m)
-    : schema_(schema), table_(m) {}
+                               const matrix::FrequencyMatrix& m,
+                               common::ThreadPool* pool)
+    : schema_(schema), table_(m, pool) {}
+
+namespace {
+
+// Per-thread bound scratch for the single-query entry points: keeps them
+// allocation-free (after each thread's first call) without reintroducing
+// the shared mutable state that made concurrent Answer calls race.
+struct BoundScratch {
+  std::vector<std::size_t> lo, hi;
+};
+
+BoundScratch& ThreadBoundScratch() {
+  static thread_local BoundScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 double QueryEvaluator::Answer(const RangeQuery& query) const {
-  query.ResolveBounds(schema_, &lo_, &hi_);
-  return static_cast<double>(table_.RangeSum(lo_, hi_));
+  BoundScratch& scratch = ThreadBoundScratch();
+  return Answer(query, &scratch.lo, &scratch.hi);
+}
+
+double QueryEvaluator::Answer(const RangeQuery& query,
+                              std::vector<std::size_t>* lo,
+                              std::vector<std::size_t>* hi) const {
+  query.ResolveBounds(schema_, lo, hi);
+  return static_cast<double>(table_.RangeSum(*lo, *hi));
 }
 
 ExactEvaluator::ExactEvaluator(const data::Schema& schema,
-                               const matrix::FrequencyMatrix& m)
-    : schema_(schema), table_(m) {}
+                               const matrix::FrequencyMatrix& m,
+                               common::ThreadPool* pool)
+    : schema_(schema), table_(m, pool) {}
 
 std::int64_t ExactEvaluator::Answer(const RangeQuery& query) const {
-  query.ResolveBounds(schema_, &lo_, &hi_);
-  return table_.RangeSum(lo_, hi_);
+  BoundScratch& scratch = ThreadBoundScratch();
+  return Answer(query, &scratch.lo, &scratch.hi);
+}
+
+std::int64_t ExactEvaluator::Answer(const RangeQuery& query,
+                                    std::vector<std::size_t>* lo,
+                                    std::vector<std::size_t>* hi) const {
+  query.ResolveBounds(schema_, lo, hi);
+  return table_.RangeSum(*lo, *hi);
 }
 
 double BruteForceAnswer(const data::Schema& schema,

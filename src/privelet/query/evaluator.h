@@ -13,36 +13,51 @@
 #include "privelet/matrix/prefix_sum.h"
 #include "privelet/query/range_query.h"
 
+namespace privelet::common {
+class ThreadPool;
+}  // namespace privelet::common
+
 namespace privelet::query {
 
 /// Answers range-count queries over a real-valued (typically noisy) matrix
-/// in O(2^d) after O(m) setup.
+/// in O(2^d) after O(m) setup. Answer is const with no hidden mutable
+/// state, so a shared evaluator serves concurrent callers safely.
 class QueryEvaluator {
  public:
-  QueryEvaluator(const data::Schema& schema,
-                 const matrix::FrequencyMatrix& m);
+  /// `pool` (optional) parallelizes the prefix-sum build; it is not
+  /// retained after construction.
+  QueryEvaluator(const data::Schema& schema, const matrix::FrequencyMatrix& m,
+                 common::ThreadPool* pool = nullptr);
 
   double Answer(const RangeQuery& query) const;
+
+  /// Scratch-reusing overload for batched callers: `lo`/`hi` are resized
+  /// and overwritten, avoiding the two small allocations per query. Each
+  /// concurrent caller passes its own scratch.
+  double Answer(const RangeQuery& query, std::vector<std::size_t>* lo,
+                std::vector<std::size_t>* hi) const;
 
  private:
   const data::Schema& schema_;
   matrix::PrefixSumTable<long double> table_;
-  mutable std::vector<std::size_t> lo_, hi_;  // scratch
 };
 
 /// Answers range-count queries over an exact count matrix with integer
-/// arithmetic (no rounding for any data size).
+/// arithmetic (no rounding for any data size). Thread-safe like
+/// QueryEvaluator.
 class ExactEvaluator {
  public:
-  ExactEvaluator(const data::Schema& schema,
-                 const matrix::FrequencyMatrix& m);
+  ExactEvaluator(const data::Schema& schema, const matrix::FrequencyMatrix& m,
+                 common::ThreadPool* pool = nullptr);
 
   std::int64_t Answer(const RangeQuery& query) const;
+
+  std::int64_t Answer(const RangeQuery& query, std::vector<std::size_t>* lo,
+                      std::vector<std::size_t>* hi) const;
 
  private:
   const data::Schema& schema_;
   matrix::PrefixSumTable<std::int64_t> table_;
-  mutable std::vector<std::size_t> lo_, hi_;  // scratch
 };
 
 /// O(m)-per-query reference evaluator used to validate the tables.

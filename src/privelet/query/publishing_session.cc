@@ -1,0 +1,53 @@
+#include "privelet/query/publishing_session.h"
+
+namespace privelet::query {
+
+PublishingSession::PublishingSession(
+    std::shared_ptr<const data::Schema> schema,
+    matrix::FrequencyMatrix published, common::ThreadPool* pool)
+    : schema_(std::move(schema)),
+      published_(std::make_shared<const matrix::FrequencyMatrix>(
+          std::move(published))),
+      evaluator_(
+          std::make_shared<const QueryEvaluator>(*schema_, *published_, pool)),
+      pool_(pool) {}
+
+Result<PublishingSession> PublishingSession::Publish(
+    const data::Schema& schema, const mechanism::Mechanism& mech,
+    const matrix::FrequencyMatrix& m, double epsilon, std::uint64_t seed,
+    common::ThreadPool* pool) {
+  PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
+                            mech.Publish(schema, m, epsilon, seed));
+  return PublishingSession(std::make_shared<const data::Schema>(schema),
+                           std::move(published), pool);
+}
+
+Result<PublishingSession> PublishingSession::FromMatrix(
+    const data::Schema& schema, matrix::FrequencyMatrix published,
+    common::ThreadPool* pool) {
+  if (published.dims() != schema.DomainSizes()) {
+    return Status::InvalidArgument(
+        "published matrix dims do not match the schema");
+  }
+  return PublishingSession(std::make_shared<const data::Schema>(schema),
+                           std::move(published), pool);
+}
+
+double PublishingSession::Answer(const RangeQuery& query) const {
+  return evaluator_->Answer(query);
+}
+
+std::vector<double> PublishingSession::AnswerAll(
+    std::span<const RangeQuery> queries) const {
+  std::vector<double> answers(queries.size());
+  common::ParallelFor(pool_, queries.size(), /*grain=*/0,
+                      [&](std::size_t begin, std::size_t end) {
+                        std::vector<std::size_t> lo, hi;
+                        for (std::size_t i = begin; i < end; ++i) {
+                          answers[i] = evaluator_->Answer(queries[i], &lo, &hi);
+                        }
+                      });
+  return answers;
+}
+
+}  // namespace privelet::query

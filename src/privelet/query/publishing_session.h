@@ -1,0 +1,71 @@
+// PublishingSession: the serving-side facade over one published release.
+// It owns the noisy frequency matrix together with its prefix-sum
+// evaluator and answers range-count queries from them — one object to hand
+// to a query-serving frontend. All answering entry points are const and
+// thread-safe: any number of threads may call Answer / AnswerAll on a
+// shared session concurrently, and AnswerAll additionally fans a batch
+// across a worker pool.
+#ifndef PRIVELET_QUERY_PUBLISHING_SESSION_H_
+#define PRIVELET_QUERY_PUBLISHING_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/common/thread_pool.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/mechanism.h"
+#include "privelet/query/evaluator.h"
+#include "privelet/query/range_query.h"
+
+namespace privelet::query {
+
+class PublishingSession {
+ public:
+  /// Publishes `m` under `mech` at (epsilon, seed) and wraps the release.
+  /// `pool` is used for batched answering (and is handed to nothing else —
+  /// configure parallel publishing on the mechanism via set_thread_pool).
+  /// Not owned; may be nullptr (serial serving) and must outlive the
+  /// session otherwise.
+  static Result<PublishingSession> Publish(const data::Schema& schema,
+                                           const mechanism::Mechanism& mech,
+                                           const matrix::FrequencyMatrix& m,
+                                           double epsilon, std::uint64_t seed,
+                                           common::ThreadPool* pool = nullptr);
+
+  /// Wraps an already-published release (e.g. loaded from disk). The
+  /// matrix dims must match the schema's domain sizes.
+  static Result<PublishingSession> FromMatrix(
+      const data::Schema& schema, matrix::FrequencyMatrix published,
+      common::ThreadPool* pool = nullptr);
+
+  const data::Schema& schema() const { return *schema_; }
+  const matrix::FrequencyMatrix& published() const { return *published_; }
+
+  /// Answer of one query against the release. Thread-safe.
+  double Answer(const RangeQuery& query) const;
+
+  /// Answers of a whole batch, in input order, fanned across the session
+  /// pool. Thread-safe: concurrent AnswerAll calls interleave on the
+  /// shared workers.
+  std::vector<double> AnswerAll(std::span<const RangeQuery> queries) const;
+
+ private:
+  PublishingSession(std::shared_ptr<const data::Schema> schema,
+                    matrix::FrequencyMatrix published,
+                    common::ThreadPool* pool);
+
+  // Heap-held so moves of the session never invalidate the references the
+  // evaluator keeps into schema and matrix.
+  std::shared_ptr<const data::Schema> schema_;
+  std::shared_ptr<const matrix::FrequencyMatrix> published_;
+  std::shared_ptr<const QueryEvaluator> evaluator_;
+  common::ThreadPool* pool_;
+};
+
+}  // namespace privelet::query
+
+#endif  // PRIVELET_QUERY_PUBLISHING_SESSION_H_

@@ -6,7 +6,9 @@
 #ifndef PRIVELET_RNG_XOSHIRO256PP_H_
 #define PRIVELET_RNG_XOSHIRO256PP_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace privelet::rng {
 
@@ -37,9 +39,22 @@ class Xoshiro256pp {
   /// result is exactly uniform. Requires lo <= hi.
   std::uint64_t NextUint64InRange(std::uint64_t lo, std::uint64_t hi);
 
+  /// Advances the state by 2^128 steps (the authors' jump polynomial):
+  /// generators jumped different numbers of times yield non-overlapping
+  /// subsequences, the basis of the library's per-shard noise streams.
+  void Jump();
+
  private:
   std::uint64_t state_[4];
 };
+
+/// `count` generators on the stream seeded by `seed` (via SplitMix64, as
+/// the constructor does), spaced 2^128 draws apart by repeated Jump():
+/// stream i starts where a 2^128-draw prefix of stream i-1 would end, so
+/// the streams never overlap. Stream 0 is exactly Xoshiro256pp(seed) —
+/// sharded consumers with a single shard reproduce the unsharded sequence.
+std::vector<Xoshiro256pp> MakeJumpStreams(std::uint64_t seed,
+                                          std::size_t count);
 
 }  // namespace privelet::rng
 

@@ -35,8 +35,11 @@ class HaarTransform final : public Transform1D {
   /// Core implementations with caller-provided scratch of padded_size()
   /// elements. These never allocate and are safe to call concurrently on a
   /// shared instance as long as each caller passes its own scratch.
-  void Forward(const double* in, double* out, double* scratch) const;
-  void Inverse(const double* coeffs, double* out, double* scratch) const;
+  std::size_t scratch_size() const override { return padded_; }
+  void Forward(const double* in, double* out,
+               double* scratch) const override;
+  void Inverse(const double* coeffs, double* out,
+               double* scratch) const override;
 
   /// a[0] = |S|; a[j] = (leaves of j's left subtree in S) - (leaves of
   /// j's right subtree in S), per the proof of Lemma 3.

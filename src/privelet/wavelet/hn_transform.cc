@@ -4,11 +4,42 @@
 #include <string>
 
 #include "privelet/common/check.h"
+#include "privelet/common/thread_pool.h"
 #include "privelet/wavelet/haar.h"
 #include "privelet/wavelet/identity.h"
 #include "privelet/wavelet/nominal.h"
 
 namespace privelet::wavelet {
+
+namespace {
+
+// Runs the 1-D transform `op` over every line of `current` along `axis`,
+// fanned across `pool` in contiguous line chunks. Each chunk carries its
+// own line buffers and Transform1D scratch, so a shared transform instance
+// is safe; lines write disjoint slices of `next`, so the output is
+// bit-identical for every pool size (including none).
+template <typename LineOp>
+void TransformLines(const matrix::FrequencyMatrix& current,
+                    matrix::FrequencyMatrix& next, std::size_t axis,
+                    const Transform1D& t, common::ThreadPool* pool,
+                    const LineOp& op) {
+  const std::size_t lines = current.NumLines(axis);
+  common::ParallelFor(
+      pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> in_line(
+            std::max(t.input_size(), t.coefficient_count()));
+        std::vector<double> out_line(in_line.size());
+        std::vector<double> scratch(t.scratch_size());
+        double* scratch_ptr = scratch.empty() ? nullptr : scratch.data();
+        for (std::size_t line = begin; line < end; ++line) {
+          current.GatherLine(axis, line, in_line.data());
+          op(in_line.data(), out_line.data(), scratch_ptr);
+          next.ScatterLine(axis, line, out_line.data());
+        }
+      });
+}
+
+}  // namespace
 
 double HnCoefficients::WeightAt(std::size_t flat) const {
   const auto coords = coeffs.Coords(flat);
@@ -63,8 +94,8 @@ Result<HnTransform> HnTransform::Create(
   return HnTransform(std::move(transforms));
 }
 
-Result<HnCoefficients> HnTransform::Forward(
-    const matrix::FrequencyMatrix& m) const {
+Result<HnCoefficients> HnTransform::Forward(const matrix::FrequencyMatrix& m,
+                                            common::ThreadPool* pool) const {
   if (m.dims() != input_dims_) {
     return Status::InvalidArgument("matrix dims do not match the transform");
   }
@@ -76,14 +107,10 @@ Result<HnCoefficients> HnTransform::Forward(
     next_dims[axis] = t.coefficient_count();
     matrix::FrequencyMatrix next(next_dims);
 
-    std::vector<double> in_line(t.input_size());
-    std::vector<double> out_line(t.coefficient_count());
-    const std::size_t lines = current.NumLines(axis);
-    for (std::size_t line = 0; line < lines; ++line) {
-      current.GatherLine(axis, line, in_line.data());
-      t.Forward(in_line.data(), out_line.data());
-      next.ScatterLine(axis, line, out_line.data());
-    }
+    TransformLines(current, next, axis, t, pool,
+                   [&t](const double* in, double* out, double* scratch) {
+                     t.Forward(in, out, scratch);
+                   });
     current = std::move(next);
   }
 
@@ -95,7 +122,7 @@ Result<HnCoefficients> HnTransform::Forward(
 }
 
 Result<matrix::FrequencyMatrix> HnTransform::Inverse(
-    const HnCoefficients& c) const {
+    const HnCoefficients& c, common::ThreadPool* pool) const {
   if (c.coeffs.dims() != output_dims_) {
     return Status::InvalidArgument(
         "coefficient dims do not match the transform");
@@ -107,15 +134,11 @@ Result<matrix::FrequencyMatrix> HnTransform::Inverse(
     next_dims[axis] = t.input_size();
     matrix::FrequencyMatrix next(next_dims);
 
-    std::vector<double> coeff_line(t.coefficient_count());
-    std::vector<double> out_line(t.input_size());
-    const std::size_t lines = current.NumLines(axis);
-    for (std::size_t line = 0; line < lines; ++line) {
-      current.GatherLine(axis, line, coeff_line.data());
-      t.Refine(coeff_line.data());
-      t.Inverse(coeff_line.data(), out_line.data());
-      next.ScatterLine(axis, line, out_line.data());
-    }
+    TransformLines(current, next, axis, t, pool,
+                   [&t](double* in, double* out, double* scratch) {
+                     t.Refine(in);
+                     t.Inverse(in, out, scratch);
+                   });
     current = std::move(next);
   }
   return current;

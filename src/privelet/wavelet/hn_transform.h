@@ -17,6 +17,10 @@
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/wavelet/transform.h"
 
+namespace privelet::common {
+class ThreadPool;
+}  // namespace privelet::common
+
 namespace privelet::wavelet {
 
 /// The output of HnTransform::Forward: the d-dimensional coefficient
@@ -34,6 +38,14 @@ struct HnCoefficients {
   /// per coefficient (odometer with running weight products).
   template <typename Fn>
   void ForEachCoefficient(Fn&& fn) const;
+
+  /// ForEachCoefficient restricted to flat indices [begin, end): O(d)
+  /// startup to position the odometer, then amortized O(1) per
+  /// coefficient. The building block of sharded (parallel) noise
+  /// injection — disjoint ranges may run concurrently.
+  template <typename Fn>
+  void ForEachCoefficientInRange(std::size_t begin, std::size_t end,
+                                 Fn&& fn) const;
 };
 
 class HnTransform {
@@ -56,13 +68,20 @@ class HnTransform {
   /// Coefficient-matrix dims.
   const std::vector<std::size_t>& output_dims() const { return output_dims_; }
 
-  /// Applies the 1-D transforms along axes 0..d-1 in turn.
-  Result<HnCoefficients> Forward(const matrix::FrequencyMatrix& m) const;
+  /// Applies the 1-D transforms along axes 0..d-1 in turn. A non-null
+  /// `pool` fans the independent 1-D line transforms of each axis pass
+  /// across its workers; the result is bit-identical to the serial run for
+  /// any pool size (each line is an independent computation writing a
+  /// disjoint slice of the next matrix).
+  Result<HnCoefficients> Forward(const matrix::FrequencyMatrix& m,
+                                 common::ThreadPool* pool = nullptr) const;
 
   /// Inverts along axes d-1..0. On each axis the 1-D transform's Refine()
   /// runs on every coefficient line before inversion (for noise-free
-  /// coefficients this is a no-op by construction).
-  Result<matrix::FrequencyMatrix> Inverse(const HnCoefficients& c) const;
+  /// coefficients this is a no-op by construction). Parallel and
+  /// deterministic across pool sizes like Forward.
+  Result<matrix::FrequencyMatrix> Inverse(
+      const HnCoefficients& c, common::ThreadPool* pool = nullptr) const;
 
   /// Generalized sensitivity of the transform w.r.t. WHN:
   /// prod_i P(A_i) (Theorem 2).
@@ -83,10 +102,18 @@ class HnTransform {
 
 template <typename Fn>
 void HnCoefficients::ForEachCoefficient(Fn&& fn) const {
+  ForEachCoefficientInRange(0, coeffs.size(), std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void HnCoefficients::ForEachCoefficientInRange(std::size_t begin,
+                                               std::size_t end,
+                                               Fn&& fn) const {
+  if (begin >= end) return;
   const auto& dims = coeffs.dims();
   const std::size_t d = dims.size();
   // partial[a] = product of weights over axes 0..a at the current coords.
-  std::vector<std::size_t> coords(d, 0);
+  std::vector<std::size_t> coords = coeffs.Coords(begin);
   std::vector<double> partial(d, 1.0);
   auto recompute_from = [&](std::size_t axis) {
     for (std::size_t a = axis; a < d; ++a) {
@@ -95,8 +122,7 @@ void HnCoefficients::ForEachCoefficient(Fn&& fn) const {
     }
   };
   recompute_from(0);
-  const std::size_t total = coeffs.size();
-  for (std::size_t flat = 0; flat < total; ++flat) {
+  for (std::size_t flat = begin; flat < end; ++flat) {
     fn(flat, partial[d - 1]);
     // Row-major odometer: bump the last axis, carry leftward.
     std::size_t axis = d;

@@ -43,6 +43,26 @@ class Transform1D {
   /// coefficient first.
   virtual void Forward(const double* in, double* out) const = 0;
 
+  /// Elements of caller-provided scratch the concurrent-safe overloads
+  /// below need. 0 (the default) means the plain Forward/Inverse are
+  /// already safe to call concurrently on a shared instance.
+  virtual std::size_t scratch_size() const { return 0; }
+
+  /// Concurrency-safe overloads: callers running line transforms in
+  /// parallel on a shared instance pass their own scratch of
+  /// scratch_size() elements (may be nullptr when that is 0). The default
+  /// forwards to the plain overloads, which is correct for transforms
+  /// without reusable internal workspace.
+  virtual void Forward(const double* in, double* out, double* scratch) const {
+    (void)scratch;
+    Forward(in, out);
+  }
+  virtual void Inverse(const double* coeffs, double* out,
+                       double* scratch) const {
+    (void)scratch;
+    Inverse(coeffs, out);
+  }
+
   /// Refinement applied to noisy coefficients before Inverse. Must not use
   /// any information beyond the coefficients themselves (privacy relies on
   /// this, Sec. III-A). Default: no-op.

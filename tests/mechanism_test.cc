@@ -7,11 +7,13 @@
 #include <cmath>
 #include <vector>
 
+#include "privelet/analysis/query_variance.h"
 #include "privelet/common/math_util.h"
 #include "privelet/data/census_generator.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/mechanism/basic.h"
 #include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/range_query.h"
 #include "privelet/rng/xoshiro256pp.h"
 
 namespace privelet::mechanism {
@@ -208,18 +210,32 @@ TEST(PriveletPlusTest, HugeEpsilonReconstructsWithSa) {
   }
 }
 
-TEST(PriveletPlusTest, TotalCountIsApproximatelyPreserved) {
-  // The base coefficient carries the total with the largest weight, so the
-  // published total should track the true total at moderate ε.
+TEST(PriveletPlusTest, TotalCountNoiseMatchesExactVariance) {
+  // The published total is the full-domain range count; across seeds its
+  // noise must match the closed-form exact query variance — a calibrated
+  // moment check instead of a "looks roughly preserved" band.
   PriveletMechanism privelet;
   const data::Schema schema = MixedSchema();
   const matrix::FrequencyMatrix m = RandomMatrix(schema, 9);
   const double true_total = m.Total();
-  auto noisy = privelet.Publish(schema, m, 1.0, 4);
-  ASSERT_TRUE(noisy.ok());
-  // λ = 24; base-coefficient noise magnitude λ/W is small but the nominal
-  // base weight is 1, so allow a wide yet bounded band.
-  EXPECT_NEAR(noisy->Total(), true_total, 2000.0);
+  const query::RangeQuery full(schema.num_attributes());
+  const double exact_variance =
+      analysis::PriveletPlusQueryVariance(schema, {}, 1.0, full).value();
+
+  constexpr std::size_t kTrials = 400;
+  std::vector<double> noise;
+  noise.reserve(kTrials);
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    auto noisy = privelet.Publish(schema, m, 1.0, seed);
+    ASSERT_TRUE(noisy.ok());
+    noise.push_back(noisy->Total() - true_total);
+  }
+  EXPECT_NEAR(Mean(noise), 0.0,
+              4.0 * std::sqrt(exact_variance / kTrials));
+  // 4-sigma band on the sample variance (Laplace mixtures: Var(s²) ~
+  // 5σ⁴/n).
+  EXPECT_NEAR(SampleVariance(noise) / exact_variance, 1.0,
+              4.0 * std::sqrt(5.0 / kTrials));
 }
 
 }  // namespace

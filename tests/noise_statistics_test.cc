@@ -1,0 +1,177 @@
+// Statistical acceptance tests for noise calibration: fixed-seed
+// sample-moment checks that the injected noise matches the calibrated
+// λ = 2ρ/ε per coefficient weight — per weight class of the Haar
+// decomposition, per cell on identity axes, and per query against the
+// closed-form exact variance. These replace "looks noisy" spot checks
+// with tolerance bands derived from the variance of the sample variance
+// (for Laplace, Var(s²) ≈ 5σ⁴/n, excess kurtosis 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "privelet/analysis/query_variance.h"
+#include "privelet/common/math_util.h"
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/noise.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/evaluator.h"
+#include "privelet/query/range_query.h"
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/wavelet/haar.h"
+
+namespace privelet {
+namespace {
+
+// 4-sigma relative tolerance band for a Laplace sample variance over n
+// samples, floored at 5% for very large n (where FP and model error
+// dominate sampling error).
+double VarianceTolerance(std::size_t n) {
+  return std::max(0.05, 4.0 * std::sqrt(5.0 / static_cast<double>(n)));
+}
+
+TEST(NoiseStatisticsTest, ShardedLaplaceMatchesMoments) {
+  // 2^17 draws span 16 shards; the pooled sample must look Laplace(b):
+  // mean 0, variance 2b², half of the mass within b·ln 2 of 0.
+  const std::size_t n = std::size_t{1} << 17;
+  const double b = 3.0;
+  std::vector<double> draws(n, 0.0);
+  mechanism::AddLaplaceNoise(draws, b, /*noise_seed=*/404, nullptr);
+
+  EXPECT_NEAR(Mean(draws), 0.0, 0.05);
+  EXPECT_NEAR(SampleVariance(draws) / (2.0 * b * b), 1.0,
+              VarianceTolerance(n));
+  const std::size_t within = static_cast<std::size_t>(
+      std::count_if(draws.begin(), draws.end(), [b](double x) {
+        return std::abs(x) <= b * std::log(2.0);
+      }));
+  EXPECT_NEAR(static_cast<double>(within) / static_cast<double>(n), 0.5,
+              0.01);
+}
+
+TEST(NoiseStatisticsTest, PriveletHaarNoisePerWeightClass) {
+  // 1-D ordinal with |A| = 256 = 2^8 (no padding, so Forward of the
+  // published matrix recovers the noisy coefficients exactly): coefficient
+  // c of weight class W must carry Laplace noise of variance 2(λ/W)² with
+  // λ = 2ρ/ε and ρ = 1 + log2 256 = 9.
+  constexpr std::size_t kDomain = 256;
+  constexpr double kEpsilon = 1.0;
+  constexpr std::size_t kTrials = 400;
+  const double lambda = 2.0 * 9.0 / kEpsilon;
+
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("A", kDomain));
+  const data::Schema schema(std::move(attrs));
+  const matrix::FrequencyMatrix zeros(schema.DomainSizes());
+  const mechanism::PriveletMechanism privelet;
+  const wavelet::HaarTransform haar(kDomain);
+
+  // noise_by_class[0] = base coefficient; [i] = level-i coefficients.
+  std::vector<std::vector<double>> noise_by_class(haar.levels() + 1);
+  std::vector<double> coeffs(kDomain);
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    auto published = privelet.Publish(schema, zeros, kEpsilon, seed);
+    ASSERT_TRUE(published.ok());
+    haar.Forward(published->values().data(), coeffs.data());
+    noise_by_class[0].push_back(coeffs[0]);
+    for (std::size_t j = 1; j < kDomain; ++j) {
+      noise_by_class[wavelet::HaarTransform::LevelOf(j)].push_back(coeffs[j]);
+    }
+  }
+
+  const auto& weights = haar.weights();
+  for (std::size_t cls = 0; cls < noise_by_class.size(); ++cls) {
+    const auto& samples = noise_by_class[cls];
+    // All coefficients of a class share one weight: W(base) = 256,
+    // W(level i) = 2^(8 - i + 1).
+    const double w =
+        (cls == 0) ? weights[0] : weights[std::size_t{1} << (cls - 1)];
+    const double target = 2.0 * (lambda / w) * (lambda / w);
+    EXPECT_NEAR(SampleVariance(samples) / target, 1.0,
+                VarianceTolerance(samples.size()))
+        << "weight class " << cls << " (W = " << w << ")";
+    EXPECT_NEAR(Mean(samples), 0.0,
+                4.0 * std::sqrt(target / static_cast<double>(samples.size())))
+        << "weight class " << cls;
+  }
+}
+
+TEST(NoiseStatisticsTest, PriveletPlusIdentityAxisIsPerCellLaplace) {
+  // SA = all attributes degenerates to Basic: every weight is 1, ρ = 1,
+  // so each cell carries Laplace(2/ε) noise of variance 8/ε².
+  constexpr double kEpsilon = 0.5;
+  constexpr std::size_t kTrials = 30;
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("A", 64));
+  attrs.push_back(data::Attribute::Ordinal("B", 64));
+  const data::Schema schema(std::move(attrs));
+  const matrix::FrequencyMatrix zeros(schema.DomainSizes());
+  const mechanism::PriveletPlusMechanism plus({"A", "B"});
+
+  std::vector<double> noise;
+  noise.reserve(kTrials * 64 * 64);
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    auto published = plus.Publish(schema, zeros, kEpsilon, seed);
+    ASSERT_TRUE(published.ok());
+    noise.insert(noise.end(), published->values().begin(),
+                 published->values().end());
+  }
+  const double target = 8.0 / (kEpsilon * kEpsilon);
+  EXPECT_NEAR(SampleVariance(noise) / target, 1.0,
+              VarianceTolerance(noise.size()));
+  EXPECT_NEAR(Mean(noise), 0.0,
+              4.0 * std::sqrt(target / static_cast<double>(noise.size())));
+}
+
+TEST(NoiseStatisticsTest, QueryNoiseMatchesExactVarianceOnMixedSchema) {
+  // End-to-end: empirical variance of range-query noise (through nominal
+  // refinement and reconstruction) must match the closed-form
+  // ExactQueryNoiseVariance, not merely stay under the worst-case bound.
+  constexpr double kEpsilon = 1.0;
+  constexpr std::size_t kTrials = 500;
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Ord", 16));
+  attrs.push_back(data::Attribute::Nominal(
+      "Nom", data::Hierarchy::Balanced({2, 3}).value()));
+  const data::Schema schema(std::move(attrs));
+  const matrix::FrequencyMatrix zeros(schema.DomainSizes());
+  const mechanism::PriveletMechanism privelet;
+
+  std::vector<query::RangeQuery> queries;
+  query::RangeQuery full(2);
+  queries.push_back(full);
+  query::RangeQuery box(2);
+  ASSERT_TRUE(box.SetRange(schema, 0, 3, 11).ok());
+  ASSERT_TRUE(box.SetHierarchyNode(schema, 1, 1).ok());
+  queries.push_back(box);
+  query::RangeQuery point(2);
+  ASSERT_TRUE(point.SetRange(schema, 0, 5, 5).ok());
+  ASSERT_TRUE(point.SetHierarchyNode(schema, 1, 3).ok());
+  queries.push_back(point);
+
+  std::vector<std::vector<double>> noise(queries.size());
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    auto published = privelet.Publish(schema, zeros, kEpsilon, seed);
+    ASSERT_TRUE(published.ok());
+    const query::QueryEvaluator evaluator(schema, *published);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      noise[q].push_back(evaluator.Answer(queries[q]));
+    }
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto exact =
+        analysis::PriveletPlusQueryVariance(schema, {}, kEpsilon, queries[q]);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(SampleVariance(noise[q]) / *exact, 1.0,
+                VarianceTolerance(kTrials))
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace privelet

@@ -225,5 +225,60 @@ TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Sample(gen), 1u);
 }
 
+TEST(JumpTest, JumpAdvancesPast2To64SequentialDraws) {
+  // Spot-checkable property of the 2^128 jump: the jumped generator's
+  // output differs from any near-term continuation of the base stream.
+  Xoshiro256pp base(99);
+  Xoshiro256pp jumped = base;
+  jumped.Jump();
+  bool found = false;
+  const std::uint64_t target = jumped.Next();
+  for (int i = 0; i < 10'000 && !found; ++i) found = base.Next() == target;
+  EXPECT_FALSE(found);
+}
+
+TEST(JumpTest, JumpIsDeterministic) {
+  Xoshiro256pp a(7), b(7);
+  a.Jump();
+  b.Jump();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(JumpStreamsTest, StreamZeroIsThePlainGenerator) {
+  // Sharded noise with one shard must reproduce the unsharded sequence.
+  auto streams = MakeJumpStreams(12345, 3);
+  Xoshiro256pp plain(12345);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(streams[0].Next(), plain.Next());
+}
+
+TEST(JumpStreamsTest, StreamsAreDistinctAndDeterministic) {
+  auto a = MakeJumpStreams(5, 4);
+  auto b = MakeJumpStreams(5, 4);
+  std::vector<std::uint64_t> firsts;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t draw = a[i].Next();
+    EXPECT_EQ(draw, b[i].Next()) << "stream " << i;
+    firsts.push_back(draw);
+  }
+  for (std::size_t i = 0; i < firsts.size(); ++i) {
+    for (std::size_t j = i + 1; j < firsts.size(); ++j) {
+      EXPECT_NE(firsts[i], firsts[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(JumpStreamsTest, LaplaceMomentsHoldAcrossStreams) {
+  // Per-shard streams drive the mechanisms' noise: each stream must be a
+  // sound Laplace source on its own. Pool 20k draws from 8 streams.
+  auto streams = MakeJumpStreams(2026, 8);
+  std::vector<double> draws;
+  for (auto& gen : streams) {
+    for (int i = 0; i < 2500; ++i) draws.push_back(SampleLaplace(gen, 1.5));
+  }
+  EXPECT_NEAR(Mean(draws), 0.0, 0.05);
+  // Var = 2b² = 4.5.
+  EXPECT_NEAR(SampleVariance(draws) / 4.5, 1.0, 0.1);
+}
+
 }  // namespace
 }  // namespace privelet::rng
