@@ -1,0 +1,194 @@
+// Tile-size × axis-shape sweep of the tiled line engine against the naive
+// per-line reference (matrix/engine.h): HN forward/inverse transforms and
+// end-to-end Privelet publishes on cubes whose long axis sits in
+// different stride positions. Prints one table per case and drops
+// BENCH_tile_sweep.json (tile 0 = the naive engine).
+//
+// Every engine/tile release is checked bitwise against the naive one, so
+// the sweep doubles as a correctness harness. With --smoke the harness
+// runs the headline 1024x1024 case only and exits non-zero if the default
+// tiled engine fails to beat the naive path (Release builds only — the
+// check is a layout-regression tripwire, not a micro-benchmark), so CI
+// fails loudly when the memory layout regresses.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "privelet/common/stopwatch.h"
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/wavelet/hn_transform.h"
+
+namespace privelet::bench {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  data::Schema schema;
+};
+
+std::vector<SweepCase> MakeCases(bool smoke) {
+  std::vector<SweepCase> cases;
+  auto ordinal2d = [](const char* name, std::size_t a, std::size_t b) {
+    std::vector<data::Attribute> attrs;
+    attrs.push_back(data::Attribute::Ordinal("A", a));
+    attrs.push_back(data::Attribute::Ordinal("B", b));
+    return SweepCase{name, data::Schema(std::move(attrs))};
+  };
+  // The acceptance case: a 2-D cube whose first (non-last, stride 1024)
+  // axis is Haar-transformed line by line.
+  cases.push_back(ordinal2d("haar_1024x1024", 1024, 1024));
+  if (smoke) return cases;
+  cases.push_back(ordinal2d("haar_4096x256", 4096, 256));
+  cases.push_back(ordinal2d("haar_256x4096", 256, 4096));
+  {
+    std::vector<data::Attribute> attrs;
+    attrs.push_back(data::Attribute::Ordinal("Ord", 256));
+    attrs.push_back(data::Attribute::Nominal(
+        "Nom", data::Hierarchy::Balanced({4, 4}).value()));
+    attrs.push_back(data::Attribute::Ordinal("Last", 64));
+    cases.push_back({"mixed_256x16x64", data::Schema(std::move(attrs))});
+  }
+  return cases;
+}
+
+struct Timing {
+  double forward_s = 0.0;
+  double inverse_s = 0.0;
+  double publish_s = 0.0;
+};
+
+// Best-of-`reps` wall time per stage; the released matrix of the first
+// rep is returned through `release` for cross-engine comparison.
+Timing Measure(const data::Schema& schema, const matrix::FrequencyMatrix& m,
+               const matrix::EngineOptions& options, int reps,
+               matrix::FrequencyMatrix* release) {
+  auto transform = wavelet::HnTransform::Create(schema);
+  PRIVELET_CHECK(transform.ok(), "transform creation failed");
+  mechanism::PriveletMechanism mech;
+  mech.set_engine_options(options);
+
+  Timing best;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    auto coeffs = transform->Forward(m, nullptr, options);
+    PRIVELET_CHECK(coeffs.ok(), "forward failed");
+    const double forward_s = watch.ElapsedSeconds();
+
+    watch.Restart();
+    auto back = transform->Inverse(*coeffs, nullptr, options);
+    PRIVELET_CHECK(back.ok(), "inverse failed");
+    const double inverse_s = watch.ElapsedSeconds();
+
+    watch.Restart();
+    auto published = mech.Publish(schema, m, /*epsilon=*/1.0, /*seed=*/1);
+    PRIVELET_CHECK(published.ok(), "publish failed");
+    const double publish_s = watch.ElapsedSeconds();
+
+    if (rep == 0) {
+      best = {forward_s, inverse_s, publish_s};
+      if (release != nullptr) *release = std::move(*published);
+    } else {
+      best.forward_s = std::min(best.forward_s, forward_s);
+      best.inverse_s = std::min(best.inverse_s, inverse_s);
+      best.publish_s = std::min(best.publish_s, publish_s);
+    }
+  }
+  return best;
+}
+
+// The smoke tripwire fails only when the default tiled engine loses most
+// of its measured ~2.6x advantage: requiring >= 1/kSmokeMarginFactor
+// speedup separates a genuine layout regression (tiled ~= naive) from
+// shared-runner timing noise on the back-to-back relative measurement.
+constexpr double kSmokeMarginFactor = 0.75;
+
+int Run(bool smoke) {
+  const int reps = smoke ? 3 : 4;
+  const std::vector<std::size_t> tiles = {1, 8, 64, 256};
+  BenchReport report("tile_sweep");
+  bool tiled_beats_naive = true;
+
+  std::vector<SweepCase> cases = MakeCases(smoke);
+  for (std::size_t case_id = 0; case_id < cases.size(); ++case_id) {
+    const SweepCase& c = cases[case_id];
+    matrix::FrequencyMatrix m(c.schema.DomainSizes());
+    rng::Xoshiro256pp gen(5);
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] = gen.NextDouble() * 50.0;
+
+    matrix::FrequencyMatrix naive_release;
+    const Timing naive =
+        Measure(c.schema, m,
+                {matrix::LineEngine::kNaive, matrix::kDefaultTileLines}, reps,
+                &naive_release);
+    const double naive_total = naive.forward_s + naive.inverse_s;
+    std::printf("%s (m = %zu)\n", c.name.c_str(), m.size());
+    std::printf("  %-10s %10s %10s %10s %9s\n", "engine", "fwd ms", "inv ms",
+                "publish ms", "speedup");
+    std::printf("  %-10s %10.2f %10.2f %10.2f %9s\n", "naive",
+                naive.forward_s * 1e3, naive.inverse_s * 1e3,
+                naive.publish_s * 1e3, "1.00x");
+    report.AddRow({{"case_id", static_cast<double>(case_id)},
+                   {"tile", 0.0},
+                   {"forward_ms", naive.forward_s * 1e3},
+                   {"inverse_ms", naive.inverse_s * 1e3},
+                   {"publish_ms", naive.publish_s * 1e3},
+                   {"speedup_vs_naive", 1.0}});
+
+    for (const std::size_t tile : tiles) {
+      matrix::FrequencyMatrix release;
+      const Timing tiled = Measure(
+          c.schema, m, {matrix::LineEngine::kTiled, tile}, reps, &release);
+      PRIVELET_CHECK(release.values() == naive_release.values(),
+                     "tiled release differs from the naive reference");
+      const double total = tiled.forward_s + tiled.inverse_s;
+      const double speedup = total > 0.0 ? naive_total / total : 0.0;
+      std::printf("  tile %-5zu %10.2f %10.2f %10.2f %8.2fx\n", tile,
+                  tiled.forward_s * 1e3, tiled.inverse_s * 1e3,
+                  tiled.publish_s * 1e3, speedup);
+      report.AddRow({{"case_id", static_cast<double>(case_id)},
+                     {"tile", static_cast<double>(tile)},
+                     {"forward_ms", tiled.forward_s * 1e3},
+                     {"inverse_ms", tiled.inverse_s * 1e3},
+                     {"publish_ms", tiled.publish_s * 1e3},
+                     {"speedup_vs_naive", speedup}});
+      if (tile == matrix::kDefaultTileLines && case_id == 0 &&
+          total >= kSmokeMarginFactor * naive_total) {
+        tiled_beats_naive = false;
+      }
+    }
+    std::printf("\n");
+  }
+
+#ifdef NDEBUG
+  if (smoke && !tiled_beats_naive) {
+    std::fprintf(stderr,
+                 "FAIL: tiled engine (tile %zu) did not beat the naive "
+                 "per-line path on %s\n",
+                 matrix::kDefaultTileLines, cases[0].name.c_str());
+    return 1;
+  }
+#else
+  (void)tiled_beats_naive;
+#endif
+  return 0;
+}
+
+}  // namespace
+}  // namespace privelet::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return privelet::bench::Run(smoke);
+}

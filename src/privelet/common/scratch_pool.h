@@ -1,0 +1,75 @@
+// ScratchPool: a free-list of reusable per-worker workspaces for
+// ParallelFor bodies. Chunk bodies used to allocate their line buffers and
+// transform scratch as local std::vectors — one heap round-trip per chunk,
+// multiplied by every axis pass. A pool amortizes that to one allocation
+// per concurrent worker for the lifetime of the pool (buffers keep their
+// capacity between leases), which matters on the memory-bound transform
+// hot path.
+//
+// Workspaces are interchangeable scratch: which lease a chunk gets affects
+// only capacity reuse, never results, so pooled computations stay
+// deterministic for every pool size and scheduling.
+#ifndef PRIVELET_COMMON_SCRATCH_POOL_H_
+#define PRIVELET_COMMON_SCRATCH_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace privelet::common {
+
+/// Pool of default-constructed `State` workspaces. Acquire() hands out a
+/// RAII lease; destroying the lease returns the workspace (with whatever
+/// capacity it grew) to the free list. Thread-safe; typically stack-local
+/// to one parallel operation and shared by its chunk bodies.
+template <typename State>
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<State> state)
+        : pool_(pool), state_(std::move(state)) {}
+    ~Lease() {
+      if (state_ != nullptr) pool_->Release(std::move(state_));
+    }
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), state_(std::move(other.state_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    State& operator*() { return *state_; }
+    State* operator->() { return state_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<State> state_;
+  };
+
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<State> state = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(state));
+      }
+    }
+    return Lease(this, std::make_unique<State>());
+  }
+
+ private:
+  void Release(std::unique_ptr<State> state) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(state));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<State>> free_;
+};
+
+}  // namespace privelet::common
+
+#endif  // PRIVELET_COMMON_SCRATCH_POOL_H_

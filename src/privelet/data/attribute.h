@@ -39,6 +39,15 @@ class Attribute {
     return *hierarchy_;
   }
 
+  /// Shared ownership of the same hierarchy, for consumers that outlive
+  /// (or want to avoid copying) the attribute — e.g. NominalTransform
+  /// keeps the schema's instance alive instead of duplicating the node
+  /// tables. CHECK-fails on ordinal attributes.
+  const std::shared_ptr<const Hierarchy>& shared_hierarchy() const {
+    PRIVELET_CHECK(is_nominal(), "ordinal attributes have no hierarchy");
+    return hierarchy_;
+  }
+
  private:
   Attribute(std::string name, AttributeKind kind, std::size_t domain_size,
             std::shared_ptr<const Hierarchy> hierarchy)

@@ -1,0 +1,44 @@
+// Engine options for the layout-aware line traversal shared by the matrix,
+// wavelet, mechanism, and query layers. Every multi-dimensional pass in the
+// library (HN transform axes, prefix-sum axes) is a sweep of independent
+// 1-D lines; the *engine* decides how those lines are walked:
+//
+//   kTiled — panels of `tile_lines` adjacent lines are block-transposed
+//     into contiguous scratch (matrix::TileBuffer), transformed with the
+//     batched Transform1D kernels, and scattered back. Strided per-element
+//     access becomes contiguous run copies, so non-last-axis passes stream
+//     through memory instead of thrashing the cache.
+//   kNaive — the per-line reference implementation (gather one line,
+//     transform, scatter). Kept alive so determinism tests can assert
+//     bit-identical output between the engines.
+//
+// Both engines perform identical floating-point arithmetic per line, so
+// for any fixed seed the published matrices are bit-identical across
+// engines, tile sizes, and thread counts.
+#ifndef PRIVELET_MATRIX_ENGINE_H_
+#define PRIVELET_MATRIX_ENGINE_H_
+
+#include <cstddef>
+
+namespace privelet::matrix {
+
+enum class LineEngine {
+  kTiled,
+  kNaive,
+};
+
+/// Default panel width B: 64 lines keeps gather/scatter run copies at one
+/// or more full cache lines for every axis stride >= 64 while the panel of
+/// a 1024-wide axis still fits in L2.
+inline constexpr std::size_t kDefaultTileLines = 64;
+
+struct EngineOptions {
+  LineEngine engine = LineEngine::kTiled;
+  /// Lines per panel (B) for the tiled engine; values < 1 are treated as 1.
+  /// Purely a performance knob: results are bit-identical for every value.
+  std::size_t tile_lines = kDefaultTileLines;
+};
+
+}  // namespace privelet::matrix
+
+#endif  // PRIVELET_MATRIX_ENGINE_H_

@@ -6,6 +6,7 @@
 #ifndef PRIVELET_MATRIX_PREFIX_SUM_H_
 #define PRIVELET_MATRIX_PREFIX_SUM_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -13,7 +14,9 @@
 
 #include "privelet/common/check.h"
 #include "privelet/common/thread_pool.h"
+#include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
+#include "privelet/matrix/tile_buffer.h"
 
 namespace privelet::matrix {
 
@@ -26,10 +29,17 @@ class PrefixSumTable {
   /// Builds the table in O(m) per axis. A non-null `pool` fans each axis
   /// pass's independent running-sum lines across its workers; each line
   /// is a serial accumulation over disjoint elements, so the table is
-  /// bit-identical for every pool size. The pool is only used during
-  /// construction.
+  /// bit-identical for every pool size, engine, and tile size. The pool
+  /// is only used during construction.
+  ///
+  /// `options` selects the line engine: the tiled engine (default) walks
+  /// non-last axes a panel of adjacent lines at a time so the inner
+  /// accumulation loop runs unit-stride over the panel (in place — the
+  /// running sum needs no transpose); the naive engine is the per-line
+  /// reference path.
   explicit PrefixSumTable(const FrequencyMatrix& source,
-                          common::ThreadPool* pool = nullptr)
+                          common::ThreadPool* pool = nullptr,
+                          const EngineOptions& options = {})
       : dims_(source.dims()), strides_(source.num_dims()) {
     std::size_t stride = 1;
     for (std::size_t axis = dims_.size(); axis-- > 0;) {
@@ -49,6 +59,13 @@ class PrefixSumTable {
       const std::size_t stride_a = strides_[axis];
       const std::size_t axis_dim = dims_[axis];
       const std::size_t lines = sums_.size() / axis_dim;
+      if (options.engine == LineEngine::kTiled && stride_a > 1) {
+        BuildAxisTiled(axis_dim, stride_a, lines,
+                       std::max<std::size_t>(1, options.tile_lines), pool);
+        continue;
+      }
+      // Per-line path; for the last axis (stride 1) each line is already
+      // a contiguous sweep, so this is the layout-optimal walk there.
       common::ParallelFor(
           pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
             for (std::size_t line = begin; line < end; ++line) {
@@ -100,6 +117,34 @@ class PrefixSumTable {
   const std::vector<std::size_t>& dims() const { return dims_; }
 
  private:
+  /// Tiled running-sum pass along one axis: panels of up to `tile`
+  /// adjacent lines advance through the axis together, so each step
+  /// accumulates a contiguous run of elements into the contiguous run one
+  /// axis-stride later. Per line the additions match the per-line path
+  /// exactly (same operands, same order), hence bit-identical tables.
+  void BuildAxisTiled(std::size_t axis_dim, std::size_t stride,
+                      std::size_t lines, std::size_t tile,
+                      common::ThreadPool* pool) {
+    const std::size_t panels = (lines + tile - 1) / tile;
+    common::ParallelFor(
+        pool, panels, /*grain=*/0, [&](std::size_t pb, std::size_t pe) {
+          for (std::size_t p = pb; p < pe; ++p) {
+            const std::size_t first = p * tile;
+            const std::size_t count = std::min(tile, lines - first);
+            ForEachLineRun(
+                stride, axis_dim, first, count,
+                [&](std::size_t base, std::size_t col, std::size_t run) {
+                  (void)col;
+                  for (std::size_t k = 1; k < axis_dim; ++k) {
+                    Accum* curr = sums_.data() + base + k * stride;
+                    const Accum* prev = curr - stride;
+                    for (std::size_t b = 0; b < run; ++b) curr[b] += prev[b];
+                  }
+                });
+          }
+        });
+  }
+
   std::vector<std::size_t> dims_;
   std::vector<std::size_t> strides_;
   std::vector<Accum> sums_;

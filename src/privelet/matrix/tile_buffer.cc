@@ -1,0 +1,50 @@
+#include "privelet/matrix/tile_buffer.h"
+
+#include <algorithm>
+
+#include "privelet/common/check.h"
+
+namespace privelet::matrix {
+
+double* TileBuffer::Prepare(std::size_t line_len, std::size_t count) {
+  const std::size_t needed = line_len * count;
+  if (panel_.size() < needed) panel_.resize(needed);
+  return panel_.data();
+}
+
+void TileBuffer::Gather(const FrequencyMatrix& m, std::size_t axis,
+                        std::size_t first, std::size_t count) {
+  PRIVELET_DCHECK(first + count <= m.NumLines(axis), "panel out of range");
+  const std::size_t len = m.dim(axis);
+  const std::size_t stride = m.Stride(axis);
+  double* panel = Prepare(len, count);
+  const double* values = m.values().data();
+  // Every run's lines have consecutive base addresses, so each std::copy
+  // moves a contiguous span of up to `stride` elements.
+  ForEachLineRun(stride, len, first, count,
+                 [&](std::size_t base, std::size_t col, std::size_t run) {
+                   for (std::size_t k = 0; k < len; ++k) {
+                     const double* src = values + base + k * stride;
+                     std::copy(src, src + run, panel + k * count + col);
+                   }
+                 });
+}
+
+void TileBuffer::Scatter(FrequencyMatrix& m, std::size_t axis,
+                         std::size_t first, std::size_t count) const {
+  PRIVELET_DCHECK(first + count <= m.NumLines(axis), "panel out of range");
+  const std::size_t len = m.dim(axis);
+  const std::size_t stride = m.Stride(axis);
+  PRIVELET_DCHECK(panel_.size() >= len * count, "panel too small");
+  const double* panel = panel_.data();
+  double* values = m.values().data();
+  ForEachLineRun(stride, len, first, count,
+                 [&](std::size_t base, std::size_t col, std::size_t run) {
+                   for (std::size_t k = 0; k < len; ++k) {
+                     const double* src = panel + k * count + col;
+                     std::copy(src, src + run, values + base + k * stride);
+                   }
+                 });
+}
+
+}  // namespace privelet::matrix

@@ -10,6 +10,7 @@
 
 #include "privelet/common/result.h"
 #include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
 
 namespace privelet::common {
@@ -33,6 +34,18 @@ class Mechanism {
   void set_thread_pool(common::ThreadPool* pool) { thread_pool_ = pool; }
   common::ThreadPool* thread_pool() const { return thread_pool_; }
 
+  /// Line-engine selection for the transform/prefix passes inside Publish
+  /// (see matrix/engine.h). Like the thread pool, purely a performance
+  /// knob: for a given seed the published matrix is bit-identical across
+  /// engines and tile sizes. Mechanisms without multi-dimensional line
+  /// passes (Basic's flat noise sweep, Hay's 1-D tree) ignore it.
+  void set_engine_options(const matrix::EngineOptions& options) {
+    engine_options_ = options;
+  }
+  const matrix::EngineOptions& engine_options() const {
+    return engine_options_;
+  }
+
   /// Publishes a noisy version of `m` (dims must equal the schema's domain
   /// sizes) satisfying `epsilon`-differential privacy. Deterministic in
   /// `seed`. epsilon must be > 0.
@@ -48,6 +61,7 @@ class Mechanism {
 
  private:
   common::ThreadPool* thread_pool_ = nullptr;
+  matrix::EngineOptions engine_options_;
 };
 
 /// Validates the common Publish preconditions; shared by implementations.

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "privelet/common/check.h"
 #include "privelet/rng/distributions.h"
 
 namespace privelet::mechanism {
@@ -11,7 +12,7 @@ void ForEachNoiseShard(
     const std::function<void(std::size_t, std::size_t, rng::Xoshiro256pp&)>&
         body) {
   if (total == 0) return;
-  const std::size_t shards = (total + kNoiseShardSize - 1) / kNoiseShardSize;
+  const std::size_t shards = NumNoiseShards(total);
   // The streams are materialized up front (a Jump is ~256 state steps, a
   // few percent of the 8192 draws a full shard makes) so the parallel
   // phase touches only its own generator.
@@ -21,6 +22,25 @@ void ForEachNoiseShard(
                       [&](std::size_t begin, std::size_t end) {
                         body(begin, end, streams[begin / kNoiseShardSize]);
                       });
+}
+
+double NoiseStreamCursor::LaplaceAt(std::size_t index, double magnitude) {
+  PRIVELET_DCHECK(magnitude > 0.0, "cursor draws require magnitude > 0");
+  const std::size_t shard = index / kNoiseShardSize;
+  if (shard != shard_ || index < next_index_) {
+    PRIVELET_DCHECK(shard < streams_.size(), "index beyond the stream space");
+    gen_ = streams_[shard];
+    shard_ = shard;
+    next_index_ = shard * kNoiseShardSize;
+  }
+  // Discard the draws of the skipped indices: one 64-bit step each
+  // (SampleLaplace consumes exactly one NextDoubleOpenZero = one Next()).
+  while (next_index_ < index) {
+    gen_.Next();
+    ++next_index_;
+  }
+  ++next_index_;
+  return rng::SampleLaplace(gen_, magnitude);
 }
 
 void AddLaplaceNoise(std::span<double> values, double magnitude,

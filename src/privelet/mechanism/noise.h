@@ -42,6 +42,43 @@ void ForEachNoiseShard(
 void AddLaplaceNoise(std::span<double> values, double magnitude,
                      std::uint64_t noise_seed, common::ThreadPool* pool);
 
+/// Number of shards ForEachNoiseShard cuts [0, total) into; the stream
+/// count to pass to rng::MakeJumpStreams when driving the cursor below.
+inline std::size_t NumNoiseShards(std::size_t total) {
+  return (total + kNoiseShardSize - 1) / kNoiseShardSize;
+}
+
+/// Random access (monotone within a cursor) into the sharded Laplace
+/// scheme: LaplaceAt(i, magnitude) returns exactly the draw the
+/// ForEachNoiseShard loops make at index i, whatever chunking the caller
+/// uses — the basis of fusing noise injection into the transform panels
+/// without changing a single published bit.
+///
+/// Sequential accesses are O(1); skipping forward inside a shard costs one
+/// raw RNG step per skipped index (SampleLaplace with magnitude > 0
+/// consumes exactly one 64-bit draw), and entering a new shard restarts
+/// from that shard's precomputed stream. Each worker keeps its own cursor
+/// over the shared stream vector.
+class NoiseStreamCursor {
+ public:
+  /// `streams` = rng::MakeJumpStreams(noise_seed, NumNoiseShards(total)),
+  /// shared (read-only) across cursors; must outlive the cursor.
+  explicit NoiseStreamCursor(const std::vector<rng::Xoshiro256pp>& streams)
+      : streams_(streams) {}
+
+  /// The Laplace(magnitude) draw of index `index`. Indices must be
+  /// strictly increasing across calls on one cursor; magnitude must be
+  /// > 0 (a zero magnitude would consume no draw and desynchronize the
+  /// stream positions).
+  double LaplaceAt(std::size_t index, double magnitude);
+
+ private:
+  const std::vector<rng::Xoshiro256pp>& streams_;
+  rng::Xoshiro256pp gen_{0};
+  std::size_t shard_ = static_cast<std::size_t>(-1);
+  std::size_t next_index_ = 0;
+};
+
 }  // namespace privelet::mechanism
 
 #endif  // PRIVELET_MECHANISM_NOISE_H_

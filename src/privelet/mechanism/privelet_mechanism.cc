@@ -55,27 +55,53 @@ Result<matrix::FrequencyMatrix> PriveletPlusMechanism::Publish(
       2.0 * transform.GeneralizedSensitivity() / epsilon;
 
   common::ThreadPool* pool = thread_pool();
+  const matrix::EngineOptions& options = engine_options();
+  const std::uint64_t noise_seed = rng::DeriveSeed(seed, 0x9121E7);
 
   // Step 1: wavelet transform.
   PRIVELET_ASSIGN_OR_RETURN(wavelet::HnCoefficients coefficients,
-                            transform.Forward(m, pool));
+                            transform.Forward(m, pool, options));
 
-  // Step 2: Laplace noise of magnitude λ / WHN(c) per coefficient, fanned
-  // across fixed index shards with per-shard jump streams so the draws are
-  // independent of the pool (see mechanism/noise.h).
+  // Steps 2+3: Laplace noise of magnitude λ / WHN(c) per coefficient,
+  // then refine (mean subtraction on nominal axes, inside Inverse) and
+  // reconstruct the noisy frequency matrix. The draw at a coefficient
+  // depends only on (seed, flat index) — fixed kNoiseShardSize-wide shards
+  // on per-shard jump streams, see mechanism/noise.h — so the release is
+  // bit-identical whatever the pool, engine, or tile size.
   auto& values = coefficients.coeffs.values();
-  ForEachNoiseShard(
-      values.size(), rng::DeriveSeed(seed, 0x9121E7), pool,
-      [&](std::size_t begin, std::size_t end, rng::Xoshiro256pp& gen) {
-        coefficients.ForEachCoefficientInRange(
-            begin, end, [&](std::size_t flat, double weight) {
-              values[flat] += rng::SampleLaplace(gen, lambda / weight);
-            });
-      });
 
-  // Step 3: refine (mean subtraction on nominal axes, inside Inverse) and
-  // reconstruct the noisy frequency matrix.
-  return transform.Inverse(coefficients, pool);
+  if (options.engine == matrix::LineEngine::kNaive) {
+    // Reference path: a separate full-matrix noise sweep before Inverse.
+    ForEachNoiseShard(
+        values.size(), noise_seed, pool,
+        [&](std::size_t begin, std::size_t end, rng::Xoshiro256pp& gen) {
+          coefficients.ForEachCoefficientInRange(
+              begin, end, [&](std::size_t flat, double weight) {
+                values[flat] += rng::SampleLaplace(gen, lambda / weight);
+              });
+        });
+    return transform.Inverse(coefficients, pool, options);
+  }
+
+  // Tiled engine: fuse the injection into the first Inverse axis pass —
+  // each worker perturbs its coefficient panels while they are cache-hot,
+  // drawing through a cursor that reproduces the sharded stream scheme
+  // index-for-index.
+  const std::vector<rng::Xoshiro256pp> streams =
+      rng::MakeJumpStreams(noise_seed, NumNoiseShards(values.size()));
+  const wavelet::PanelNoiseFactory noise_factory = [&]() {
+    // Both cursors advance monotonically across the chunk's panels, so
+    // after this factory call the hook allocates nothing.
+    return [lambda, draws = NoiseStreamCursor(streams),
+            weights = wavelet::HnWeightCursor(coefficients)](
+               std::size_t begin, std::size_t end, double* panel) mutable {
+      weights.ForEachInRange(
+          begin, end, [&](std::size_t flat, double weight) {
+            panel[flat - begin] += draws.LaplaceAt(flat, lambda / weight);
+          });
+    };
+  };
+  return transform.Inverse(coefficients, pool, options, noise_factory);
 }
 
 Result<double> PriveletPlusMechanism::NoiseVarianceBound(

@@ -4,8 +4,9 @@ namespace privelet::query {
 
 QueryEvaluator::QueryEvaluator(const data::Schema& schema,
                                const matrix::FrequencyMatrix& m,
-                               common::ThreadPool* pool)
-    : schema_(schema), table_(m, pool) {}
+                               common::ThreadPool* pool,
+                               const matrix::EngineOptions& options)
+    : schema_(schema), table_(m, pool, options) {}
 
 namespace {
 
@@ -37,8 +38,9 @@ double QueryEvaluator::Answer(const RangeQuery& query,
 
 ExactEvaluator::ExactEvaluator(const data::Schema& schema,
                                const matrix::FrequencyMatrix& m,
-                               common::ThreadPool* pool)
-    : schema_(schema), table_(m, pool) {}
+                               common::ThreadPool* pool,
+                               const matrix::EngineOptions& options)
+    : schema_(schema), table_(m, pool, options) {}
 
 std::int64_t ExactEvaluator::Answer(const RangeQuery& query) const {
   BoundScratch& scratch = ThreadBoundScratch();

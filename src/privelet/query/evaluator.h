@@ -24,10 +24,12 @@ namespace privelet::query {
 /// state, so a shared evaluator serves concurrent callers safely.
 class QueryEvaluator {
  public:
-  /// `pool` (optional) parallelizes the prefix-sum build; it is not
-  /// retained after construction.
+  /// `pool` (optional) parallelizes the prefix-sum build and `options`
+  /// selects its line engine (matrix/engine.h); neither is retained after
+  /// construction.
   QueryEvaluator(const data::Schema& schema, const matrix::FrequencyMatrix& m,
-                 common::ThreadPool* pool = nullptr);
+                 common::ThreadPool* pool = nullptr,
+                 const matrix::EngineOptions& options = {});
 
   double Answer(const RangeQuery& query) const;
 
@@ -48,7 +50,8 @@ class QueryEvaluator {
 class ExactEvaluator {
  public:
   ExactEvaluator(const data::Schema& schema, const matrix::FrequencyMatrix& m,
-                 common::ThreadPool* pool = nullptr);
+                 common::ThreadPool* pool = nullptr,
+                 const matrix::EngineOptions& options = {});
 
   std::int64_t Answer(const RangeQuery& query) const;
 

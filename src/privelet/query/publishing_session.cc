@@ -4,33 +4,34 @@ namespace privelet::query {
 
 PublishingSession::PublishingSession(
     std::shared_ptr<const data::Schema> schema,
-    matrix::FrequencyMatrix published, common::ThreadPool* pool)
+    matrix::FrequencyMatrix published, common::ThreadPool* pool,
+    const matrix::EngineOptions& options)
     : schema_(std::move(schema)),
       published_(std::make_shared<const matrix::FrequencyMatrix>(
           std::move(published))),
-      evaluator_(
-          std::make_shared<const QueryEvaluator>(*schema_, *published_, pool)),
+      evaluator_(std::make_shared<const QueryEvaluator>(*schema_, *published_,
+                                                        pool, options)),
       pool_(pool) {}
 
 Result<PublishingSession> PublishingSession::Publish(
     const data::Schema& schema, const mechanism::Mechanism& mech,
     const matrix::FrequencyMatrix& m, double epsilon, std::uint64_t seed,
-    common::ThreadPool* pool) {
+    common::ThreadPool* pool, const matrix::EngineOptions& options) {
   PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
                             mech.Publish(schema, m, epsilon, seed));
   return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), pool);
+                           std::move(published), pool, options);
 }
 
 Result<PublishingSession> PublishingSession::FromMatrix(
     const data::Schema& schema, matrix::FrequencyMatrix published,
-    common::ThreadPool* pool) {
+    common::ThreadPool* pool, const matrix::EngineOptions& options) {
   if (published.dims() != schema.DomainSizes()) {
     return Status::InvalidArgument(
         "published matrix dims do not match the schema");
   }
   return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), pool);
+                           std::move(published), pool, options);
 }
 
 double PublishingSession::Answer(const RangeQuery& query) const {

@@ -16,6 +16,7 @@
 #include "privelet/common/result.h"
 #include "privelet/common/thread_pool.h"
 #include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/mechanism/mechanism.h"
 #include "privelet/query/evaluator.h"
@@ -26,21 +27,24 @@ namespace privelet::query {
 class PublishingSession {
  public:
   /// Publishes `m` under `mech` at (epsilon, seed) and wraps the release.
-  /// `pool` is used for batched answering (and is handed to nothing else —
-  /// configure parallel publishing on the mechanism via set_thread_pool).
-  /// Not owned; may be nullptr (serial serving) and must outlive the
-  /// session otherwise.
-  static Result<PublishingSession> Publish(const data::Schema& schema,
-                                           const mechanism::Mechanism& mech,
-                                           const matrix::FrequencyMatrix& m,
-                                           double epsilon, std::uint64_t seed,
-                                           common::ThreadPool* pool = nullptr);
+  /// `pool` is used for batched answering and the prefix-sum build (and is
+  /// handed to nothing else — configure parallel publishing on the
+  /// mechanism via set_thread_pool). Not owned; may be nullptr (serial
+  /// serving) and must outlive the session otherwise. `options` selects
+  /// the line engine of the prefix-sum build (matrix/engine.h); the
+  /// mechanism's own engine is configured via set_engine_options.
+  static Result<PublishingSession> Publish(
+      const data::Schema& schema, const mechanism::Mechanism& mech,
+      const matrix::FrequencyMatrix& m, double epsilon, std::uint64_t seed,
+      common::ThreadPool* pool = nullptr,
+      const matrix::EngineOptions& options = {});
 
   /// Wraps an already-published release (e.g. loaded from disk). The
   /// matrix dims must match the schema's domain sizes.
   static Result<PublishingSession> FromMatrix(
       const data::Schema& schema, matrix::FrequencyMatrix published,
-      common::ThreadPool* pool = nullptr);
+      common::ThreadPool* pool = nullptr,
+      const matrix::EngineOptions& options = {});
 
   const data::Schema& schema() const { return *schema_; }
   const matrix::FrequencyMatrix& published() const { return *published_; }
@@ -56,7 +60,8 @@ class PublishingSession {
  private:
   PublishingSession(std::shared_ptr<const data::Schema> schema,
                     matrix::FrequencyMatrix published,
-                    common::ThreadPool* pool);
+                    common::ThreadPool* pool,
+                    const matrix::EngineOptions& options);
 
   // Heap-held so moves of the session never invalidate the references the
   // evaluator keeps into schema and matrix.

@@ -49,6 +49,53 @@ void HaarTransform::Forward(const double* in, double* out,
   out[0] = scratch[0];
 }
 
+void HaarTransform::ForwardLines(std::size_t count, const double* in,
+                                 double* out, double* scratch) const {
+  // Interleaved panel: row k (elements [k*count, (k+1)*count)) holds
+  // element k of every line. The single-line algorithm lifts row-wise:
+  // copy the n_ input rows, zero the padding rows, then run each butterfly
+  // level with a unit-stride inner loop over the lines.
+  std::copy(in, in + n_ * count, scratch);
+  std::fill(scratch + n_ * count, scratch + padded_ * count, 0.0);
+  for (std::size_t len = padded_; len > 1; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const double* left = scratch + (2 * i) * count;
+      const double* right = scratch + (2 * i + 1) * count;
+      double* detail = out + (half + i) * count;
+      double* avg = scratch + i * count;
+      for (std::size_t b = 0; b < count; ++b) {
+        detail[b] = (left[b] - right[b]) / 2.0;
+        avg[b] = (left[b] + right[b]) / 2.0;
+      }
+    }
+  }
+  std::copy(scratch, scratch + count, out);
+}
+
+void HaarTransform::InverseLines(std::size_t count, const double* coeffs,
+                                 double* out, double* scratch) const {
+  std::copy(coeffs, coeffs + count, scratch);
+  for (std::size_t len = 2; len <= padded_; len *= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = half; i-- > 0;) {
+      const double* avg = scratch + i * count;
+      const double* detail = coeffs + (half + i) * count;
+      double* left = scratch + (2 * i) * count;
+      double* right = scratch + (2 * i + 1) * count;
+      // Right first: for i == 0 the left row aliases the avg row, and the
+      // single-line path reads avg before overwriting it.
+      for (std::size_t b = 0; b < count; ++b) {
+        right[b] = avg[b] - detail[b];
+      }
+      for (std::size_t b = 0; b < count; ++b) {
+        left[b] = avg[b] + detail[b];
+      }
+    }
+  }
+  std::copy(scratch, scratch + n_ * count, out);
+}
+
 void HaarTransform::RangeContribution(std::size_t lo, std::size_t hi,
                                       double* out) const {
   PRIVELET_CHECK(lo <= hi && hi < n_, "bad range");

@@ -41,6 +41,17 @@ class HaarTransform final : public Transform1D {
   void Inverse(const double* coeffs, double* out,
                double* scratch) const override;
 
+  /// Blocked panel kernels (see Transform1D): the butterfly of each level
+  /// runs across all `count` interleaved lines with unit-stride inner
+  /// loops, performing per line exactly the ops of the single-line path.
+  std::size_t lines_scratch_size(std::size_t count) const override {
+    return padded_ * count;
+  }
+  void ForwardLines(std::size_t count, const double* in, double* out,
+                    double* scratch) const override;
+  void InverseLines(std::size_t count, const double* coeffs, double* out,
+                    double* scratch) const override;
+
   /// a[0] = |S|; a[j] = (leaves of j's left subtree in S) - (leaves of
   /// j's right subtree in S), per the proof of Lemma 3.
   void RangeContribution(std::size_t lo, std::size_t hi,

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "privelet/common/check.h"
+#include "privelet/common/scratch_pool.h"
 #include "privelet/common/thread_pool.h"
+#include "privelet/matrix/tile_buffer.h"
 #include "privelet/wavelet/haar.h"
 #include "privelet/wavelet/identity.h"
 #include "privelet/wavelet/nominal.h"
@@ -13,30 +16,153 @@ namespace privelet::wavelet {
 
 namespace {
 
-// Runs the 1-D transform `op` over every line of `current` along `axis`,
-// fanned across `pool` in contiguous line chunks. Each chunk carries its
-// own line buffers and Transform1D scratch, so a shared transform instance
-// is safe; lines write disjoint slices of `next`, so the output is
+// Per-worker workspace shared by both engines: two panels (or line
+// buffers) plus transform scratch. Pooled so chunk bodies never allocate
+// after a worker's first chunk (capacities persist across leases and axis
+// passes).
+struct LineWorkspace {
+  matrix::TileBuffer in;
+  matrix::TileBuffer out;
+  std::vector<double> scratch;
+
+  double* Scratch(std::size_t n) {
+    if (scratch.size() < n) scratch.resize(n);
+    return scratch.empty() ? nullptr : scratch.data();
+  }
+};
+
+using WorkspacePool = common::ScratchPool<LineWorkspace>;
+
+enum class Direction { kForward, kInverse };
+
+// Naive engine: the per-line reference path (gather one line, transform,
+// scatter). Lines write disjoint slices of `dst`, so the output is
 // bit-identical for every pool size (including none).
-template <typename LineOp>
-void TransformLines(const matrix::FrequencyMatrix& current,
-                    matrix::FrequencyMatrix& next, std::size_t axis,
-                    const Transform1D& t, common::ThreadPool* pool,
-                    const LineOp& op) {
-  const std::size_t lines = current.NumLines(axis);
+void TransformLinesNaive(const matrix::FrequencyMatrix& src,
+                         matrix::FrequencyMatrix& dst, std::size_t axis,
+                         const Transform1D& t, Direction dir,
+                         common::ThreadPool* pool,
+                         WorkspacePool& workspaces) {
+  const std::size_t lines = src.NumLines(axis);
+  const std::size_t line_len =
+      std::max(t.input_size(), t.coefficient_count());
   common::ParallelFor(
       pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
-        std::vector<double> in_line(
-            std::max(t.input_size(), t.coefficient_count()));
-        std::vector<double> out_line(in_line.size());
-        std::vector<double> scratch(t.scratch_size());
-        double* scratch_ptr = scratch.empty() ? nullptr : scratch.data();
+        auto ws = workspaces.Acquire();
+        double* in_line = ws->in.Prepare(line_len, 1);
+        double* out_line = ws->out.Prepare(line_len, 1);
+        double* scratch = ws->Scratch(t.scratch_size());
         for (std::size_t line = begin; line < end; ++line) {
-          current.GatherLine(axis, line, in_line.data());
-          op(in_line.data(), out_line.data(), scratch_ptr);
-          next.ScatterLine(axis, line, out_line.data());
+          src.GatherLine(axis, line, in_line);
+          if (dir == Direction::kForward) {
+            t.Forward(in_line, out_line, scratch);
+          } else {
+            t.Refine(in_line);
+            t.Inverse(in_line, out_line, scratch);
+          }
+          dst.ScatterLine(axis, line, out_line);
         }
       });
+}
+
+// Tiled engine: panels of `options.tile_lines` adjacent lines per step.
+// Axes whose lines are contiguous (stride == 1) are processed in place in
+// the matrix slabs; other axes are block-transposed through TileBuffer and
+// run through the batched Transform1D kernels. `noise` (first inverse
+// pass only) perturbs each coefficient panel while it is cache-hot.
+void TransformLinesTiled(const matrix::FrequencyMatrix& src,
+                         matrix::FrequencyMatrix& dst, std::size_t axis,
+                         const Transform1D& t, Direction dir,
+                         common::ThreadPool* pool, WorkspacePool& workspaces,
+                         const matrix::EngineOptions& options,
+                         const PanelNoiseFactory* noise_factory) {
+  const std::size_t lines = src.NumLines(axis);
+  const std::size_t tile = std::max<std::size_t>(1, options.tile_lines);
+  const std::size_t panels = (lines + tile - 1) / tile;
+  const std::size_t in_len = src.dim(axis);
+  const std::size_t out_len = dst.dim(axis);
+
+  if (src.Stride(axis) == 1) {
+    // Slab path: line b along this axis occupies the contiguous elements
+    // [b * len, (b + 1) * len) of each matrix, so panels are addressed in
+    // place — no transpose, no output staging.
+    common::ParallelFor(
+        pool, panels, /*grain=*/0, [&](std::size_t pb, std::size_t pe) {
+          auto ws = workspaces.Acquire();
+          double* scratch = ws->Scratch(t.scratch_size());
+          PanelNoiseFn noise =
+              noise_factory != nullptr ? (*noise_factory)() : PanelNoiseFn();
+          // The source slab is const; noise and refinement mutate
+          // coefficients, so those paths stage the panel in a buffer.
+          const bool stage = dir == Direction::kInverse &&
+                             (noise != nullptr || t.has_refinement());
+          for (std::size_t p = pb; p < pe; ++p) {
+            const std::size_t first = p * tile;
+            const std::size_t count = std::min(tile, lines - first);
+            const double* src_slab = src.values().data() + first * in_len;
+            double* dst_slab = dst.values().data() + first * out_len;
+            if (dir == Direction::kForward) {
+              for (std::size_t b = 0; b < count; ++b) {
+                t.Forward(src_slab + b * in_len, dst_slab + b * out_len,
+                          scratch);
+              }
+            } else if (!stage) {
+              for (std::size_t b = 0; b < count; ++b) {
+                t.Inverse(src_slab + b * in_len, dst_slab + b * out_len,
+                          scratch);
+              }
+            } else {
+              double* buf = ws->in.Prepare(in_len, count);
+              std::copy(src_slab, src_slab + count * in_len, buf);
+              if (noise != nullptr) {
+                noise(first * in_len, (first + count) * in_len, buf);
+              }
+              for (std::size_t b = 0; b < count; ++b) {
+                t.Refine(buf + b * in_len);
+                t.Inverse(buf + b * in_len, dst_slab + b * out_len, scratch);
+              }
+            }
+          }
+        });
+    return;
+  }
+
+  PRIVELET_CHECK(noise_factory == nullptr,
+                 "fused noise applies only to the contiguous axis");
+  common::ParallelFor(
+      pool, panels, /*grain=*/0, [&](std::size_t pb, std::size_t pe) {
+        auto ws = workspaces.Acquire();
+        for (std::size_t p = pb; p < pe; ++p) {
+          const std::size_t first = p * tile;
+          const std::size_t count = std::min(tile, lines - first);
+          ws->in.Gather(src, axis, first, count);
+          double* out_panel = ws->out.Prepare(out_len, count);
+          double* scratch = ws->Scratch(t.lines_scratch_size(count));
+          if (dir == Direction::kForward) {
+            t.ForwardLines(count, ws->in.panel(), out_panel, scratch);
+          } else {
+            if (t.has_refinement()) {
+              t.RefineLines(count, ws->in.panel(), scratch);
+            }
+            t.InverseLines(count, ws->in.panel(), out_panel, scratch);
+          }
+          ws->out.Scatter(dst, axis, first, count);
+        }
+      });
+}
+
+void RunAxisPass(const matrix::FrequencyMatrix& src,
+                 matrix::FrequencyMatrix& dst, std::size_t axis,
+                 const Transform1D& t, Direction dir,
+                 common::ThreadPool* pool, WorkspacePool& workspaces,
+                 const matrix::EngineOptions& options,
+                 const PanelNoiseFactory* noise_factory) {
+  if (options.engine == matrix::LineEngine::kNaive) {
+    TransformLinesNaive(src, dst, axis, t, dir, pool, workspaces);
+  } else {
+    TransformLinesTiled(src, dst, axis, t, dir, pool, workspaces, options,
+                        noise_factory);
+  }
 }
 
 }  // namespace
@@ -84,34 +210,36 @@ Result<HnTransform> HnTransform::Create(
     } else if (attr.is_ordinal()) {
       transforms.push_back(std::make_unique<HaarTransform>(attr.domain_size()));
     } else {
-      // Share the schema's hierarchy (attributes hold it by shared_ptr
-      // internally, but the public accessor returns a reference; copying
-      // once per transform is cheap relative to the matrices involved).
-      transforms.push_back(std::make_unique<NominalTransform>(
-          std::make_shared<const data::Hierarchy>(attr.hierarchy())));
+      // Share the attribute's hierarchy — the transform keeps the schema's
+      // instance alive instead of copying the node tables.
+      transforms.push_back(
+          std::make_unique<NominalTransform>(attr.shared_hierarchy()));
     }
   }
   return HnTransform(std::move(transforms));
 }
 
-Result<HnCoefficients> HnTransform::Forward(const matrix::FrequencyMatrix& m,
-                                            common::ThreadPool* pool) const {
+Result<HnCoefficients> HnTransform::Forward(
+    const matrix::FrequencyMatrix& m, common::ThreadPool* pool,
+    const matrix::EngineOptions& options) const {
   if (m.dims() != input_dims_) {
     return Status::InvalidArgument("matrix dims do not match the transform");
   }
-  matrix::FrequencyMatrix current = m;
-  // Step i (paper's C_i): transform every 1-D line along axis i.
+  WorkspacePool workspaces;
+  // Step i (paper's C_i): transform every 1-D line along axis i. The first
+  // pass reads `m` directly (no working copy of the input).
+  const matrix::FrequencyMatrix* src = &m;
+  matrix::FrequencyMatrix current;
   for (std::size_t axis = 0; axis < transforms_.size(); ++axis) {
     const Transform1D& t = *transforms_[axis];
-    std::vector<std::size_t> next_dims = current.dims();
+    std::vector<std::size_t> next_dims = src->dims();
     next_dims[axis] = t.coefficient_count();
-    matrix::FrequencyMatrix next(next_dims);
+    matrix::FrequencyMatrix next(std::move(next_dims));
 
-    TransformLines(current, next, axis, t, pool,
-                   [&t](const double* in, double* out, double* scratch) {
-                     t.Forward(in, out, scratch);
-                   });
+    RunAxisPass(*src, next, axis, t, Direction::kForward, pool, workspaces,
+                options, /*noise_factory=*/nullptr);
     current = std::move(next);
+    src = &current;
   }
 
   HnCoefficients result;
@@ -122,24 +250,36 @@ Result<HnCoefficients> HnTransform::Forward(const matrix::FrequencyMatrix& m,
 }
 
 Result<matrix::FrequencyMatrix> HnTransform::Inverse(
-    const HnCoefficients& c, common::ThreadPool* pool) const {
+    const HnCoefficients& c, common::ThreadPool* pool,
+    const matrix::EngineOptions& options,
+    const PanelNoiseFactory& noise) const {
   if (c.coeffs.dims() != output_dims_) {
     return Status::InvalidArgument(
         "coefficient dims do not match the transform");
   }
-  matrix::FrequencyMatrix current = c.coeffs;
+  PRIVELET_CHECK(noise == nullptr ||
+                     options.engine == matrix::LineEngine::kTiled,
+                 "fused noise requires the tiled engine");
+  WorkspacePool workspaces;
+  // The first pass reads `c.coeffs` directly; fused noise perturbs staged
+  // panels, never the caller's coefficients.
+  const matrix::FrequencyMatrix* src = &c.coeffs;
+  matrix::FrequencyMatrix current;
   for (std::size_t axis = transforms_.size(); axis-- > 0;) {
     const Transform1D& t = *transforms_[axis];
-    std::vector<std::size_t> next_dims = current.dims();
+    std::vector<std::size_t> next_dims = src->dims();
     next_dims[axis] = t.input_size();
-    matrix::FrequencyMatrix next(next_dims);
+    matrix::FrequencyMatrix next(std::move(next_dims));
 
-    TransformLines(current, next, axis, t, pool,
-                   [&t](double* in, double* out, double* scratch) {
-                     t.Refine(in);
-                     t.Inverse(in, out, scratch);
-                   });
+    // Only the first pass (axis d-1, the contiguous axis, which touches
+    // every coefficient exactly once) carries the noise hook.
+    const bool first_pass = axis + 1 == transforms_.size();
+    const PanelNoiseFactory* noise_factory =
+        (first_pass && noise != nullptr) ? &noise : nullptr;
+    RunAxisPass(*src, next, axis, t, Direction::kInverse, pool, workspaces,
+                options, noise_factory);
     current = std::move(next);
+    src = &current;
   }
   return current;
 }

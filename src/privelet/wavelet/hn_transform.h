@@ -5,15 +5,23 @@
 // SA. The per-coefficient weight WHN is the product of the per-axis
 // weights, so it is represented as one weight vector per axis rather than a
 // materialized weight matrix.
+//
+// Each axis pass is executed by the line engine selected via
+// matrix::EngineOptions: the tiled engine (default) streams panels of
+// adjacent lines through the batched Transform1D kernels, the naive engine
+// is the per-line reference path. Both produce bit-identical results for
+// every thread count and tile size.
 #ifndef PRIVELET_WAVELET_HN_TRANSFORM_H_
 #define PRIVELET_WAVELET_HN_TRANSFORM_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "privelet/common/result.h"
 #include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/wavelet/transform.h"
 
@@ -48,6 +56,64 @@ struct HnCoefficients {
                                  Fn&& fn) const;
 };
 
+/// Stateful flavor of ForEachCoefficientInRange for panel-at-a-time
+/// callers (the fused noise hooks): the odometer buffers live in the
+/// cursor, so successive ForEachInRange calls allocate nothing, and a
+/// range continuing the previous one resumes in O(1) (any other start
+/// costs an O(d) reseek). Ranges must be non-overlapping and increasing
+/// within one cursor; each worker keeps its own.
+class HnWeightCursor {
+ public:
+  /// `c` must outlive the cursor.
+  explicit HnWeightCursor(const HnCoefficients& c)
+      : c_(&c),
+        coords_(c.coeffs.num_dims()),
+        partial_(c.coeffs.num_dims()) {}
+
+  /// Calls fn(flat, weight) for flat in [begin, end), like
+  /// HnCoefficients::ForEachCoefficientInRange.
+  template <typename Fn>
+  void ForEachInRange(std::size_t begin, std::size_t end, Fn&& fn);
+
+ private:
+  void SeekTo(std::size_t flat) {
+    const matrix::FrequencyMatrix& m = c_->coeffs;
+    for (std::size_t axis = 0; axis < coords_.size(); ++axis) {
+      coords_[axis] = (flat / m.Stride(axis)) % m.dim(axis);
+    }
+    RecomputeFrom(0);
+  }
+
+  // partial_[a] = product of weights over axes 0..a at coords_.
+  void RecomputeFrom(std::size_t axis) {
+    for (std::size_t a = axis; a < coords_.size(); ++a) {
+      const double prev = (a == 0) ? 1.0 : partial_[a - 1];
+      partial_[a] = prev * (*c_->axis_weights[a])[coords_[a]];
+    }
+  }
+
+  const HnCoefficients* c_;
+  std::vector<std::size_t> coords_;
+  std::vector<double> partial_;
+  // Flat index the odometer state corresponds to; anything else reseeks.
+  std::size_t next_ = static_cast<std::size_t>(-1);
+};
+
+/// Coefficient perturbation fused into the first Inverse axis pass (the
+/// mechanisms' Laplace injection, applied while the panel is cache-hot):
+/// called with `values` holding the coefficients of flat indices
+/// [begin, end) (values[i] is coefficient begin + i), before refinement
+/// and inversion.
+using PanelNoiseFn = std::function<void(std::size_t begin, std::size_t end,
+                                        double* values)>;
+
+/// Makes one PanelNoiseFn per ParallelFor chunk (so the closure may carry
+/// mutable per-worker state, e.g. a noise-stream cursor). The returned
+/// function is invoked with non-overlapping ranges in increasing order
+/// within its chunk; across all chunks every coefficient is visited
+/// exactly once.
+using PanelNoiseFactory = std::function<PanelNoiseFn()>;
+
 class HnTransform {
  public:
   /// Builds the transform for `schema`: Haar on ordinal axes, nominal on
@@ -69,19 +135,29 @@ class HnTransform {
   const std::vector<std::size_t>& output_dims() const { return output_dims_; }
 
   /// Applies the 1-D transforms along axes 0..d-1 in turn. A non-null
-  /// `pool` fans the independent 1-D line transforms of each axis pass
-  /// across its workers; the result is bit-identical to the serial run for
-  /// any pool size (each line is an independent computation writing a
-  /// disjoint slice of the next matrix).
-  Result<HnCoefficients> Forward(const matrix::FrequencyMatrix& m,
-                                 common::ThreadPool* pool = nullptr) const;
+  /// `pool` fans the independent line transforms of each axis pass across
+  /// its workers; `options` picks the line engine and tile size. The
+  /// result is bit-identical for any pool size, engine, and tile size
+  /// (each line is an independent computation undergoing identical
+  /// floating-point operations on every path).
+  Result<HnCoefficients> Forward(
+      const matrix::FrequencyMatrix& m, common::ThreadPool* pool = nullptr,
+      const matrix::EngineOptions& options = {}) const;
 
   /// Inverts along axes d-1..0. On each axis the 1-D transform's Refine()
   /// runs on every coefficient line before inversion (for noise-free
   /// coefficients this is a no-op by construction). Parallel and
-  /// deterministic across pool sizes like Forward.
+  /// deterministic across pool sizes, engines, and tile sizes like
+  /// Forward.
+  ///
+  /// `noise` (tiled engine only) is applied to each coefficient panel of
+  /// the first axis pass before refinement — the mechanisms fuse their
+  /// Laplace injection here so the extra full-matrix noise sweep
+  /// disappears. The input coefficients are not modified.
   Result<matrix::FrequencyMatrix> Inverse(
-      const HnCoefficients& c, common::ThreadPool* pool = nullptr) const;
+      const HnCoefficients& c, common::ThreadPool* pool = nullptr,
+      const matrix::EngineOptions& options = {},
+      const PanelNoiseFactory& noise = {}) const;
 
   /// Generalized sensitivity of the transform w.r.t. WHN:
   /// prod_i P(A_i) (Theorem 2).
@@ -109,31 +185,30 @@ template <typename Fn>
 void HnCoefficients::ForEachCoefficientInRange(std::size_t begin,
                                                std::size_t end,
                                                Fn&& fn) const {
+  HnWeightCursor cursor(*this);
+  cursor.ForEachInRange(begin, end, std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void HnWeightCursor::ForEachInRange(std::size_t begin, std::size_t end,
+                                    Fn&& fn) {
   if (begin >= end) return;
-  const auto& dims = coeffs.dims();
+  if (begin != next_) SeekTo(begin);
+  const auto& dims = c_->coeffs.dims();
   const std::size_t d = dims.size();
-  // partial[a] = product of weights over axes 0..a at the current coords.
-  std::vector<std::size_t> coords = coeffs.Coords(begin);
-  std::vector<double> partial(d, 1.0);
-  auto recompute_from = [&](std::size_t axis) {
-    for (std::size_t a = axis; a < d; ++a) {
-      const double prev = (a == 0) ? 1.0 : partial[a - 1];
-      partial[a] = prev * (*axis_weights[a])[coords[a]];
-    }
-  };
-  recompute_from(0);
   for (std::size_t flat = begin; flat < end; ++flat) {
-    fn(flat, partial[d - 1]);
+    fn(flat, partial_[d - 1]);
     // Row-major odometer: bump the last axis, carry leftward.
     std::size_t axis = d;
     while (axis-- > 0) {
-      if (++coords[axis] < dims[axis]) {
-        recompute_from(axis);
+      if (++coords_[axis] < dims[axis]) {
+        RecomputeFrom(axis);
         break;
       }
-      coords[axis] = 0;
+      coords_[axis] = 0;
     }
   }
+  next_ = end;
 }
 
 }  // namespace privelet::wavelet

@@ -19,6 +19,18 @@ void IdentityTransform::Inverse(const double* coeffs, double* out) const {
   std::copy(coeffs, coeffs + n_, out);
 }
 
+void IdentityTransform::ForwardLines(std::size_t count, const double* in,
+                                     double* out, double* scratch) const {
+  (void)scratch;
+  std::copy(in, in + n_ * count, out);
+}
+
+void IdentityTransform::InverseLines(std::size_t count, const double* coeffs,
+                                     double* out, double* scratch) const {
+  (void)scratch;
+  std::copy(coeffs, coeffs + n_ * count, out);
+}
+
 void IdentityTransform::RangeContribution(std::size_t lo, std::size_t hi,
                                           double* out) const {
   PRIVELET_CHECK(lo <= hi && hi < n_, "bad range");

@@ -1,5 +1,8 @@
 #include "privelet/wavelet/nominal.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "privelet/common/check.h"
 
 namespace privelet::wavelet {
@@ -20,10 +23,17 @@ NominalTransform::NominalTransform(
 }
 
 void NominalTransform::Forward(const double* in, double* out) const {
+  std::vector<double> leafsum(hierarchy_->num_nodes());
+  Forward(in, out, leafsum.data());
+}
+
+void NominalTransform::Forward(const double* in, double* out,
+                               double* scratch) const {
   const data::Hierarchy& h = *hierarchy_;
-  // Leaf-sums bottom-up. BFS layout guarantees parent < child, so one
-  // reverse pass accumulates children into parents.
-  std::vector<double> leafsum(h.num_nodes(), 0.0);
+  // Leaf-sums bottom-up in `scratch`. BFS layout guarantees parent <
+  // child, so one reverse pass accumulates children into parents.
+  double* leafsum = scratch;
+  std::fill(leafsum, leafsum + h.num_nodes(), 0.0);
   for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
     leafsum[h.leaf_node(leaf)] = in[leaf];
   }
@@ -39,6 +49,39 @@ void NominalTransform::Forward(const double* in, double* out) const {
   }
 }
 
+void NominalTransform::ForwardLines(std::size_t count, const double* in,
+                                    double* out, double* scratch) const {
+  const data::Hierarchy& h = *hierarchy_;
+  const std::size_t nodes = h.num_nodes();
+  // scratch = num_nodes x count leaf-sum panel; per line b the node order
+  // of every pass matches the single-line path exactly.
+  double* leafsum = scratch;
+  std::fill(leafsum, leafsum + nodes * count, 0.0);
+  for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
+    std::copy(in + leaf * count, in + (leaf + 1) * count,
+              leafsum + h.leaf_node(leaf) * count);
+  }
+  for (std::size_t id = nodes; id-- > 1;) {
+    double* parent_row = leafsum + h.node(id).parent * count;
+    const double* row = leafsum + id * count;
+    for (std::size_t b = 0; b < count; ++b) parent_row[b] += row[b];
+  }
+
+  std::copy(leafsum + data::Hierarchy::kRoot * count,
+            leafsum + (data::Hierarchy::kRoot + 1) * count,
+            out + data::Hierarchy::kRoot * count);
+  for (std::size_t id = 1; id < nodes; ++id) {
+    const std::size_t parent = h.node(id).parent;
+    const double fanout = static_cast<double>(h.fanout(parent));
+    const double* row = leafsum + id * count;
+    const double* parent_row = leafsum + parent * count;
+    double* out_row = out + id * count;
+    for (std::size_t b = 0; b < count; ++b) {
+      out_row[b] = row[b] - parent_row[b] / fanout;
+    }
+  }
+}
+
 void NominalTransform::Refine(double* coeffs) const {
   const data::Hierarchy& h = *hierarchy_;
   for (std::size_t id = 0; id < h.num_nodes(); ++id) {
@@ -48,6 +91,30 @@ void NominalTransform::Refine(double* coeffs) const {
     for (std::size_t child : children) sum += coeffs[child];
     const double mean = sum / static_cast<double>(children.size());
     for (std::size_t child : children) coeffs[child] -= mean;
+  }
+}
+
+void NominalTransform::RefineLines(std::size_t count, double* coeffs,
+                                   double* scratch) const {
+  const data::Hierarchy& h = *hierarchy_;
+  // One scratch row accumulates each sibling group's sum; children are
+  // visited in the same order as the single-line Refine, so the per-line
+  // sums (and hence the subtracted means) are bit-identical.
+  double* sum = scratch;
+  for (std::size_t id = 0; id < h.num_nodes(); ++id) {
+    const auto& children = h.node(id).children;
+    if (children.empty()) continue;
+    std::fill(sum, sum + count, 0.0);
+    for (std::size_t child : children) {
+      const double* row = coeffs + child * count;
+      for (std::size_t b = 0; b < count; ++b) sum[b] += row[b];
+    }
+    const double group = static_cast<double>(children.size());
+    for (std::size_t b = 0; b < count; ++b) sum[b] /= group;
+    for (std::size_t child : children) {
+      double* row = coeffs + child * count;
+      for (std::size_t b = 0; b < count; ++b) row[b] -= sum[b];
+    }
   }
 }
 
@@ -91,10 +158,16 @@ double NominalTransform::RefinedQuadraticForm(const double* a) const {
 }
 
 void NominalTransform::Inverse(const double* coeffs, double* out) const {
+  std::vector<double> leafsum(hierarchy_->num_nodes());
+  Inverse(coeffs, out, leafsum.data());
+}
+
+void NominalTransform::Inverse(const double* coeffs, double* out,
+                               double* scratch) const {
   const data::Hierarchy& h = *hierarchy_;
   // Reconstruct leaf-sums top-down (Eq. 5 unrolled):
   //   leafsum(root) = c0;  leafsum(N) = c(N) + leafsum(parent)/fanout(parent)
-  std::vector<double> leafsum(h.num_nodes(), 0.0);
+  double* leafsum = scratch;
   leafsum[data::Hierarchy::kRoot] = coeffs[data::Hierarchy::kRoot];
   for (std::size_t id = 1; id < h.num_nodes(); ++id) {
     const std::size_t parent = h.node(id).parent;
@@ -103,6 +176,29 @@ void NominalTransform::Inverse(const double* coeffs, double* out) const {
   }
   for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
     out[leaf] = leafsum[h.leaf_node(leaf)];
+  }
+}
+
+void NominalTransform::InverseLines(std::size_t count, const double* coeffs,
+                                    double* out, double* scratch) const {
+  const data::Hierarchy& h = *hierarchy_;
+  double* leafsum = scratch;
+  std::copy(coeffs + data::Hierarchy::kRoot * count,
+            coeffs + (data::Hierarchy::kRoot + 1) * count,
+            leafsum + data::Hierarchy::kRoot * count);
+  for (std::size_t id = 1; id < h.num_nodes(); ++id) {
+    const std::size_t parent = h.node(id).parent;
+    const double fanout = static_cast<double>(h.fanout(parent));
+    const double* coeff_row = coeffs + id * count;
+    const double* parent_row = leafsum + parent * count;
+    double* row = leafsum + id * count;
+    for (std::size_t b = 0; b < count; ++b) {
+      row[b] = coeff_row[b] + parent_row[b] / fanout;
+    }
+  }
+  for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
+    std::copy(leafsum + h.leaf_node(leaf) * count,
+              leafsum + (h.leaf_node(leaf) + 1) * count, out + leaf * count);
   }
 }
 

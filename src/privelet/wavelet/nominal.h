@@ -41,8 +41,28 @@ class NominalTransform final : public Transform1D {
   /// coefficients sharing a parent in the decomposition tree) subtract the
   /// group mean, so each noisy group sums to zero.
   void Refine(double* coeffs) const override;
+  bool has_refinement() const override { return true; }
 
   void Inverse(const double* coeffs, double* out) const override;
+
+  /// Allocation-free overloads: scratch holds the per-node leaf sums.
+  std::size_t scratch_size() const override { return hierarchy_->num_nodes(); }
+  void Forward(const double* in, double* out, double* scratch) const override;
+  void Inverse(const double* coeffs, double* out,
+               double* scratch) const override;
+
+  /// Blocked panel kernels: the bottom-up/top-down leaf-sum recurrences
+  /// run node-by-node with unit-stride inner loops over the interleaved
+  /// lines; scratch holds a num_nodes x count leaf-sum panel.
+  std::size_t lines_scratch_size(std::size_t count) const override {
+    return hierarchy_->num_nodes() * count;
+  }
+  void ForwardLines(std::size_t count, const double* in, double* out,
+                    double* scratch) const override;
+  void RefineLines(std::size_t count, double* coeffs,
+                   double* scratch) const override;
+  void InverseLines(std::size_t count, const double* coeffs, double* out,
+                    double* scratch) const override;
 
   /// Reconstruction coefficients of a range sum via the Eq. 5 expansion:
   /// a[N] = sum over leaves v in [lo, hi] under N of

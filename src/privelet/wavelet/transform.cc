@@ -1,0 +1,68 @@
+#include "privelet/wavelet/transform.h"
+
+#include <algorithm>
+
+namespace privelet::wavelet {
+
+namespace {
+
+// The default *Lines implementations de-interleave one line at a time into
+// line-major scratch, run the single-line entry point, and re-interleave.
+// Correct for any Transform1D; transforms on the hot path override with
+// kernels that work on the interleaved panel directly.
+void GatherLine(const double* panel, std::size_t count, std::size_t b,
+                std::size_t len, double* line) {
+  for (std::size_t k = 0; k < len; ++k) line[k] = panel[k * count + b];
+}
+
+void ScatterLine(const double* line, std::size_t len, double* panel,
+                 std::size_t count, std::size_t b) {
+  for (std::size_t k = 0; k < len; ++k) panel[k * count + b] = line[k];
+}
+
+}  // namespace
+
+std::size_t Transform1D::lines_scratch_size(std::size_t count) const {
+  (void)count;
+  // Two de-interleave line buffers plus the single-line scratch.
+  return 2 * std::max(input_size(), coefficient_count()) + scratch_size();
+}
+
+void Transform1D::ForwardLines(std::size_t count, const double* in,
+                               double* out, double* scratch) const {
+  const std::size_t line = std::max(input_size(), coefficient_count());
+  double* in_line = scratch;
+  double* out_line = scratch + line;
+  double* own_scratch = scratch_size() > 0 ? scratch + 2 * line : nullptr;
+  for (std::size_t b = 0; b < count; ++b) {
+    GatherLine(in, count, b, input_size(), in_line);
+    Forward(in_line, out_line, own_scratch);
+    ScatterLine(out_line, coefficient_count(), out, count, b);
+  }
+}
+
+void Transform1D::RefineLines(std::size_t count, double* coeffs,
+                              double* scratch) const {
+  if (!has_refinement()) return;
+  double* line = scratch;
+  for (std::size_t b = 0; b < count; ++b) {
+    GatherLine(coeffs, count, b, coefficient_count(), line);
+    Refine(line);
+    ScatterLine(line, coefficient_count(), coeffs, count, b);
+  }
+}
+
+void Transform1D::InverseLines(std::size_t count, const double* coeffs,
+                               double* out, double* scratch) const {
+  const std::size_t line = std::max(input_size(), coefficient_count());
+  double* in_line = scratch;
+  double* out_line = scratch + line;
+  double* own_scratch = scratch_size() > 0 ? scratch + 2 * line : nullptr;
+  for (std::size_t b = 0; b < count; ++b) {
+    GatherLine(coeffs, count, b, coefficient_count(), in_line);
+    Inverse(in_line, out_line, own_scratch);
+    ScatterLine(out_line, input_size(), out, count, b);
+  }
+}
+
+}  // namespace privelet::wavelet

@@ -65,12 +65,46 @@ class Transform1D {
 
   /// Refinement applied to noisy coefficients before Inverse. Must not use
   /// any information beyond the coefficients themselves (privacy relies on
-  /// this, Sec. III-A). Default: no-op.
+  /// this, Sec. III-A). Default: no-op. Transforms overriding this must
+  /// also override has_refinement() (and, for full batched-engine speed,
+  /// RefineLines).
   virtual void Refine(double* coeffs) const { (void)coeffs; }
+
+  /// Whether Refine is a non-trivial operation. The tiled engine skips the
+  /// whole refinement pass (including its gather/scatter) when false.
+  virtual bool has_refinement() const { return false; }
 
   /// Reconstructs data from (possibly refined) coefficients. Exact inverse
   /// of Forward for noise-free coefficients.
   virtual void Inverse(const double* coeffs, double* out) const = 0;
+
+  /// ---- Batched (panel) entry points ---------------------------------
+  /// The tiled engine transforms `count` lines at once from an interleaved
+  /// panel: element k of line b lives at data[k * count + b] (the layout
+  /// matrix::TileBuffer gathers). Each line undergoes exactly the same
+  /// floating-point operations as the single-line entry points, so batched
+  /// and per-line results are bit-identical. The defaults loop over the
+  /// panel through the single-line calls; HaarTransform, IdentityTransform,
+  /// and NominalTransform provide hand-blocked overrides whose inner loops
+  /// run unit-stride over b.
+
+  /// Elements of caller-provided scratch the *Lines entry points need for
+  /// `count` lines.
+  virtual std::size_t lines_scratch_size(std::size_t count) const;
+
+  /// Forward over `count` interleaved lines: `in` holds input_size() rows,
+  /// `out` coefficient_count() rows.
+  virtual void ForwardLines(std::size_t count, const double* in, double* out,
+                            double* scratch) const;
+
+  /// Refine over `count` interleaved coefficient lines, in place.
+  virtual void RefineLines(std::size_t count, double* coeffs,
+                           double* scratch) const;
+
+  /// Inverse over `count` interleaved lines: `coeffs` holds
+  /// coefficient_count() rows, `out` input_size() rows.
+  virtual void InverseLines(std::size_t count, const double* coeffs,
+                            double* out, double* scratch) const;
 
   /// The weight W(c) of each coefficient (all weights are > 0).
   virtual const std::vector<double>& weights() const = 0;

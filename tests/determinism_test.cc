@@ -14,6 +14,7 @@
 #include "privelet/data/attribute.h"
 #include "privelet/data/hierarchy.h"
 #include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/matrix/prefix_sum.h"
 #include "privelet/mechanism/basic.h"
@@ -102,6 +103,39 @@ TEST(PublishDeterminismTest, HayAcrossThreadCounts) {
   mechanism::HayHierarchicalMechanism hay;
   const data::Schema schema = WideOrdinalSchema();
   ExpectPublishInvariantUnderThreads(hay, schema, RandomMatrix(schema, 4));
+}
+
+// Tile sweep: the naive serial release is the reference; the tiled engine
+// must reproduce it bit-for-bit for every (tile size, thread count)
+// combination — the engine, its panel width, and the pool are all pure
+// performance knobs.
+TEST(PublishDeterminismTest, TileSweepMatchesNaiveSerialRelease) {
+  constexpr std::size_t kTileSizes[] = {1, 8, 64};
+  mechanism::PriveletPlusMechanism mech({"Nom"});
+  const data::Schema schema = MultiShardSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 9);
+
+  mech.set_engine_options(
+      {matrix::LineEngine::kNaive, matrix::kDefaultTileLines});
+  auto reference = mech.Publish(schema, m, /*epsilon=*/0.8, /*seed=*/57);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (const std::size_t tile : kTileSizes) {
+    mech.set_engine_options({matrix::LineEngine::kTiled, tile});
+    auto serial = mech.Publish(schema, m, 0.8, 57);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(reference->values(), serial->values())
+        << "tile " << tile << ", serial";
+    for (const std::size_t threads : kPoolSizes) {
+      common::ThreadPool pool(threads);
+      mech.set_thread_pool(&pool);
+      auto parallel = mech.Publish(schema, m, 0.8, 57);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(reference->values(), parallel->values())
+          << "tile " << tile << ", " << threads << " threads";
+      mech.set_thread_pool(nullptr);
+    }
+  }
 }
 
 TEST(HnTransformDeterminismTest, ForwardAndInverseAcrossThreadCounts) {

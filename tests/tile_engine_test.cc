@@ -1,0 +1,274 @@
+// The tiled/naive engine contract: both line engines perform identical
+// floating-point work per line, so HN transforms, prefix-sum tables, and
+// whole published releases must be bit-identical between the engines for
+// every tile size — including degenerate shapes (axes of size 1,
+// non-power-of-two ordinal domains, single-axis matrices) and a 4-D cube
+// mixing Haar, identity, and nominal axes. Also pins the TileBuffer
+// gather/scatter round trip and the NoiseStreamCursor's index-for-index
+// equivalence with the sharded noise loops.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "privelet/common/thread_pool.h"
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/matrix/prefix_sum.h"
+#include "privelet/matrix/tile_buffer.h"
+#include "privelet/mechanism/noise.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/wavelet/hn_transform.h"
+
+namespace privelet {
+namespace {
+
+constexpr std::size_t kTileSizes[] = {1, 8, 64};
+
+matrix::EngineOptions Tiled(std::size_t tile) {
+  return {matrix::LineEngine::kTiled, tile};
+}
+
+matrix::EngineOptions Naive() {
+  return {matrix::LineEngine::kNaive, matrix::kDefaultTileLines};
+}
+
+matrix::FrequencyMatrix RandomMatrix(std::vector<std::size_t> dims,
+                                     std::uint64_t seed) {
+  matrix::FrequencyMatrix m(std::move(dims));
+  rng::Xoshiro256pp gen(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(gen.NextUint64InRange(0, 97));
+  }
+  return m;
+}
+
+// The awkward-shape gallery: size-1 axes in every position, non-power-of-
+// two ordinal domains, 1-D edge cases, and shapes with non-trivial strides
+// on both sides of the transformed axis.
+std::vector<data::Schema> AwkwardSchemas() {
+  std::vector<data::Schema> schemas;
+  auto ordinal = [](const char* name, std::size_t n) {
+    return data::Attribute::Ordinal(name, n);
+  };
+  {
+    std::vector<data::Attribute> a;
+    a.push_back(ordinal("A", 1));
+    schemas.emplace_back(std::move(a));
+  }
+  {
+    std::vector<data::Attribute> a;
+    a.push_back(ordinal("A", 37));
+    schemas.emplace_back(std::move(a));
+  }
+  {
+    std::vector<data::Attribute> a;
+    a.push_back(ordinal("A", 1));
+    a.push_back(ordinal("B", 13));
+    a.push_back(ordinal("C", 1));
+    schemas.emplace_back(std::move(a));
+  }
+  {
+    std::vector<data::Attribute> a;
+    a.push_back(ordinal("A", 5));
+    a.push_back(ordinal("B", 1));
+    a.push_back(ordinal("C", 9));
+    schemas.emplace_back(std::move(a));
+  }
+  {
+    std::vector<data::Attribute> a;
+    a.push_back(ordinal("A", 21));
+    a.push_back(data::Attribute::Nominal(
+        "Nom", data::Hierarchy::Balanced({3, 2}).value()));
+    schemas.emplace_back(std::move(a));
+  }
+  return schemas;
+}
+
+// 4-D cube mixing a Haar axis, an identity axis (via the SA set), a
+// nominal axis, and a non-power-of-two Haar axis.
+data::Schema MixedCubeSchema() {
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Ord", 16));
+  attrs.push_back(data::Attribute::Ordinal("Sa", 6));
+  attrs.push_back(data::Attribute::Nominal(
+      "Nom", data::Hierarchy::Balanced({4, 4}).value()));
+  attrs.push_back(data::Attribute::Ordinal("Odd", 11));
+  return data::Schema(std::move(attrs));
+}
+
+void ExpectEnginesAgree(const data::Schema& schema,
+                        const std::vector<std::size_t>& identity_axes,
+                        std::uint64_t seed) {
+  auto transform = wavelet::HnTransform::Create(schema, identity_axes);
+  ASSERT_TRUE(transform.ok()) << transform.status().ToString();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema.DomainSizes(), seed);
+
+  auto naive_fwd = transform->Forward(m, nullptr, Naive());
+  ASSERT_TRUE(naive_fwd.ok());
+  auto naive_inv = transform->Inverse(*naive_fwd, nullptr, Naive());
+  ASSERT_TRUE(naive_inv.ok());
+
+  for (const std::size_t tile : kTileSizes) {
+    auto fwd = transform->Forward(m, nullptr, Tiled(tile));
+    ASSERT_TRUE(fwd.ok());
+    EXPECT_EQ(naive_fwd->coeffs.values(), fwd->coeffs.values())
+        << "forward, tile " << tile;
+    auto inv = transform->Inverse(*fwd, nullptr, Tiled(tile));
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(naive_inv->values(), inv->values()) << "inverse, tile " << tile;
+  }
+
+  // The round trip reconstructs the data (noise-free coefficients).
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(m[i], (*naive_inv)[i], 1e-6) << "round trip at " << i;
+  }
+}
+
+TEST(TileEngineTest, AwkwardShapesAgreeAcrossEnginesAndTiles) {
+  std::uint64_t seed = 11;
+  for (const data::Schema& schema : AwkwardSchemas()) {
+    SCOPED_TRACE(schema.attribute(0).name() + std::string(" d=") +
+                 std::to_string(schema.num_attributes()));
+    ExpectEnginesAgree(schema, {}, seed++);
+  }
+}
+
+TEST(TileEngineTest, MixedCubeAgreesAcrossEnginesAndTiles) {
+  ExpectEnginesAgree(MixedCubeSchema(), /*identity_axes=*/{1}, 29);
+}
+
+void ExpectPublishBitIdenticalAcrossEngines(
+    const data::Schema& schema, mechanism::PriveletPlusMechanism& mech,
+    std::uint64_t data_seed) {
+  const matrix::FrequencyMatrix m = RandomMatrix(schema.DomainSizes(),
+                                                 data_seed);
+  mech.set_engine_options(Naive());
+  auto reference = mech.Publish(schema, m, /*epsilon=*/0.9, /*seed=*/41);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (const std::size_t tile : kTileSizes) {
+    mech.set_engine_options(Tiled(tile));
+    auto release = mech.Publish(schema, m, 0.9, 41);
+    ASSERT_TRUE(release.ok());
+    EXPECT_EQ(reference->values(), release->values()) << "tile " << tile;
+  }
+}
+
+TEST(TileEngineTest, PublishIsBitIdenticalAcrossEnginesAndTiles) {
+  mechanism::PriveletPlusMechanism mech({"Sa"});
+  ExpectPublishBitIdenticalAcrossEngines(MixedCubeSchema(), mech, 3);
+}
+
+TEST(TileEngineTest, PublishWithNominalLastAxisExercisesStagedRefine) {
+  // Last axis nominal (and no SA): the first inverse pass runs the staged
+  // slab branch — copy panel, fused noise, per-line Refine — which must
+  // still match the naive separate-sweep reference bit-for-bit.
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Ord", 24));
+  attrs.push_back(data::Attribute::Nominal(
+      "Nom", data::Hierarchy::Balanced({4, 4}).value()));
+  const data::Schema schema(std::move(attrs));
+  mechanism::PriveletPlusMechanism mech;
+  ExpectPublishBitIdenticalAcrossEngines(schema, mech, 13);
+}
+
+TEST(TileEngineTest, PrefixSumsAgreeAcrossEnginesAndTiles) {
+  for (const auto& dims : std::vector<std::vector<std::size_t>>{
+           {1}, {37}, {1, 13, 1}, {5, 1, 9}, {16, 6, 21, 11}}) {
+    const matrix::FrequencyMatrix m = RandomMatrix(dims, 7);
+    const matrix::PrefixSumTable<long double> naive(m, nullptr, Naive());
+    rng::Xoshiro256pp gen(17);
+    std::vector<std::vector<std::size_t>> lows, highs;
+    for (int probe = 0; probe < 64; ++probe) {
+      std::vector<std::size_t> lo(m.num_dims()), hi(m.num_dims());
+      for (std::size_t a = 0; a < m.num_dims(); ++a) {
+        lo[a] = gen.NextUint64InRange(0, m.dim(a) - 1);
+        hi[a] = gen.NextUint64InRange(lo[a], m.dim(a) - 1);
+      }
+      lows.push_back(std::move(lo));
+      highs.push_back(std::move(hi));
+    }
+    for (const std::size_t tile : kTileSizes) {
+      const matrix::PrefixSumTable<long double> tiled(m, nullptr, Tiled(tile));
+      for (std::size_t p = 0; p < lows.size(); ++p) {
+        ASSERT_EQ(naive.RangeSum(lows[p], highs[p]),
+                  tiled.RangeSum(lows[p], highs[p]))
+            << "tile " << tile << ", probe " << p;
+      }
+    }
+  }
+}
+
+TEST(TileEngineTest, TileBufferRoundTripsEveryAxis) {
+  const matrix::FrequencyMatrix m = RandomMatrix({5, 4, 6}, 23);
+  for (std::size_t axis = 0; axis < m.num_dims(); ++axis) {
+    for (const std::size_t tile : {1u, 3u, 7u, 64u}) {
+      matrix::FrequencyMatrix copy(m.dims());
+      matrix::TileBuffer buffer;
+      const std::size_t lines = m.NumLines(axis);
+      for (std::size_t first = 0; first < lines; first += tile) {
+        const std::size_t count = std::min<std::size_t>(tile, lines - first);
+        buffer.Gather(m, axis, first, count);
+        // The panel is interleaved: element k of panel line b at
+        // panel[k * count + b].
+        for (std::size_t b = 0; b < count; ++b) {
+          std::vector<double> line(m.dim(axis));
+          m.GatherLine(axis, first + b, line.data());
+          for (std::size_t k = 0; k < line.size(); ++k) {
+            ASSERT_EQ(line[k], buffer.panel()[k * count + b])
+                << "axis " << axis << " line " << first + b << " k " << k;
+          }
+        }
+        buffer.Scatter(copy, axis, first, count);
+      }
+      EXPECT_EQ(m.values(), copy.values()) << "axis " << axis;
+    }
+  }
+}
+
+TEST(TileEngineTest, NoiseCursorMatchesShardedLoops) {
+  // Three shards and change; scattered monotone ranges must reproduce the
+  // AddLaplaceNoise draws index-for-index, whatever the chunk boundaries.
+  const std::size_t n = mechanism::kNoiseShardSize * 3 + 123;
+  std::vector<double> reference(n, 0.0);
+  mechanism::AddLaplaceNoise(reference, 1.5, /*noise_seed=*/99, nullptr);
+
+  const std::vector<rng::Xoshiro256pp> streams =
+      rng::MakeJumpStreams(99, mechanism::NumNoiseShards(n));
+  // Ranges deliberately straddle shard boundaries and leave gaps (gaps
+  // within a cursor's shard trigger the skip path).
+  const std::size_t starts[] = {0, 500, mechanism::kNoiseShardSize - 3,
+                                2 * mechanism::kNoiseShardSize + 77, n - 10};
+  for (std::size_t chunk = 0; chunk + 1 < 5; ++chunk) {
+    mechanism::NoiseStreamCursor cursor(streams);
+    for (std::size_t i = starts[chunk]; i < starts[chunk + 1]; i += 2) {
+      EXPECT_EQ(reference[i], cursor.LaplaceAt(i, 1.5)) << "index " << i;
+    }
+  }
+}
+
+TEST(TileEngineTest, TiledPublishDeterministicUnderThreads) {
+  const data::Schema schema = MixedCubeSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema.DomainSizes(), 5);
+  mechanism::PriveletPlusMechanism mech;
+  mech.set_engine_options(Tiled(8));
+  auto serial = mech.Publish(schema, m, 1.1, 77);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : {2u, 8u}) {
+    common::ThreadPool pool(threads);
+    mech.set_thread_pool(&pool);
+    auto parallel = mech.Publish(schema, m, 1.1, 77);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->values(), parallel->values()) << threads << " threads";
+    mech.set_thread_pool(nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace privelet
