@@ -1,0 +1,97 @@
+// Snapshot economics: the whole point of a durable release artifact is
+// that a serving process pays an O(file) load instead of an O(publish)
+// recompute. This harness publishes a release on the scalability schema,
+// then times (a) SaveSession, (b) LoadSession with the stored prefix
+// table, (c) LoadSession when the snapshot carries no table (forced
+// rebuild), against the publish itself — and verifies all paths answer a
+// probe workload bit-identically. Emits BENCH_snapshot_io.json.
+//
+//   build/bench/snapshot_io        # ~1M cells; PRIVELET_FULL=1 -> ~16M
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "privelet/common/stopwatch.h"
+#include "privelet/common/thread_pool.h"
+#include "privelet/data/synthetic_generator.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/publishing_session.h"
+#include "privelet/query/workload.h"
+#include "privelet/storage/session_io.h"
+#include "privelet/storage/snapshot.h"
+
+using namespace privelet;
+
+int main() {
+  const std::size_t target_cells =
+      bench::FullScale() ? (std::size_t{1} << 24) : (std::size_t{1} << 20);
+  const std::string path = "BENCH_snapshot_io.pvls";
+
+  auto schema = data::MakeScalabilitySchema(target_cells);
+  PRIVELET_CHECK(schema.ok(), schema.status().ToString());
+  auto table = data::GenerateUniformTable(*schema, /*num_tuples=*/500'000,
+                                          /*seed=*/9);
+  PRIVELET_CHECK(table.ok(), table.status().ToString());
+  const auto m = matrix::FrequencyMatrix::FromTable(*table);
+
+  common::ThreadPool pool(common::ThreadPool::DefaultThreadCount());
+  mechanism::PriveletMechanism mech;
+  mech.set_thread_pool(&pool);
+
+  Stopwatch publish_watch;
+  auto session = query::PublishingSession::Publish(
+      *schema, mech, m, /*epsilon=*/1.0, /*seed=*/31, &pool);
+  PRIVELET_CHECK(session.ok(), session.status().ToString());
+  const double publish_s = publish_watch.ElapsedSeconds();
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 2'000;
+  auto workload = query::GenerateWorkload(*schema, wopts);
+  PRIVELET_CHECK(workload.ok(), workload.status().ToString());
+  const std::vector<double> expected = session->AnswerAll(*workload);
+
+  Stopwatch save_watch;
+  PRIVELET_CHECK(storage::SaveSession(path, *session).ok(),
+                 "snapshot save failed");
+  const double save_s = save_watch.ElapsedSeconds();
+
+  Stopwatch load_watch;
+  auto loaded = storage::LoadSession(path, &pool);
+  const double load_s = load_watch.ElapsedSeconds();
+  PRIVELET_CHECK(loaded.ok(), loaded.status().ToString());
+  PRIVELET_CHECK(expected == loaded->AnswerAll(*workload),
+                 "loaded session answers diverge");
+
+  // Strip the table to time the rebuild path a foreign-accumulator (or
+  // table-less) snapshot would take.
+  storage::ReleaseSnapshot bare = session->ToSnapshot();
+  bare.prefix.reset();
+  PRIVELET_CHECK(storage::WriteSnapshot(path, bare).ok(),
+                 "table-less snapshot save failed");
+  Stopwatch rebuild_watch;
+  auto rebuilt = storage::LoadSession(path, &pool);
+  const double load_rebuild_s = rebuild_watch.ElapsedSeconds();
+  PRIVELET_CHECK(rebuilt.ok(), rebuilt.status().ToString());
+  PRIVELET_CHECK(expected == rebuilt->AnswerAll(*workload),
+                 "rebuilt session answers diverge");
+
+  auto info = storage::InspectSnapshot(path);
+  PRIVELET_CHECK(info.ok(), info.status().ToString());
+
+  std::printf("cells=%zu publish=%.3fs save=%.3fs load=%.3fs "
+              "load+rebuild=%.3fs (%.1fx publish -> load speedup)\n",
+              m.size(), publish_s, save_s, load_s, load_rebuild_s,
+              publish_s / (load_s > 0 ? load_s : 1e-9));
+
+  bench::BenchReport report("snapshot_io");
+  report.AddRow({{"cells", static_cast<double>(m.size())},
+                 {"publish_s", publish_s},
+                 {"save_s", save_s},
+                 {"load_s", load_s},
+                 {"load_rebuild_s", load_rebuild_s},
+                 {"file_mb", static_cast<double>(info->file_bytes) / 1e6}});
+  std::remove(path.c_str());
+  return 0;
+}

@@ -4,13 +4,15 @@
 //   2. plan the Privelet+ SA set against the expected query workload
 //      (workload-aware planner; costs no privacy budget),
 //   3. publish under ε-DP,
-//   4. post-process (non-negative integer counts; DP-preserving),
-//   5. serialize the release to disk,
-// and then, acting as the analyst, load the release into a
-// PublishingSession (the thread-safe serving facade) and answer a query
-// batch, comparing against the predicted noise variance. Publishing and
-// serving both run on a worker pool; thanks to the determinism contract
-// the release is bit-identical to a serial run for the same seed.
+//   4. post-process (integer counts; DP-preserving),
+//   5. persist the release as a PVLS snapshot (storage/snapshot.h) with
+//      its provenance recorded,
+// and then, acting as the analyst in a separate serving step, load the
+// snapshot into a PublishingSession (storage::LoadSession) and answer a
+// query batch, comparing against the predicted noise variance. Publishing
+// and serving both run on a worker pool; thanks to the determinism
+// contract the release is bit-identical to a serial run for the same
+// seed, and the snapshot round trip changes no bits either.
 //
 //   build/examples/publishing_pipeline
 #include <cmath>
@@ -22,19 +24,20 @@
 #include "privelet/data/census_generator.h"
 #include "privelet/data/csv.h"
 #include "privelet/matrix/frequency_matrix.h"
-#include "privelet/matrix/matrix_io.h"
 #include "privelet/mechanism/postprocess.h"
 #include "privelet/mechanism/privelet_mechanism.h"
 #include "privelet/query/evaluator.h"
 #include "privelet/query/publishing_session.h"
 #include "privelet/query/workload.h"
+#include "privelet/storage/session_io.h"
+#include "privelet/storage/snapshot.h"
 
 using namespace privelet;
 
 int main() {
   const double epsilon = 1.0;
   const char* csv_path = "/tmp/privelet_pipeline_microdata.csv";
-  const char* release_path = "/tmp/privelet_pipeline_release.pvlm";
+  const char* release_path = "/tmp/privelet_pipeline_release.pvls";
 
   // --- custodian side ---------------------------------------------------
   // Stand-in for real microdata: write a census surrogate to CSV, then
@@ -84,19 +87,31 @@ int main() {
   auto noisy = mech.Publish(schema, m, epsilon, /*seed=*/2026);
   if (!noisy.ok()) return 1;
   mechanism::RoundToIntegers(&*noisy);
-  if (!matrix::WriteMatrix(release_path, *noisy).ok()) return 1;
-  std::printf("release written to %s (%.1f MB)\n\n", release_path,
-              static_cast<double>(noisy->size() * sizeof(double)) / 1e6);
+  // Persist as a PVLS snapshot with provenance. Post-processing happened
+  // between Publish and here, so assemble the snapshot explicitly rather
+  // than going through a session's SaveSession (the table-less snapshot
+  // lets the serving side build the prefix table once, at load).
+  storage::ReleaseSnapshot snapshot;
+  snapshot.schema = schema;
+  snapshot.mechanism = std::string(mech.name());
+  snapshot.epsilon = epsilon;
+  snapshot.seed = 2026;
+  snapshot.published = std::move(*noisy);
+  if (!storage::WriteSnapshot(release_path, snapshot).ok()) return 1;
+  std::printf("release snapshot written to %s (%.1f MB)\n\n", release_path,
+              static_cast<double>(snapshot.published.size() *
+                                  sizeof(double)) / 1e6);
 
   // --- analyst side -----------------------------------------------------
-  // Load the release into a PublishingSession: it owns the noisy cube and
-  // its prefix-sum table, answers batches across the pool, and is safe to
-  // share between any number of serving threads.
-  auto release = matrix::ReadMatrix(release_path);
-  if (!release.ok()) return 1;
-  auto session =
-      query::PublishingSession::FromMatrix(schema, std::move(*release), &pool);
+  // Load the snapshot into a PublishingSession: it owns the noisy cube,
+  // its prefix-sum table, and the release provenance; answers batches
+  // across the pool; and is safe to share between serving threads.
+  auto session = storage::LoadSession(release_path, &pool);
   if (!session.ok()) return 1;
+  std::printf("loaded release: mechanism=%s epsilon=%g seed=%llu\n",
+              session->metadata().mechanism.c_str(),
+              session->metadata().epsilon,
+              static_cast<unsigned long long>(session->metadata().seed));
   query::QueryEvaluator truth(schema, m);  // for demonstration only
 
   std::printf("%-44s %10s %10s %12s\n", "query", "true", "private",

@@ -24,16 +24,22 @@ class FrequencyMatrix {
   /// Zero-filled matrix with the given per-axis sizes (all >= 1).
   explicit FrequencyMatrix(std::vector<std::size_t> dims);
 
+  /// Number of axes d (= the schema's attribute count for data matrices).
   std::size_t num_dims() const { return dims_.size(); }
+  /// Per-axis sizes, in attribute order.
   const std::vector<std::size_t>& dims() const { return dims_; }
+  /// Size of one axis.
   std::size_t dim(std::size_t axis) const { return dims_[axis]; }
 
   /// Total number of entries (the paper's m for data matrices).
   std::size_t size() const { return values_.size(); }
 
+  /// Entry at a row-major flat index (no bounds check in release builds).
   double operator[](std::size_t flat) const { return values_[flat]; }
   double& operator[](std::size_t flat) { return values_[flat]; }
 
+  /// The flat row-major storage; mutable access is how transforms and
+  /// deserializers write in place.
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& values() { return values_; }
 

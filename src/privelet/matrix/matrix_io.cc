@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 namespace privelet::matrix {
@@ -40,6 +41,12 @@ Result<FrequencyMatrix> ReadMatrix(const std::string& path) {
   if (!in) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) {
+    return Status::IOError("cannot stat '" + path + "'");
+  }
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -56,6 +63,7 @@ Result<FrequencyMatrix> ReadMatrix(const std::string& path) {
     return Status::InvalidArgument("corrupt matrix header");
   }
   std::vector<std::size_t> dims(num_dims);
+  std::size_t cells = 1;
   for (auto& d : dims) {
     std::uint64_t dim = 0;
     in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
@@ -63,6 +71,23 @@ Result<FrequencyMatrix> ReadMatrix(const std::string& path) {
       return Status::InvalidArgument("corrupt matrix dimensions");
     }
     d = static_cast<std::size_t>(dim);
+    // Checked product: a corrupt dimension must not wrap the element
+    // count (and silently truncate the matrix) ...
+    if (d != dim ||
+        cells > std::numeric_limits<std::size_t>::max() / d) {
+      return Status::InvalidArgument("matrix dimension product overflows");
+    }
+    cells *= d;
+  }
+  // ... nor drive an allocation beyond what the file can actually hold:
+  // the values are stored inline, so the payload bounds the plausible
+  // element count before FrequencyMatrix allocates anything.
+  const std::uint64_t header_bytes =
+      sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
+      num_dims * sizeof(std::uint64_t);
+  if (cells > (static_cast<std::uint64_t>(file_size) - header_bytes) /
+                  sizeof(double)) {
+    return Status::InvalidArgument("matrix payload exceeds the file size");
   }
   FrequencyMatrix m(dims);
   in.read(reinterpret_cast<char*>(m.values().data()),

@@ -1,8 +1,18 @@
-// Binary serialization of frequency matrices — the artifact a publishing
-// pipeline actually releases (and the input analysts load).
+// Binary serialization of bare frequency matrices — the minimal
+// interchange format for a noisy (or exact) matrix on its own. Complete
+// releases are persisted as PVLS snapshots instead (storage/snapshot.h),
+// which wrap a matrix together with its schema, provenance, and
+// prefix-sum table; PVLM remains for matrix-only tooling and tests.
 //
-// Format (little-endian): magic "PVLM", u32 version, u32 num_dims,
-// u64 dims[num_dims], f64 values[product(dims)].
+// PVLM format v1 (little-endian): magic "PVLM", u32 version, u32
+// num_dims (1..64), u64 dims[num_dims] (each >= 1), f64
+// values[product(dims)].
+//
+// ReadMatrix validates the header defensively: dimension counts and
+// sizes are bounds-checked, the dimension product is checked for
+// overflow, and the claimed payload must fit in the file before any
+// allocation happens — corrupt or truncated files are reported as
+// Status errors, never crashes or pathological allocations.
 #ifndef PRIVELET_MATRIX_MATRIX_IO_H_
 #define PRIVELET_MATRIX_MATRIX_IO_H_
 

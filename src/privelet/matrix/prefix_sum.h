@@ -40,12 +40,8 @@ class PrefixSumTable {
   explicit PrefixSumTable(const FrequencyMatrix& source,
                           common::ThreadPool* pool = nullptr,
                           const EngineOptions& options = {})
-      : dims_(source.dims()), strides_(source.num_dims()) {
-    std::size_t stride = 1;
-    for (std::size_t axis = dims_.size(); axis-- > 0;) {
-      strides_[axis] = stride;
-      stride *= dims_[axis];
-    }
+      : dims_(source.dims()) {
+    InitStrides();
     sums_.resize(source.size());
     common::ParallelFor(pool, source.size(), /*grain=*/0,
                         [&](std::size_t begin, std::size_t end) {
@@ -77,6 +73,22 @@ class PrefixSumTable {
             }
           });
     }
+  }
+
+  /// Reassembles a table from its serialized parts: `sums` must hold the
+  /// flat (row-major) entries of a previously built table over a matrix
+  /// with the given dims, in the layout raw_sums() exposes. The product of
+  /// `dims` must equal sums.size() (the caller has already validated the
+  /// product against overflow). Used by storage/snapshot.cc so a serving
+  /// process can skip the O(m) rebuild; the entries themselves are trusted
+  /// — integrity is the snapshot CRC's job.
+  PrefixSumTable(std::vector<std::size_t> dims, std::vector<Accum> sums)
+      : dims_(std::move(dims)), sums_(std::move(sums)) {
+    InitStrides();
+    std::size_t expected = 1;
+    for (std::size_t d : dims_) expected *= d;
+    PRIVELET_CHECK(!dims_.empty() && expected == sums_.size(),
+                   "prefix-sum parts do not form a table");
   }
 
   /// Sum of all entries with lo[i] <= coord[i] <= hi[i] (inclusive bounds).
@@ -116,7 +128,21 @@ class PrefixSumTable {
 
   const std::vector<std::size_t>& dims() const { return dims_; }
 
+  /// The flat (row-major) table entries — entry at a coordinate is the
+  /// inclusive prefix sum up to it. The serialization surface consumed by
+  /// storage/snapshot.cc and accepted back by the parts constructor.
+  std::span<const Accum> raw_sums() const { return sums_; }
+
  private:
+  void InitStrides() {
+    strides_.resize(dims_.size());
+    std::size_t stride = 1;
+    for (std::size_t axis = dims_.size(); axis-- > 0;) {
+      strides_[axis] = stride;
+      stride *= dims_[axis];
+    }
+  }
+
   /// Tiled running-sum pass along one axis: panels of up to `tile`
   /// adjacent lines advance through the axis together, so each step
   /// accumulates a contiguous run of elements into the contiguous run one

@@ -19,10 +19,16 @@ class ThreadPool;
 
 namespace privelet::mechanism {
 
+/// Interface of a publishing mechanism. Implementations are stateless
+/// apart from the two performance knobs below (pool, engine options);
+/// Publish is const and may be called concurrently (see README,
+/// "Threading model").
 class Mechanism {
  public:
   virtual ~Mechanism() = default;
 
+  /// Stable identifier of the mechanism (e.g. "Privelet+{Gender}") —
+  /// what ReleaseMetadata and PVLS snapshots record as provenance.
   virtual std::string_view name() const = 0;
 
   /// Optional worker pool used by Publish implementations for internal

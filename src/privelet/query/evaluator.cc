@@ -1,5 +1,7 @@
 #include "privelet/query/evaluator.h"
 
+#include <utility>
+
 namespace privelet::query {
 
 QueryEvaluator::QueryEvaluator(const data::Schema& schema,
@@ -7,6 +9,13 @@ QueryEvaluator::QueryEvaluator(const data::Schema& schema,
                                common::ThreadPool* pool,
                                const matrix::EngineOptions& options)
     : schema_(schema), table_(m, pool, options) {}
+
+QueryEvaluator::QueryEvaluator(const data::Schema& schema,
+                               matrix::PrefixSumTable<long double> table)
+    : schema_(schema), table_(std::move(table)) {
+  PRIVELET_CHECK(table_.dims() == schema.DomainSizes(),
+                 "prefix-sum table dims do not match the schema");
+}
 
 namespace {
 

@@ -31,6 +31,16 @@ class QueryEvaluator {
                  common::ThreadPool* pool = nullptr,
                  const matrix::EngineOptions& options = {});
 
+  /// Adopts an already-built table (e.g. deserialized from a release
+  /// snapshot) instead of paying the O(m) build. The table dims must
+  /// match the schema's domain sizes.
+  QueryEvaluator(const data::Schema& schema,
+                 matrix::PrefixSumTable<long double> table);
+
+  /// The underlying prefix-sum table; what storage/ serializes.
+  const matrix::PrefixSumTable<long double>& table() const { return table_; }
+
+  /// Noisy estimate of one range-count query. Thread-safe.
   double Answer(const RangeQuery& query) const;
 
   /// Scratch-reusing overload for batched callers: `lo`/`hi` are resized

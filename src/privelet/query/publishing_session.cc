@@ -1,16 +1,25 @@
 #include "privelet/query/publishing_session.h"
 
+#include <utility>
+
 namespace privelet::query {
 
 PublishingSession::PublishingSession(
     std::shared_ptr<const data::Schema> schema,
-    matrix::FrequencyMatrix published, common::ThreadPool* pool,
+    matrix::FrequencyMatrix published,
+    std::optional<matrix::PrefixSumTable<long double>> table,
+    ReleaseMetadata metadata, common::ThreadPool* pool,
     const matrix::EngineOptions& options)
     : schema_(std::move(schema)),
       published_(std::make_shared<const matrix::FrequencyMatrix>(
           std::move(published))),
-      evaluator_(std::make_shared<const QueryEvaluator>(*schema_, *published_,
-                                                        pool, options)),
+      evaluator_(table.has_value()
+                     ? std::make_shared<const QueryEvaluator>(
+                           *schema_, std::move(*table))
+                     : std::make_shared<const QueryEvaluator>(
+                           *schema_, *published_, pool, options)),
+      metadata_(std::move(metadata)),
+      options_(options),
       pool_(pool) {}
 
 Result<PublishingSession> PublishingSession::Publish(
@@ -19,8 +28,10 @@ Result<PublishingSession> PublishingSession::Publish(
     common::ThreadPool* pool, const matrix::EngineOptions& options) {
   PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
                             mech.Publish(schema, m, epsilon, seed));
+  ReleaseMetadata metadata{std::string(mech.name()), epsilon, seed};
   return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), pool, options);
+                           std::move(published), std::nullopt,
+                           std::move(metadata), pool, options);
 }
 
 Result<PublishingSession> PublishingSession::FromMatrix(
@@ -31,7 +42,25 @@ Result<PublishingSession> PublishingSession::FromMatrix(
         "published matrix dims do not match the schema");
   }
   return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), pool, options);
+                           std::move(published), std::nullopt,
+                           ReleaseMetadata{}, pool, options);
+}
+
+Result<PublishingSession> PublishingSession::FromParts(
+    const data::Schema& schema, matrix::FrequencyMatrix published,
+    matrix::PrefixSumTable<long double> table, ReleaseMetadata metadata,
+    common::ThreadPool* pool, const matrix::EngineOptions& options) {
+  if (published.dims() != schema.DomainSizes()) {
+    return Status::InvalidArgument(
+        "published matrix dims do not match the schema");
+  }
+  if (table.dims() != published.dims()) {
+    return Status::InvalidArgument(
+        "prefix-sum table dims do not match the published matrix");
+  }
+  return PublishingSession(std::make_shared<const data::Schema>(schema),
+                           std::move(published), std::move(table),
+                           std::move(metadata), pool, options);
 }
 
 double PublishingSession::Answer(const RangeQuery& query) const {

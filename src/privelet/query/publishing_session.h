@@ -5,12 +5,21 @@
 // thread-safe: any number of threads may call Answer / AnswerAll on a
 // shared session concurrently, and AnswerAll additionally fans a batch
 // across a worker pool.
+//
+// Releases outlive processes: ToSnapshot / FromSnapshot (implemented in
+// storage/session_io.cc, which also provides the file-level
+// SaveSession / LoadSession) round-trip a session through the PVLS
+// snapshot format, so a serving process loads a release — including its
+// precomputed prefix-sum table — instead of re-running the publish. See
+// docs/ARCHITECTURE.md for the publish → snapshot → serve dataflow.
 #ifndef PRIVELET_QUERY_PUBLISHING_SESSION_H_
 #define PRIVELET_QUERY_PUBLISHING_SESSION_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "privelet/common/result.h"
@@ -18,11 +27,26 @@
 #include "privelet/data/schema.h"
 #include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
+#include "privelet/matrix/prefix_sum.h"
 #include "privelet/mechanism/mechanism.h"
 #include "privelet/query/evaluator.h"
 #include "privelet/query/range_query.h"
 
+namespace privelet::storage {
+struct ReleaseSnapshot;
+}  // namespace privelet::storage
+
 namespace privelet::query {
+
+/// Provenance of a published release, carried by the session and
+/// persisted in its snapshot. Publish() records the real values;
+/// sessions wrapped around a bare matrix (FromMatrix) report the
+/// defaults below.
+struct ReleaseMetadata {
+  std::string mechanism;   ///< Mechanism::name() of the publisher; "" unknown
+  double epsilon = 0.0;    ///< privacy budget; 0 unknown
+  std::uint64_t seed = 0;  ///< publish seed; 0 when unknown
+};
 
 class PublishingSession {
  public:
@@ -40,14 +64,51 @@ class PublishingSession {
       const matrix::EngineOptions& options = {});
 
   /// Wraps an already-published release (e.g. loaded from disk). The
-  /// matrix dims must match the schema's domain sizes.
+  /// matrix dims must match the schema's domain sizes. The provenance is
+  /// unknown (default ReleaseMetadata).
   static Result<PublishingSession> FromMatrix(
       const data::Schema& schema, matrix::FrequencyMatrix published,
       common::ThreadPool* pool = nullptr,
       const matrix::EngineOptions& options = {});
 
+  /// Wraps a fully materialized release: matrix plus its already-built
+  /// prefix-sum table (dims of both must match the schema) — the
+  /// skip-the-O(m)-rebuild path behind FromSnapshot. The table entries
+  /// are trusted to be the prefix sums of `published`.
+  static Result<PublishingSession> FromParts(
+      const data::Schema& schema, matrix::FrequencyMatrix published,
+      matrix::PrefixSumTable<long double> table, ReleaseMetadata metadata,
+      common::ThreadPool* pool = nullptr,
+      const matrix::EngineOptions& options = {});
+
+  /// Rebuilds a serving session from a decoded release snapshot, reusing
+  /// the snapshot's prefix table when present and rebuilding it (with
+  /// `pool`, under the snapshot's engine options) otherwise. Answers are
+  /// bit-identical either way. Implemented in storage/session_io.cc —
+  /// the storage layer sits above query in the dependency order.
+  static Result<PublishingSession> FromSnapshot(
+      storage::ReleaseSnapshot snapshot, common::ThreadPool* pool = nullptr);
+
+  /// Deep-copies this session's release into an owning snapshot (schema,
+  /// metadata, matrix, prefix table). To persist without the copy, use
+  /// storage::SaveSession, which streams straight from the live session.
+  /// Implemented in storage/session_io.cc.
+  storage::ReleaseSnapshot ToSnapshot() const;
+
   const data::Schema& schema() const { return *schema_; }
   const matrix::FrequencyMatrix& published() const { return *published_; }
+
+  /// Provenance of the release (mechanism id, epsilon, seed).
+  const ReleaseMetadata& metadata() const { return metadata_; }
+
+  /// Engine options this session was built with (serving-side prefix-sum
+  /// build and AnswerAll; persisted in snapshots).
+  const matrix::EngineOptions& engine_options() const { return options_; }
+
+  /// The serving prefix-sum table (what snapshots persist).
+  const matrix::PrefixSumTable<long double>& prefix_table() const {
+    return evaluator_->table();
+  }
 
   /// Answer of one query against the release. Thread-safe.
   double Answer(const RangeQuery& query) const;
@@ -60,7 +121,8 @@ class PublishingSession {
  private:
   PublishingSession(std::shared_ptr<const data::Schema> schema,
                     matrix::FrequencyMatrix published,
-                    common::ThreadPool* pool,
+                    std::optional<matrix::PrefixSumTable<long double>> table,
+                    ReleaseMetadata metadata, common::ThreadPool* pool,
                     const matrix::EngineOptions& options);
 
   // Heap-held so moves of the session never invalidate the references the
@@ -68,6 +130,8 @@ class PublishingSession {
   std::shared_ptr<const data::Schema> schema_;
   std::shared_ptr<const matrix::FrequencyMatrix> published_;
   std::shared_ptr<const QueryEvaluator> evaluator_;
+  ReleaseMetadata metadata_;
+  matrix::EngineOptions options_;
   common::ThreadPool* pool_;
 };
 

@@ -33,6 +33,7 @@ class RangeQuery {
   explicit RangeQuery(std::size_t num_attributes)
       : ranges_(num_attributes) {}
 
+  /// Arity of the schema this query ranges over (not the predicate count).
   std::size_t num_attributes() const { return ranges_.size(); }
 
   /// Adds/overwrites the interval predicate "attr in [lo, hi]".
@@ -45,6 +46,7 @@ class RangeQuery {
   Status SetHierarchyNode(const data::Schema& schema, std::size_t attr,
                           std::size_t node);
 
+  /// The predicate on `attr`, if any (nullopt = unconstrained).
   const std::optional<ValueRange>& range(std::size_t attr) const {
     return ranges_[attr];
   }

@@ -16,10 +16,15 @@
 
 namespace privelet::query {
 
+/// Knobs of the random workload; the defaults are the paper's evaluation
+/// configuration.
 struct WorkloadOptions {
   std::size_t num_queries = 40'000;
+  /// Predicate count is uniform in [min_predicates, max_predicates]
+  /// (capped at the attribute count) over distinct random attributes.
   std::size_t min_predicates = 1;
   std::size_t max_predicates = 4;
+  /// Generation is deterministic in this seed.
   std::uint64_t seed = 7;
 };
 

@@ -1,0 +1,58 @@
+// CRC-32 (reflected, polynomial 0xEDB88320 — the IEEE 802.3 / zlib
+// variant) used to integrity-check the PVLS release snapshots. Exposed as
+// a public header so tests and external tooling can verify or craft
+// snapshot files without re-implementing the checksum.
+#ifndef PRIVELET_STORAGE_CRC32_H_
+#define PRIVELET_STORAGE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace privelet::storage {
+
+namespace internal {
+
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    MakeCrc32Table();
+
+}  // namespace internal
+
+/// Initial CRC state (before the conventional final inversion).
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/// Folds `len` bytes into a running CRC state. Start from kCrc32Init and
+/// finish with Crc32Finish; intermediate states may be threaded through
+/// any number of Crc32Update calls (streaming).
+inline std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                                 std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state = internal::kCrc32Table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+/// Final inversion turning a CRC state into the published checksum value.
+inline std::uint32_t Crc32Finish(std::uint32_t state) { return ~state; }
+
+/// One-shot convenience: the CRC-32 of a buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Finish(Crc32Update(kCrc32Init, data, len));
+}
+
+}  // namespace privelet::storage
+
+#endif  // PRIVELET_STORAGE_CRC32_H_

@@ -1,0 +1,68 @@
+#include "privelet/storage/session_io.h"
+
+#include <utility>
+
+namespace privelet::query {
+
+// Defined here rather than in publishing_session.cc: these two members
+// are the only place the query layer touches storage types, and keeping
+// their definitions in storage/ preserves the one-way layer order.
+
+storage::ReleaseSnapshot PublishingSession::ToSnapshot() const {
+  storage::ReleaseSnapshot snapshot;
+  snapshot.schema = schema();
+  snapshot.mechanism = metadata_.mechanism;
+  snapshot.epsilon = metadata_.epsilon;
+  snapshot.seed = metadata_.seed;
+  snapshot.engine_options = options_;
+  snapshot.published = published();
+  snapshot.prefix = prefix_table();
+  return snapshot;
+}
+
+Result<PublishingSession> PublishingSession::FromSnapshot(
+    storage::ReleaseSnapshot snapshot, common::ThreadPool* pool) {
+  ReleaseMetadata metadata{std::move(snapshot.mechanism), snapshot.epsilon,
+                           snapshot.seed};
+  if (snapshot.prefix.has_value()) {
+    return FromParts(snapshot.schema, std::move(snapshot.published),
+                     std::move(*snapshot.prefix), std::move(metadata), pool,
+                     snapshot.engine_options);
+  }
+  // No adoptable table in the snapshot: rebuild it from the matrix. The
+  // build is bit-deterministic across pools, engines, and tile sizes, so
+  // the session still answers exactly like the one that was saved.
+  if (snapshot.published.dims() != snapshot.schema.DomainSizes()) {
+    return Status::InvalidArgument(
+        "published matrix dims do not match the schema");
+  }
+  return PublishingSession(
+      std::make_shared<const data::Schema>(std::move(snapshot.schema)),
+      std::move(snapshot.published), std::nullopt, std::move(metadata), pool,
+      snapshot.engine_options);
+}
+
+}  // namespace privelet::query
+
+namespace privelet::storage {
+
+Status SaveSession(const std::string& path,
+                   const query::PublishingSession& session) {
+  ReleaseSnapshotView view;
+  view.schema = &session.schema();
+  view.mechanism = session.metadata().mechanism;
+  view.epsilon = session.metadata().epsilon;
+  view.seed = session.metadata().seed;
+  view.engine_options = session.engine_options();
+  view.published = &session.published();
+  view.prefix = &session.prefix_table();
+  return WriteSnapshot(path, view);
+}
+
+Result<query::PublishingSession> LoadSession(const std::string& path,
+                                             common::ThreadPool* pool) {
+  PRIVELET_ASSIGN_OR_RETURN(ReleaseSnapshot snapshot, ReadSnapshot(path));
+  return query::PublishingSession::FromSnapshot(std::move(snapshot), pool);
+}
+
+}  // namespace privelet::storage

@@ -1,0 +1,36 @@
+// File-level persistence of serving sessions: SaveSession streams a live
+// PublishingSession straight into a PVLS snapshot (no copy of the matrix
+// or table), LoadSession turns a snapshot file back into a serving
+// session. Also the home of PublishingSession::ToSnapshot/FromSnapshot —
+// they are declared on the session for discoverability but implemented
+// here because storage sits above query in the layer order
+// (docs/ARCHITECTURE.md).
+#ifndef PRIVELET_STORAGE_SESSION_IO_H_
+#define PRIVELET_STORAGE_SESSION_IO_H_
+
+#include <string>
+
+#include "privelet/common/result.h"
+#include "privelet/common/thread_pool.h"
+#include "privelet/query/publishing_session.h"
+#include "privelet/storage/snapshot.h"
+
+namespace privelet::storage {
+
+/// Writes `session`'s release — schema, provenance metadata, engine
+/// options, noisy matrix, prefix-sum table — to `path` as a PVLS
+/// snapshot, streaming from the session's own storage.
+Status SaveSession(const std::string& path,
+                   const query::PublishingSession& session);
+
+/// Loads a snapshot and wraps it as a serving session. When the file
+/// carries an adoptable prefix table this is an O(file size) read with no
+/// O(m) compute; otherwise the table is rebuilt on `pool` under the
+/// snapshot's engine options. Either way the loaded session answers
+/// bit-identically to the one that was saved.
+Result<query::PublishingSession> LoadSession(const std::string& path,
+                                             common::ThreadPool* pool = nullptr);
+
+}  // namespace privelet::storage
+
+#endif  // PRIVELET_STORAGE_SESSION_IO_H_

@@ -1,0 +1,568 @@
+#include "privelet/storage/snapshot.h"
+
+#include <cfloat>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+#include "privelet/storage/crc32.h"
+
+namespace privelet::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'V', 'L', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+// Structural limits. Generous against every real release, tight enough
+// that a corrupt length field cannot drive a pathological allocation on
+// its own (allocations are additionally bounded by the bytes actually
+// remaining in the file).
+constexpr std::size_t kMaxNameLen = 4096;
+constexpr std::size_t kMaxAttributes = 256;
+constexpr std::size_t kMaxDims = 64;
+
+constexpr std::size_t kChunkElements = 1 << 14;  // 128 KiB of doubles
+
+bool CheckedMul(std::size_t a, std::size_t b, std::size_t* out) {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) return false;
+  *out = a * b;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer: every byte goes through the running CRC; Finish()
+// appends the checksum. No whole-file staging buffer exists anywhere —
+// the largest transient is one kChunkElements scratch chunk.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void WriteRaw(const void* data, std::size_t len) {
+    crc_ = Crc32Update(crc_, data, len);
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+  }
+
+  template <typename T>
+  void WritePod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteRaw(&value, sizeof(value));
+  }
+
+  void WriteString(std::string_view s) {
+    WritePod(static_cast<std::uint16_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  Status Finish() {
+    const std::uint32_t crc = Crc32Finish(crc_);
+    out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out_.flush();
+    if (!out_) return Status::IOError("write to '" + path_ + "' failed");
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint32_t crc_ = kCrc32Init;
+};
+
+// ---------------------------------------------------------------------------
+// Streaming reader over [start, file_size - 4): tracks the bytes left
+// before the trailing CRC so every length field can be bounds-checked
+// prior to allocation, and folds everything it reads into the running
+// CRC for the final comparison.
+class SnapshotReader {
+ public:
+  static Result<SnapshotReader> Open(const std::string& path) {
+    SnapshotReader r(path);
+    if (!r.in_) {
+      return Status::IOError("cannot open '" + path + "' for reading");
+    }
+    r.in_.seekg(0, std::ios::end);
+    const std::streamoff size = r.in_.tellg();
+    r.in_.seekg(0, std::ios::beg);
+    if (size < 0) return Status::IOError("cannot stat '" + path + "'");
+    r.file_bytes_ = static_cast<std::uint64_t>(size);
+    if (r.file_bytes_ < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
+      return r.Corrupt("file too short to be a snapshot");
+    }
+    r.remaining_ = r.file_bytes_ - sizeof(std::uint32_t);  // minus the CRC
+    return r;
+  }
+
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  std::uint64_t remaining() const { return remaining_; }
+
+  Status Corrupt(const std::string& what) const {
+    return Status::InvalidArgument("snapshot '" + path_ + "': " + what);
+  }
+
+  Status ReadRaw(void* dst, std::size_t len, const char* what) {
+    if (len > remaining_) {
+      return Corrupt(std::string("truncated while reading ") + what);
+    }
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+    if (!in_ || in_.gcount() != static_cast<std::streamsize>(len)) {
+      return Corrupt(std::string("read failed in ") + what);
+    }
+    crc_ = Crc32Update(crc_, dst, len);
+    remaining_ -= len;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPod(T* dst, const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadRaw(dst, sizeof(T), what);
+  }
+
+  Status ReadString(std::string* dst, std::size_t max_len, const char* what) {
+    std::uint16_t len = 0;
+    PRIVELET_RETURN_IF_ERROR(ReadPod(&len, what));
+    if (len > max_len) {
+      return Corrupt(std::string(what) + " length out of bounds");
+    }
+    dst->resize(len);
+    return ReadRaw(dst->data(), len, what);
+  }
+
+  /// Consumes `len` bytes without keeping them (metadata-only reads still
+  /// need the full stream folded into the CRC).
+  Status Skip(std::size_t len, const char* what) {
+    std::vector<char> scratch(std::min<std::size_t>(len, kChunkElements * 8));
+    while (len > 0) {
+      const std::size_t step = std::min(len, scratch.size());
+      PRIVELET_RETURN_IF_ERROR(ReadRaw(scratch.data(), step, what));
+      len -= step;
+    }
+    return Status::OK();
+  }
+
+  /// Verifies every payload byte was consumed and the trailing checksum
+  /// matches the stream.
+  Status VerifyCrc() {
+    if (remaining_ != 0) {
+      return Corrupt("trailing bytes after the table section");
+    }
+    std::uint32_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in_ || in_.gcount() != sizeof(stored)) {
+      return Corrupt("missing trailing CRC");
+    }
+    if (stored != Crc32Finish(crc_)) {
+      return Corrupt("CRC mismatch (file corrupted)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  explicit SnapshotReader(const std::string& path)
+      : path_(path), in_(path, std::ios::binary) {}
+
+  std::string path_;
+  std::ifstream in_;
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::uint32_t crc_ = kCrc32Init;
+};
+
+// ---------------------------------------------------------------------------
+// Schema section.
+
+void WriteHierarchy(SnapshotWriter& w, const data::Hierarchy& h) {
+  w.WritePod(static_cast<std::uint64_t>(h.num_nodes()));
+  for (std::size_t id = 0; id < h.num_nodes(); ++id) {
+    w.WritePod(static_cast<std::uint32_t>(h.fanout(id)));
+  }
+}
+
+// Rebuilds the recursive spec from BFS child counts: node ids are
+// assigned in BFS order, so node i's children are the next fanout(i)
+// unclaimed ids. Recursion depth is the hierarchy height, which is
+// <= log2(num_nodes) because every internal fanout is >= 2 (enforced
+// below before recursing).
+data::HierarchySpec BuildSpec(const std::vector<std::uint32_t>& counts,
+                              const std::vector<std::size_t>& first_child,
+                              std::size_t id) {
+  data::HierarchySpec spec;
+  spec.children.reserve(counts[id]);
+  for (std::uint32_t c = 0; c < counts[id]; ++c) {
+    spec.children.push_back(BuildSpec(counts, first_child, first_child[id] + c));
+  }
+  return spec;
+}
+
+Result<data::Hierarchy> ReadHierarchy(SnapshotReader& r) {
+  std::uint64_t num_nodes = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&num_nodes, "hierarchy node count"));
+  // Each node costs 4 bytes; bounding by the remaining bytes caps the
+  // allocation at the file size.
+  if (num_nodes < 3 || num_nodes > r.remaining() / sizeof(std::uint32_t)) {
+    return r.Corrupt("hierarchy node count out of bounds");
+  }
+  std::vector<std::uint32_t> counts(num_nodes);
+  PRIVELET_RETURN_IF_ERROR(r.ReadRaw(
+      counts.data(), num_nodes * sizeof(std::uint32_t), "hierarchy fanouts"));
+  // BFS id assignment; fanout 1 is rejected here (FromSpec would too) so
+  // the spec recursion depth stays logarithmic in num_nodes.
+  std::vector<std::size_t> first_child(num_nodes, 0);
+  std::size_t next = 1;
+  for (std::size_t id = 0; id < num_nodes; ++id) {
+    if (counts[id] == 1) return r.Corrupt("hierarchy node with fanout 1");
+    first_child[id] = next;
+    if (counts[id] > num_nodes - next) {
+      return r.Corrupt("hierarchy child counts exceed the node count");
+    }
+    next += counts[id];
+  }
+  if (next != num_nodes) {
+    return r.Corrupt("hierarchy child counts do not cover the node count");
+  }
+  auto hierarchy =
+      data::Hierarchy::FromSpec(BuildSpec(counts, first_child, 0));
+  if (!hierarchy.ok()) {
+    return r.Corrupt("invalid hierarchy: " + hierarchy.status().message());
+  }
+  return hierarchy;
+}
+
+void WriteSchema(SnapshotWriter& w, const data::Schema& schema) {
+  w.WritePod(static_cast<std::uint32_t>(schema.num_attributes()));
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    const data::Attribute& attr = schema.attribute(a);
+    w.WriteString(attr.name());
+    w.WritePod(static_cast<std::uint8_t>(attr.is_nominal() ? 1 : 0));
+    if (attr.is_nominal()) {
+      WriteHierarchy(w, attr.hierarchy());
+    } else {
+      w.WritePod(static_cast<std::uint64_t>(attr.domain_size()));
+    }
+  }
+}
+
+Result<data::Schema> ReadSchema(SnapshotReader& r) {
+  std::uint32_t num_attributes = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&num_attributes, "attribute count"));
+  if (num_attributes == 0 || num_attributes > kMaxAttributes) {
+    return r.Corrupt("attribute count out of bounds");
+  }
+  std::vector<data::Attribute> attrs;
+  attrs.reserve(num_attributes);
+  for (std::uint32_t a = 0; a < num_attributes; ++a) {
+    std::string name;
+    PRIVELET_RETURN_IF_ERROR(r.ReadString(&name, kMaxNameLen, "attribute name"));
+    if (name.empty()) return r.Corrupt("empty attribute name");
+    std::uint8_t kind = 0;
+    PRIVELET_RETURN_IF_ERROR(r.ReadPod(&kind, "attribute kind"));
+    if (kind == 0) {
+      std::uint64_t domain = 0;
+      PRIVELET_RETURN_IF_ERROR(r.ReadPod(&domain, "ordinal domain size"));
+      // Even a legitimate domain is bounded by the matrix values stored
+      // inline later; per-attribute, the file must at least hold one f64
+      // per domain value.
+      if (domain == 0 || domain > r.remaining() / sizeof(double)) {
+        return r.Corrupt("ordinal domain size out of bounds");
+      }
+      attrs.push_back(data::Attribute::Ordinal(
+          std::move(name), static_cast<std::size_t>(domain)));
+    } else if (kind == 1) {
+      PRIVELET_ASSIGN_OR_RETURN(data::Hierarchy h, ReadHierarchy(r));
+      attrs.push_back(data::Attribute::Nominal(std::move(name), std::move(h)));
+    } else {
+      return r.Corrupt("unknown attribute kind");
+    }
+  }
+  return data::Schema(std::move(attrs));
+}
+
+// ---------------------------------------------------------------------------
+// Engine options.
+
+void WriteEngineOptions(SnapshotWriter& w, const matrix::EngineOptions& o) {
+  w.WritePod(static_cast<std::uint8_t>(
+      o.engine == matrix::LineEngine::kNaive ? 1 : 0));
+  w.WritePod(static_cast<std::uint64_t>(o.tile_lines));
+}
+
+Result<matrix::EngineOptions> ReadEngineOptions(SnapshotReader& r) {
+  std::uint8_t engine = 0;
+  std::uint64_t tile_lines = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&engine, "line engine"));
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&tile_lines, "tile lines"));
+  if (engine > 1) return r.Corrupt("unknown line engine");
+  matrix::EngineOptions options;
+  options.engine =
+      engine == 1 ? matrix::LineEngine::kNaive : matrix::LineEngine::kTiled;
+  options.tile_lines =
+      std::max<std::size_t>(1, static_cast<std::size_t>(tile_lines));
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix and table sections.
+
+Result<std::vector<std::size_t>> ReadDims(SnapshotReader& r,
+                                          const data::Schema& schema) {
+  std::uint32_t num_dims = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&num_dims, "dimension count"));
+  if (num_dims == 0 || num_dims > kMaxDims) {
+    return r.Corrupt("dimension count out of bounds");
+  }
+  std::vector<std::size_t> dims(num_dims);
+  std::size_t cells = 1;
+  for (auto& d : dims) {
+    std::uint64_t dim = 0;
+    PRIVELET_RETURN_IF_ERROR(r.ReadPod(&dim, "dimension"));
+    if (dim == 0) return r.Corrupt("zero dimension");
+    d = static_cast<std::size_t>(dim);
+    if (d != dim || !CheckedMul(cells, d, &cells)) {
+      return r.Corrupt("dimension product overflows");
+    }
+  }
+  // The values follow inline, so a genuine snapshot can never claim more
+  // cells than the file has bytes for — reject before allocating.
+  std::size_t payload = 0;
+  if (!CheckedMul(cells, sizeof(double), &payload) ||
+      payload > r.remaining()) {
+    return r.Corrupt("matrix payload exceeds the file size");
+  }
+  if (dims != schema.DomainSizes()) {
+    return r.Corrupt("matrix dims do not match the schema");
+  }
+  return dims;
+}
+
+// Whether the double-double encoding below reconstructs every entry
+// bit-exactly. Checked up front because the flag is serialized ahead of
+// the entries (a pure stream cannot patch it in afterwards); one extra
+// pass over the table is cheap next to the write itself.
+bool TableEncodesExactly(std::span<const long double> sums) {
+  for (const long double x : sums) {
+    const double hi = static_cast<double>(x);
+    const double lo = static_cast<double>(x - static_cast<long double>(hi));
+    if (static_cast<long double>(hi) + static_cast<long double>(lo) != x) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Double-double encoding of the long-double accumulator: hi is the entry
+// rounded to double, lo the (exactly representable) residual.
+void WriteTableEntries(SnapshotWriter& w, std::span<const long double> sums) {
+  std::vector<double> chunk;
+  chunk.reserve(2 * kChunkElements);
+  std::size_t i = 0;
+  while (i < sums.size()) {
+    chunk.clear();
+    const std::size_t end = std::min(sums.size(), i + kChunkElements);
+    for (; i < end; ++i) {
+      const long double x = sums[i];
+      const double hi = static_cast<double>(x);
+      chunk.push_back(hi);
+      chunk.push_back(
+          static_cast<double>(x - static_cast<long double>(hi)));
+    }
+    w.WriteRaw(chunk.data(), chunk.size() * sizeof(double));
+  }
+}
+
+Status ReadTableEntries(SnapshotReader& r, std::size_t cells,
+                        std::vector<long double>* sums) {
+  sums->resize(cells);
+  std::vector<double> chunk(2 * std::min(cells, kChunkElements));
+  std::size_t i = 0;
+  while (i < cells) {
+    const std::size_t count = std::min(cells - i, kChunkElements);
+    PRIVELET_RETURN_IF_ERROR(r.ReadRaw(
+        chunk.data(), 2 * count * sizeof(double), "prefix-table entries"));
+    for (std::size_t k = 0; k < count; ++k) {
+      (*sums)[i + k] = static_cast<long double>(chunk[2 * k]) +
+                       static_cast<long double>(chunk[2 * k + 1]);
+    }
+    i += count;
+  }
+  return Status::OK();
+}
+
+// Shared parse behind ReadSnapshot and InspectSnapshot: `snapshot` is
+// filled when non-null, otherwise payloads are skipped (still streamed
+// through the CRC) and only `info` is filled.
+Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
+                     SnapshotInfo* info) {
+  PRIVELET_ASSIGN_OR_RETURN(SnapshotReader r, SnapshotReader::Open(path));
+  char magic[4];
+  PRIVELET_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a PVLS release snapshot");
+  }
+  std::uint32_t version = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&version, "version"));
+  if (version != kVersion) {
+    return r.Corrupt("unsupported snapshot version");
+  }
+
+  std::string mechanism;
+  PRIVELET_RETURN_IF_ERROR(
+      r.ReadString(&mechanism, kMaxNameLen, "mechanism id"));
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&epsilon, "epsilon"));
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&seed, "seed"));
+  PRIVELET_ASSIGN_OR_RETURN(matrix::EngineOptions options,
+                            ReadEngineOptions(r));
+  PRIVELET_ASSIGN_OR_RETURN(data::Schema schema, ReadSchema(r));
+  PRIVELET_ASSIGN_OR_RETURN(std::vector<std::size_t> dims,
+                            ReadDims(r, schema));
+  // Overflow-checked by ReadDims (and bounded by the file size).
+  std::size_t cells = 1;
+  for (std::size_t d : dims) cells *= d;
+
+  matrix::FrequencyMatrix published;
+  if (snapshot != nullptr) {
+    published = matrix::FrequencyMatrix(dims);
+    PRIVELET_RETURN_IF_ERROR(r.ReadRaw(published.values().data(),
+                                       cells * sizeof(double),
+                                       "matrix values"));
+  } else {
+    PRIVELET_RETURN_IF_ERROR(r.Skip(cells * sizeof(double), "matrix values"));
+  }
+
+  std::uint8_t has_table = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&has_table, "table flag"));
+  if (has_table > 1) return r.Corrupt("bad table flag");
+  std::optional<matrix::PrefixSumTable<long double>> prefix;
+  if (has_table == 1) {
+    std::uint16_t mant_dig = 0;
+    std::uint8_t exact = 0;
+    PRIVELET_RETURN_IF_ERROR(r.ReadPod(&mant_dig, "table accumulator"));
+    PRIVELET_RETURN_IF_ERROR(r.ReadPod(&exact, "table exactness"));
+    std::size_t payload = 0;
+    if (!CheckedMul(cells, 2 * sizeof(double), &payload) ||
+        payload > r.remaining()) {
+      return r.Corrupt("prefix-table payload exceeds the file size");
+    }
+    const bool adoptable =
+        snapshot != nullptr && exact == 1 && mant_dig == LDBL_MANT_DIG;
+    if (adoptable) {
+      std::vector<long double> sums;
+      PRIVELET_RETURN_IF_ERROR(ReadTableEntries(r, cells, &sums));
+      prefix.emplace(dims, std::move(sums));
+    } else {
+      PRIVELET_RETURN_IF_ERROR(r.Skip(payload, "prefix-table entries"));
+    }
+  }
+  PRIVELET_RETURN_IF_ERROR(r.VerifyCrc());
+
+  if (snapshot != nullptr) {
+    snapshot->schema = std::move(schema);
+    snapshot->mechanism = std::move(mechanism);
+    snapshot->epsilon = epsilon;
+    snapshot->seed = seed;
+    snapshot->engine_options = options;
+    snapshot->published = std::move(published);
+    snapshot->prefix = std::move(prefix);
+  } else {
+    info->schema = std::move(schema);
+    info->mechanism = std::move(mechanism);
+    info->epsilon = epsilon;
+    info->seed = seed;
+    info->engine_options = options;
+    info->dims = std::move(dims);
+    info->num_cells = cells;
+    info->has_prefix_table = has_table == 1;
+    info->file_bytes = r.file_bytes();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path,
+                     const ReleaseSnapshotView& view) {
+  if (view.schema == nullptr || view.published == nullptr) {
+    return Status::InvalidArgument("snapshot view missing schema or matrix");
+  }
+  if (view.published->dims() != view.schema->DomainSizes()) {
+    return Status::InvalidArgument(
+        "snapshot matrix dims do not match the schema");
+  }
+  if (view.prefix != nullptr && view.prefix->dims() != view.published->dims()) {
+    return Status::InvalidArgument(
+        "snapshot prefix-table dims do not match the matrix");
+  }
+  if (view.mechanism.size() > kMaxNameLen) {
+    return Status::InvalidArgument("mechanism id too long");
+  }
+  for (std::size_t a = 0; a < view.schema->num_attributes(); ++a) {
+    if (view.schema->attribute(a).name().size() > kMaxNameLen) {
+      return Status::InvalidArgument("attribute name too long");
+    }
+  }
+
+  SnapshotWriter w(path);
+  if (!w.ok()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  w.WriteRaw(kMagic, sizeof(kMagic));
+  w.WritePod(kVersion);
+  w.WriteString(view.mechanism);
+  w.WritePod(view.epsilon);
+  w.WritePod(view.seed);
+  WriteEngineOptions(w, view.engine_options);
+  WriteSchema(w, *view.schema);
+
+  const matrix::FrequencyMatrix& m = *view.published;
+  w.WritePod(static_cast<std::uint32_t>(m.num_dims()));
+  for (std::size_t d : m.dims()) {
+    w.WritePod(static_cast<std::uint64_t>(d));
+  }
+  w.WriteRaw(m.values().data(), m.size() * sizeof(double));
+
+  w.WritePod(static_cast<std::uint8_t>(view.prefix != nullptr ? 1 : 0));
+  if (view.prefix != nullptr) {
+    w.WritePod(static_cast<std::uint16_t>(LDBL_MANT_DIG));
+    w.WritePod(static_cast<std::uint8_t>(
+        TableEncodesExactly(view.prefix->raw_sums()) ? 1 : 0));
+    WriteTableEntries(w, view.prefix->raw_sums());
+  }
+  return w.Finish();
+}
+
+Status WriteSnapshot(const std::string& path, const ReleaseSnapshot& snapshot) {
+  ReleaseSnapshotView view;
+  view.schema = &snapshot.schema;
+  view.mechanism = snapshot.mechanism;
+  view.epsilon = snapshot.epsilon;
+  view.seed = snapshot.seed;
+  view.engine_options = snapshot.engine_options;
+  view.published = &snapshot.published;
+  view.prefix = snapshot.prefix.has_value() ? &*snapshot.prefix : nullptr;
+  return WriteSnapshot(path, view);
+}
+
+Result<ReleaseSnapshot> ReadSnapshot(const std::string& path) {
+  ReleaseSnapshot snapshot;
+  PRIVELET_RETURN_IF_ERROR(ParseSnapshot(path, &snapshot, nullptr));
+  return snapshot;
+}
+
+Result<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  SnapshotInfo info;
+  PRIVELET_RETURN_IF_ERROR(ParseSnapshot(path, nullptr, &info));
+  return info;
+}
+
+}  // namespace privelet::storage

@@ -1,0 +1,120 @@
+// Persistent release snapshots — the durable artifact of one publishing
+// run. The paper's economics rest on computing a noisy wavelet release
+// *once* and answering unbounded range-count traffic from it; a snapshot
+// carries everything a serving process needs to do that without
+// re-publishing: the schema (attributes and nominal hierarchies), the
+// release provenance (mechanism id, epsilon, seed, engine options), the
+// noisy frequency matrix, and optionally the precomputed prefix-sum table
+// so serving starts without even the O(m) rebuild.
+//
+// PVLS format v1 (all integers little-endian, doubles IEEE-754 binary64):
+//
+//   magic "PVLS" | u32 version
+//   u16 mech_len | mech_len bytes     mechanism id ("" = unknown)
+//   f64 epsilon | u64 seed
+//   u8 engine (0 tiled, 1 naive) | u64 tile_lines
+//   u32 num_attributes, then per attribute:
+//     u16 name_len | name bytes | u8 kind (0 ordinal, 1 nominal)
+//     ordinal: u64 domain_size
+//     nominal: u64 num_nodes | u32 child_count per node in BFS order
+//   u32 num_dims | u64 dims[num_dims] | f64 values[product(dims)]
+//   u8 has_table, if 1:
+//     u16 mant_dig | u8 exact | (f64 hi, f64 lo)[product(dims)]
+//   u32 crc32 of every preceding byte
+//
+// The prefix table's long-double entries are stored as double-double
+// pairs (hi = entry rounded to double, lo = exact residual), which is
+// lossless whenever the accumulator's significand fits in 106 bits (it
+// does on x86-64's 80-bit extended type). The writer verifies every
+// encoded entry reconstructs bit-exactly and records the result in
+// `exact`; the reader only adopts a stored table when `exact` is set and
+// `mant_dig` matches its own accumulator — otherwise the table section is
+// skipped and the loader rebuilds from the matrix, which the determinism
+// contract (docs/DETERMINISM.md) guarantees is bit-identical anyway.
+//
+// Reads are streamed and defensive: every variable-length field is
+// validated against the bytes actually remaining in the file before any
+// allocation, dimension products are checked for overflow, and the file
+// CRC must match before a snapshot is returned. Corrupt or truncated
+// files come back as Status errors, never crashes.
+#ifndef PRIVELET_STORAGE_SNAPSHOT_H_
+#define PRIVELET_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/engine.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/matrix/prefix_sum.h"
+
+namespace privelet::storage {
+
+/// A decoded release snapshot: everything WriteSnapshot persists and
+/// ReadSnapshot restores. `prefix` is absent when the file carried no
+/// table (or carried one this platform cannot adopt losslessly);
+/// PublishingSession::FromSnapshot rebuilds it in that case.
+struct ReleaseSnapshot {
+  data::Schema schema;
+  std::string mechanism;  ///< Mechanism::name() of the publisher; "" unknown
+  double epsilon = 0.0;   ///< privacy budget of the release; 0 unknown
+  std::uint64_t seed = 0;  ///< publish seed; with mechanism+epsilon+schema
+                           ///< this pins the release bytes exactly
+  matrix::EngineOptions engine_options;
+  matrix::FrequencyMatrix published;
+  std::optional<matrix::PrefixSumTable<long double>> prefix;
+};
+
+/// Non-owning view over the fields WriteSnapshot serializes. Lets callers
+/// that already own the pieces (storage::SaveSession streaming a live
+/// PublishingSession) write a snapshot without copying the matrix or
+/// table into a ReleaseSnapshot first. `prefix` may be null (no table
+/// section is written).
+struct ReleaseSnapshotView {
+  const data::Schema* schema = nullptr;
+  std::string_view mechanism;
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+  matrix::EngineOptions engine_options;
+  const matrix::FrequencyMatrix* published = nullptr;
+  const matrix::PrefixSumTable<long double>* prefix = nullptr;
+};
+
+/// Streams `view` to `path` in PVLS v1 format, overwriting any existing
+/// file. The matrix dims must equal the schema's domain sizes, and a
+/// non-null prefix table must share them.
+Status WriteSnapshot(const std::string& path, const ReleaseSnapshotView& view);
+
+/// Convenience overload over an owning snapshot.
+Status WriteSnapshot(const std::string& path, const ReleaseSnapshot& snapshot);
+
+/// Reads and fully validates a snapshot: structural limits, dimension
+/// overflow, schema/matrix agreement, hierarchy invariants
+/// (data::Hierarchy::FromSpec re-checks them), and the trailing CRC.
+Result<ReleaseSnapshot> ReadSnapshot(const std::string& path);
+
+/// Reads only the metadata of a snapshot — everything except the matrix
+/// values and table entries, which are skipped (still CRC-verified).
+/// What `privelet_cli inspect` prints; cheap even for huge releases is
+/// not the goal (the whole file is still streamed for the CRC), avoiding
+/// the decoded matrix's memory footprint is.
+struct SnapshotInfo {
+  data::Schema schema;
+  std::string mechanism;
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+  matrix::EngineOptions engine_options;
+  std::vector<std::size_t> dims;
+  std::size_t num_cells = 0;
+  bool has_prefix_table = false;
+  std::uint64_t file_bytes = 0;
+};
+
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+}  // namespace privelet::storage
+
+#endif  // PRIVELET_STORAGE_SNAPSHOT_H_

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "privelet/common/thread_pool.h"
@@ -21,8 +23,11 @@
 #include "privelet/mechanism/hay.h"
 #include "privelet/mechanism/noise.h"
 #include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/publishing_session.h"
+#include "privelet/query/workload.h"
 #include "privelet/rng/splitmix64.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/storage/session_io.h"
 #include "privelet/wavelet/hn_transform.h"
 
 namespace privelet {
@@ -188,6 +193,72 @@ TEST(PrefixSumDeterminismTest, PooledBuildMatchesSerial) {
                 pooled.RangeSum(lows[p], highs[p]))
           << threads << " threads, probe " << p;
     }
+  }
+}
+
+// Extends the sweep across the process boundary: a release published
+// under any thread count serializes to the byte-identical snapshot file
+// (same engine options => same bytes, CRC included), and releases
+// published under different engines/tile sizes — whose snapshots differ
+// only in the recorded engine options — load back into sessions that
+// answer bit-identically.
+TEST(PublishDeterminismTest, SnapshotFilesInvariantAcrossThreadsAndEngines) {
+  const data::Schema schema = MultiShardSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 11);
+  mechanism::PriveletPlusMechanism mech({"Nom"});
+
+  const auto save = [&](common::ThreadPool* pool,
+                        const matrix::EngineOptions& options,
+                        const std::string& name) {
+    mech.set_thread_pool(pool);
+    mech.set_engine_options(options);
+    auto session = query::PublishingSession::Publish(
+        schema, mech, m, /*epsilon=*/0.8, /*seed=*/57, pool, options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    const std::string path = testing::TempDir() + "/" + name;
+    EXPECT_TRUE(storage::SaveSession(path, *session).ok());
+    mech.set_thread_pool(nullptr);
+    return path;
+  };
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+
+  const matrix::EngineOptions tiled{matrix::LineEngine::kTiled,
+                                    matrix::kDefaultTileLines};
+  const std::string ref_path = save(nullptr, tiled, "det_ref.pvls");
+  const std::string ref_bytes = file_bytes(ref_path);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  // Same engine options, any pool size: byte-identical snapshot files.
+  for (const std::size_t threads : kPoolSizes) {
+    common::ThreadPool pool(threads);
+    const std::string path = save(&pool, tiled, "det_threads.pvls");
+    EXPECT_EQ(ref_bytes, file_bytes(path)) << threads << " threads";
+  }
+
+  // Different engines/tile sizes: the recorded options differ, but the
+  // loaded sessions must answer a workload bit-identically.
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 300;
+  auto workload = query::GenerateWorkload(schema, wopts);
+  ASSERT_TRUE(workload.ok());
+  auto reference = storage::LoadSession(ref_path);
+  ASSERT_TRUE(reference.ok());
+  const std::vector<double> expected = reference->AnswerAll(*workload);
+  for (const matrix::EngineOptions& options :
+       {matrix::EngineOptions{matrix::LineEngine::kNaive,
+                              matrix::kDefaultTileLines},
+        matrix::EngineOptions{matrix::LineEngine::kTiled, 1},
+        matrix::EngineOptions{matrix::LineEngine::kTiled, 8}}) {
+    common::ThreadPool pool(2);
+    const std::string path = save(&pool, options, "det_engine.pvls");
+    auto loaded = storage::LoadSession(path, &pool);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(reference->published().values(), loaded->published().values());
+    EXPECT_EQ(expected, loaded->AnswerAll(*workload));
   }
 }
 

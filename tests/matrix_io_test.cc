@@ -1,0 +1,143 @@
+// PVLM matrix files (matrix/matrix_io.h): round trip plus the defensive
+// error paths — truncation, bad magic/version, corrupt headers, and
+// dimension products that overflow or exceed what the file could hold.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/matrix/matrix_io.h"
+
+namespace privelet {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out) << path;
+}
+
+// A valid 2x3 matrix file to mutate from.
+std::string ValidMatrixBytes() {
+  matrix::FrequencyMatrix m(std::vector<std::size_t>{2, 3});
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(i) + 0.5;
+  }
+  const std::string path = TempPath("valid.pvlm");
+  EXPECT_TRUE(matrix::WriteMatrix(path, m).ok());
+  return ReadFileBytes(path);
+}
+
+std::string CraftHeader(std::uint32_t num_dims,
+                        const std::vector<std::uint64_t>& dims) {
+  std::string bytes = "PVLM";
+  const std::uint32_t version = 1;
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&num_dims), sizeof(num_dims));
+  for (const std::uint64_t d : dims) {
+    bytes.append(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  return bytes;
+}
+
+TEST(MatrixIoTest, RoundTrip) {
+  matrix::FrequencyMatrix m(std::vector<std::size_t>{4, 2, 3});
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(i) * 0.25 - 2.0;
+  }
+  const std::string path = TempPath("roundtrip.pvlm");
+  ASSERT_TRUE(matrix::WriteMatrix(path, m).ok());
+  auto loaded = matrix::ReadMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(m.dims(), loaded->dims());
+  EXPECT_EQ(m.values(), loaded->values());
+}
+
+TEST(MatrixIoTest, MissingFileIsAnIOError) {
+  auto m = matrix::ReadMatrix(TempPath("missing.pvlm"));
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(StatusCode::kIOError, m.status().code());
+}
+
+TEST(MatrixIoTest, BadMagicIsRejected) {
+  std::string bytes = ValidMatrixBytes();
+  bytes[0] = 'X';
+  const std::string path = TempPath("magic.pvlm");
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(matrix::ReadMatrix(path).ok());
+}
+
+TEST(MatrixIoTest, UnsupportedVersionIsRejected) {
+  std::string bytes = ValidMatrixBytes();
+  bytes[4] = 99;  // version field
+  const std::string path = TempPath("version.pvlm");
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(matrix::ReadMatrix(path).ok());
+}
+
+TEST(MatrixIoTest, EveryTruncationPrefixIsRejected) {
+  const std::string bytes = ValidMatrixBytes();
+  const std::string path = TempPath("trunc.pvlm");
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{2}, std::size_t{6}, std::size_t{10},
+        std::size_t{20}, bytes.size() - 8, bytes.size() - 1}) {
+    WriteFileBytes(path, bytes.substr(0, keep));
+    EXPECT_FALSE(matrix::ReadMatrix(path).ok())
+        << "prefix of " << keep << " bytes parsed";
+  }
+}
+
+TEST(MatrixIoTest, ZeroAndExcessiveDimCountsAreRejected) {
+  for (const std::uint32_t num_dims : {std::uint32_t{0}, std::uint32_t{65}}) {
+    const std::string path = TempPath("dimcount.pvlm");
+    WriteFileBytes(path, CraftHeader(num_dims, {}));
+    EXPECT_FALSE(matrix::ReadMatrix(path).ok()) << num_dims << " dims";
+  }
+}
+
+TEST(MatrixIoTest, ZeroDimensionIsRejected) {
+  const std::string path = TempPath("zerodim.pvlm");
+  WriteFileBytes(path, CraftHeader(2, {3, 0}));
+  EXPECT_FALSE(matrix::ReadMatrix(path).ok());
+}
+
+TEST(MatrixIoTest, DimensionProductOverflowIsRejected) {
+  // 2^32 * 2^32 wraps to 0 in 64 bits; a wrapped product must not turn
+  // into a tiny allocation that "successfully" reads garbage.
+  const std::string path = TempPath("overflow.pvlm");
+  WriteFileBytes(path,
+                 CraftHeader(2, {std::uint64_t{1} << 32,
+                                 std::uint64_t{1} << 32}));
+  auto m = matrix::ReadMatrix(path);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(std::string::npos, m.status().message().find("overflow"))
+      << m.status().ToString();
+}
+
+TEST(MatrixIoTest, PayloadBeyondFileSizeIsRejected) {
+  // A 2^40-cell claim in a 28-byte file must be rejected before any
+  // allocation is attempted.
+  const std::string path = TempPath("huge.pvlm");
+  WriteFileBytes(path, CraftHeader(1, {std::uint64_t{1} << 40}));
+  auto m = matrix::ReadMatrix(path);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(std::string::npos, m.status().message().find("exceeds"))
+      << m.status().ToString();
+}
+
+}  // namespace
+}  // namespace privelet

@@ -1,0 +1,395 @@
+// Release snapshots (storage/snapshot.h): the PVLS round trip must be
+// lossless — a session restored from a snapshot answers a 1k-query
+// workload bit-identically to the session that produced it, with or
+// without the stored prefix table — and corrupt, truncated, or absurd
+// files must come back as Status errors, never crashes or pathological
+// allocations.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "privelet/common/thread_pool.h"
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+#include "privelet/data/schema.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/publishing_session.h"
+#include "privelet/query/workload.h"
+#include "privelet/rng/xoshiro256pp.h"
+#include "privelet/storage/crc32.h"
+#include "privelet/storage/session_io.h"
+#include "privelet/storage/snapshot.h"
+
+namespace privelet {
+namespace {
+
+data::Schema TestSchema() {
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Age", 64));
+  attrs.push_back(data::Attribute::Nominal(
+      "Occ", data::Hierarchy::FromGroupSizes({2, 3, 4}).value()));
+  attrs.push_back(data::Attribute::Ordinal("Income", 32));
+  return data::Schema(std::move(attrs));
+}
+
+matrix::FrequencyMatrix RandomMatrix(const data::Schema& schema,
+                                     std::uint64_t seed) {
+  matrix::FrequencyMatrix m(schema.DomainSizes());
+  rng::Xoshiro256pp gen(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<double>(gen.NextUint64InRange(0, 25));
+  }
+  return m;
+}
+
+query::PublishingSession PublishTestSession(const data::Schema& schema,
+                                            common::ThreadPool* pool) {
+  mechanism::PriveletPlusMechanism mech({"Occ"});
+  auto session = query::PublishingSession::Publish(
+      schema, mech, RandomMatrix(schema, 3), /*epsilon=*/0.9, /*seed=*/41,
+      pool);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return *std::move(session);
+}
+
+std::vector<query::RangeQuery> TestWorkload(const data::Schema& schema,
+                                            std::size_t num_queries) {
+  query::WorkloadOptions options;
+  options.num_queries = num_queries;
+  options.seed = 17;
+  auto workload = query::GenerateWorkload(schema, options);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+  return *std::move(workload);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out) << path;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(SnapshotTest, InMemoryRoundTripAnswers1kWorkloadBitIdentically) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession original =
+      PublishTestSession(schema, nullptr);
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 1000);
+  const std::vector<double> expected = original.AnswerAll(workload);
+
+  auto restored =
+      query::PublishingSession::FromSnapshot(original.ToSnapshot());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(expected, restored->AnswerAll(workload));
+  EXPECT_EQ(original.metadata().mechanism, restored->metadata().mechanism);
+  EXPECT_EQ(original.metadata().epsilon, restored->metadata().epsilon);
+  EXPECT_EQ(original.metadata().seed, restored->metadata().seed);
+}
+
+TEST(SnapshotTest, FileRoundTripAnswers1kWorkloadBitIdentically) {
+  const data::Schema schema = TestSchema();
+  common::ThreadPool pool(4);
+  const query::PublishingSession original = PublishTestSession(schema, &pool);
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 1000);
+  const std::vector<double> expected = original.AnswerAll(workload);
+
+  const std::string path = TempPath("roundtrip.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, original).ok());
+  auto loaded = storage::LoadSession(path, &pool);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(expected, loaded->AnswerAll(workload));
+  EXPECT_EQ(original.published().values(), loaded->published().values());
+  EXPECT_EQ("Privelet+{Occ}", loaded->metadata().mechanism);
+  EXPECT_EQ(0.9, loaded->metadata().epsilon);
+  EXPECT_EQ(std::uint64_t{41}, loaded->metadata().seed);
+}
+
+TEST(SnapshotTest, StoredPrefixTableIsAdoptedVerbatim) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession original =
+      PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("table.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, original).ok());
+
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_TRUE(snapshot->prefix.has_value());
+  const auto original_sums = original.prefix_table().raw_sums();
+  const auto loaded_sums = snapshot->prefix->raw_sums();
+  ASSERT_EQ(original_sums.size(), loaded_sums.size());
+  for (std::size_t i = 0; i < original_sums.size(); ++i) {
+    ASSERT_EQ(original_sums[i], loaded_sums[i]) << "entry " << i;
+  }
+}
+
+TEST(SnapshotTest, SnapshotWithoutTableRebuildsBitIdentically) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession original =
+      PublishTestSession(schema, nullptr);
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 1000);
+  const std::vector<double> expected = original.AnswerAll(workload);
+
+  storage::ReleaseSnapshot snapshot = original.ToSnapshot();
+  snapshot.prefix.reset();
+  const std::string path = TempPath("notable.pvls");
+  ASSERT_TRUE(storage::WriteSnapshot(path, snapshot).ok());
+
+  auto info = storage::InspectSnapshot(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->has_prefix_table);
+
+  common::ThreadPool pool(2);
+  auto loaded = storage::LoadSession(path, &pool);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(expected, loaded->AnswerAll(workload));
+}
+
+TEST(SnapshotTest, ReadSnapshotPreservesSchemaAndEngineOptions) {
+  const data::Schema schema = TestSchema();
+  mechanism::PriveletPlusMechanism mech({"Occ"});
+  matrix::EngineOptions options{matrix::LineEngine::kNaive, 17};
+  auto session = query::PublishingSession::Publish(
+      schema, mech, RandomMatrix(schema, 3), 0.9, 41, nullptr, options);
+  ASSERT_TRUE(session.ok());
+  const std::string path = TempPath("schema.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, *session).ok());
+
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(matrix::LineEngine::kNaive, snapshot->engine_options.engine);
+  EXPECT_EQ(std::size_t{17}, snapshot->engine_options.tile_lines);
+  ASSERT_EQ(schema.num_attributes(), snapshot->schema.num_attributes());
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    const data::Attribute& want = schema.attribute(a);
+    const data::Attribute& got = snapshot->schema.attribute(a);
+    EXPECT_EQ(want.name(), got.name());
+    EXPECT_EQ(want.kind(), got.kind());
+    EXPECT_EQ(want.domain_size(), got.domain_size());
+  }
+  // The grouped hierarchy must survive structurally: same node count,
+  // same per-node fanout and leaf ranges, and it must re-validate.
+  const data::Hierarchy& want = schema.attribute(1).hierarchy();
+  const data::Hierarchy& got = snapshot->schema.attribute(1).hierarchy();
+  ASSERT_EQ(want.num_nodes(), got.num_nodes());
+  EXPECT_EQ(want.height(), got.height());
+  for (std::size_t id = 0; id < want.num_nodes(); ++id) {
+    EXPECT_EQ(want.fanout(id), got.fanout(id)) << "node " << id;
+    EXPECT_EQ(want.node(id).leaf_begin, got.node(id).leaf_begin);
+    EXPECT_EQ(want.node(id).leaf_end, got.node(id).leaf_end);
+  }
+  EXPECT_TRUE(got.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption and truncation.
+
+TEST(SnapshotTest, EveryTruncationPrefixIsRejectedWithoutCrashing) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession session = PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("full.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, session).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 100u);
+
+  const std::string cut = TempPath("cut.pvls");
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{8}, std::size_t{40},
+        bytes.size() / 2, bytes.size() - 5, bytes.size() - 1}) {
+    WriteFileBytes(cut, bytes.substr(0, keep));
+    auto snapshot = storage::ReadSnapshot(cut);
+    EXPECT_FALSE(snapshot.ok()) << "prefix of " << keep << " bytes parsed";
+    auto info = storage::InspectSnapshot(cut);
+    EXPECT_FALSE(info.ok()) << "prefix of " << keep << " bytes inspected";
+  }
+}
+
+TEST(SnapshotTest, FlippedBytesAreRejected) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession session = PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("flip_src.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, session).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  const std::string flip = TempPath("flip.pvls");
+  // Offsets spread over magic, header, matrix payload, table payload, and
+  // the trailing CRC itself.
+  for (const std::size_t offset :
+       {std::size_t{0}, std::size_t{9}, std::size_t{60}, bytes.size() / 3,
+        2 * bytes.size() / 3, bytes.size() - 2}) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x40);
+    WriteFileBytes(flip, corrupted);
+    auto snapshot = storage::ReadSnapshot(flip);
+    EXPECT_FALSE(snapshot.ok()) << "flip at " << offset << " parsed";
+  }
+}
+
+TEST(SnapshotTest, TrailingBytesAreRejected) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession session = PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("trail_src.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, session).ok());
+  const std::string padded = TempPath("trail.pvls");
+  WriteFileBytes(padded, ReadFileBytes(path) + std::string(6, '\0'));
+  EXPECT_FALSE(storage::ReadSnapshot(padded).ok());
+}
+
+TEST(SnapshotTest, MissingFileIsAnIOError) {
+  auto snapshot = storage::ReadSnapshot(TempPath("does_not_exist.pvls"));
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(StatusCode::kIOError, snapshot.status().code());
+}
+
+// ---------------------------------------------------------------------------
+// Handcrafted files: lock the byte format and exercise the defensive
+// checks that a writer can never produce (overflowing dims, payloads
+// larger than the file).
+
+class ByteBuilder {
+ public:
+  template <typename T>
+  ByteBuilder& Pod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char* p = reinterpret_cast<const char*>(&value);
+    bytes_.append(p, sizeof(value));
+    return *this;
+  }
+  ByteBuilder& Str(const std::string& s) {
+    Pod(static_cast<std::uint16_t>(s.size()));
+    bytes_ += s;
+    return *this;
+  }
+  /// Appends the CRC-32 of everything so far (a well-formed footer).
+  ByteBuilder& Crc() {
+    return Pod(storage::Crc32(bytes_.data(), bytes_.size()));
+  }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+// Common prefix: header + a 1-attribute ordinal schema with the given
+// domain, up to (excluding) the dims section.
+ByteBuilder MinimalPrefix(std::uint64_t domain) {
+  ByteBuilder b;
+  b.Pod('P').Pod('V').Pod('L').Pod('S');
+  b.Pod(std::uint32_t{1});                     // version
+  b.Str("Test");                               // mechanism
+  b.Pod(double{0.5});                          // epsilon
+  b.Pod(std::uint64_t{7});                     // seed
+  b.Pod(std::uint8_t{0}).Pod(std::uint64_t{64});  // engine options
+  b.Pod(std::uint32_t{1});                     // num_attributes
+  b.Str("A").Pod(std::uint8_t{0}).Pod(domain);  // ordinal attribute
+  return b;
+}
+
+TEST(SnapshotTest, HandcraftedMinimalSnapshotParses) {
+  ByteBuilder b = MinimalPrefix(4);
+  b.Pod(std::uint32_t{1}).Pod(std::uint64_t{4});  // dims
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) b.Pod(v);
+  b.Pod(std::uint8_t{0});  // no table
+  b.Crc();
+  const std::string path = TempPath("minimal.pvls");
+  WriteFileBytes(path, b.bytes());
+
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ("Test", snapshot->mechanism);
+  EXPECT_EQ(0.5, snapshot->epsilon);
+  EXPECT_EQ(std::uint64_t{7}, snapshot->seed);
+  EXPECT_EQ(std::vector<std::size_t>{4}, snapshot->published.dims());
+  EXPECT_EQ((std::vector<double>{1.0, 2.0, 3.0, 4.0}),
+            snapshot->published.values());
+  EXPECT_FALSE(snapshot->prefix.has_value());
+}
+
+TEST(SnapshotTest, DimensionProductOverflowIsRejected) {
+  // 2^32 * 2^32 wraps a 64-bit product; must fail overflow-checked, not
+  // allocate a wrapped-to-tiny matrix.
+  ByteBuilder b = MinimalPrefix(4);
+  b.Pod(std::uint32_t{2})
+      .Pod(std::uint64_t{1} << 32)
+      .Pod(std::uint64_t{1} << 32);
+  b.Crc();
+  const std::string path = TempPath("overflow.pvls");
+  WriteFileBytes(path, b.bytes());
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_NE(std::string::npos,
+            snapshot.status().message().find("overflow"))
+      << snapshot.status().ToString();
+}
+
+TEST(SnapshotTest, MatrixPayloadBeyondFileSizeIsRejected) {
+  // A 2^40-cell claim in a few-hundred-byte file must be rejected before
+  // any allocation happens.
+  ByteBuilder b = MinimalPrefix(std::uint64_t{1} << 40);
+  b.Pod(std::uint32_t{1}).Pod(std::uint64_t{1} << 40);
+  b.Crc();
+  const std::string path = TempPath("huge.pvls");
+  WriteFileBytes(path, b.bytes());
+  EXPECT_FALSE(storage::ReadSnapshot(path).ok());
+}
+
+TEST(SnapshotTest, HierarchyWithFanoutOneIsRejected) {
+  ByteBuilder b;
+  b.Pod('P').Pod('V').Pod('L').Pod('S');
+  b.Pod(std::uint32_t{1});
+  b.Str("");
+  b.Pod(double{0.5}).Pod(std::uint64_t{7});
+  b.Pod(std::uint8_t{0}).Pod(std::uint64_t{64});
+  b.Pod(std::uint32_t{1});
+  // Nominal attribute whose "hierarchy" is a unary chain — must be
+  // rejected during parsing (it would otherwise recurse once per node).
+  b.Str("N").Pod(std::uint8_t{1});
+  b.Pod(std::uint64_t{3});
+  b.Pod(std::uint32_t{1}).Pod(std::uint32_t{1}).Pod(std::uint32_t{0});
+  b.Crc();
+  const std::string path = TempPath("chain.pvls");
+  WriteFileBytes(path, b.bytes());
+  EXPECT_FALSE(storage::ReadSnapshot(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// API-level validation.
+
+TEST(SnapshotTest, FromSnapshotRejectsMismatchedDims) {
+  storage::ReleaseSnapshot snapshot;
+  snapshot.schema = TestSchema();
+  snapshot.published =
+      matrix::FrequencyMatrix(std::vector<std::size_t>{2, 2});
+  auto session = query::PublishingSession::FromSnapshot(std::move(snapshot));
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(SnapshotTest, WriteSnapshotRejectsMismatchedDims) {
+  storage::ReleaseSnapshot snapshot;
+  snapshot.schema = TestSchema();
+  snapshot.published =
+      matrix::FrequencyMatrix(std::vector<std::size_t>{2, 2});
+  EXPECT_FALSE(
+      storage::WriteSnapshot(TempPath("bad_dims.pvls"), snapshot).ok());
+}
+
+}  // namespace
+}  // namespace privelet

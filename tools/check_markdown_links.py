@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links resolve.
+
+Scans every tracked *.md file for inline links/images `[text](target)`
+and verifies that relative targets exist on disk (anchors are stripped;
+external schemes are skipped). Exits non-zero listing the broken links.
+Run from anywhere: paths are resolved against the repo root. CI runs
+this in the docs job; locally: `python3 tools/check_markdown_links.py`.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline links and images. Deliberately simple: no reference-style links
+# are used in this repo, and nested parentheses in URLs do not occur.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def tracked_markdown(root: str) -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def main() -> int:
+    root = repo_root()
+    broken = []
+    checked = 0
+    for md in tracked_markdown(root):
+        md_path = os.path.join(root, md)
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path))
+            checked += 1
+            if not os.path.exists(resolved):
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md}:{line}: broken link -> {target}")
+    for report in broken:
+        print(report, file=sys.stderr)
+    print(f"checked {checked} intra-repo links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

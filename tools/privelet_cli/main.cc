@@ -1,0 +1,491 @@
+// privelet_cli — the operational entry point of the library: publish a
+// differentially-private release once, persist it as a PVLS snapshot,
+// then serve range-count workloads from the snapshot without ever
+// re-publishing (the paper's publish-once / query-forever model,
+// conf_icde_XiaoWG10). See docs/ARCHITECTURE.md for the dataflow and the
+// README quickstart for a three-command tour.
+//
+//   privelet_cli gen      synthetic/census table -> CSV + schema spec
+//   privelet_cli publish  CSV or generated table -> snapshot (.pvls)
+//   privelet_cli inspect  snapshot -> metadata summary (validates CRC)
+//   privelet_cli query    snapshot + workload -> one answer per line
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/common/stopwatch.h"
+#include "privelet/common/thread_pool.h"
+#include "privelet/data/census_generator.h"
+#include "privelet/data/csv.h"
+#include "privelet/data/synthetic_generator.h"
+#include "privelet/data/table.h"
+#include "privelet/matrix/engine.h"
+#include "privelet/matrix/frequency_matrix.h"
+#include "privelet/mechanism/basic.h"
+#include "privelet/mechanism/hay.h"
+#include "privelet/mechanism/mechanism.h"
+#include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/publishing_session.h"
+#include "privelet/query/workload.h"
+#include "privelet/storage/session_io.h"
+#include "privelet/storage/snapshot.h"
+#include "privelet_cli/schema_spec.h"
+#include "privelet_cli/workload_io.h"
+
+namespace privelet::cli {
+namespace {
+
+constexpr const char kUsage[] = R"(privelet_cli — publish, persist, and serve DP range-count releases
+
+usage:
+  privelet_cli gen     (--synthetic M | --census brazil|us) [--tuples N]
+                       [--data-seed S] --csv-out FILE --schema-out FILE
+  privelet_cli publish (--csv FILE --schema FILE | --synthetic M | --census
+                       brazil|us) [--tuples N] [--data-seed S]
+                       [--mechanism basic|privelet|privelet+|hay] [--sa A,B]
+                       [--epsilon E] [--seed S] [--threads N]
+                       [--engine tiled|naive] [--tile-lines B] [--no-table]
+                       --output FILE.pvls
+  privelet_cli inspect FILE.pvls
+  privelet_cli query   FILE.pvls (--workload FILE | --random N
+                       [--workload-seed S] [--dump-workload FILE])
+                       [--threads N] [--output FILE]
+
+defaults: --tuples 100000, --data-seed 42, --mechanism privelet,
+          --epsilon 1.0, --seed 7, --threads <hardware> (0 = serial),
+          --engine tiled, --workload-seed 7, --output - (stdout for query)
+)";
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? dflt : it->second;
+  }
+};
+
+// Flags that never take a value.
+const std::set<std::string>& BooleanFlags() {
+  static const std::set<std::string> kBooleans = {"help", "no-table"};
+  return kBooleans;
+}
+
+Result<Args> ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      args.flags[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    if (BooleanFlags().count(token) > 0) {
+      args.flags[token] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + token + " needs a value");
+    }
+    args.flags[token] = argv[++i];
+  }
+  return args;
+}
+
+// Flags are how the operator states the privacy parameters, so a typo'd
+// flag must never fall back to a default silently — every subcommand
+// declares its flag set and anything else is an error.
+Status RejectUnknownFlags(const Args& args,
+                          const std::set<std::string>& allowed) {
+  for (const auto& [name, value] : args.flags) {
+    if (name != "help" && allowed.count(name) == 0) {
+      return Status::InvalidArgument("unknown flag --" + name +
+                                     " (see privelet_cli help)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> GetCount(const Args& args, const std::string& name,
+                             std::size_t dflt) {
+  if (!args.Has(name)) return dflt;
+  const std::string text = args.Get(name, "");
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (...) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size()) {
+    return Status::InvalidArgument("--" + name + ": '" + text +
+                                   "' is not a count");
+  }
+  return value;
+}
+
+Result<double> GetDouble(const Args& args, const std::string& name,
+                         double dflt) {
+  if (!args.Has(name)) return dflt;
+  const std::string text = args.Get(name, "");
+  double value = 0.0;
+  std::size_t pos = 0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (...) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size()) {
+    return Status::InvalidArgument("--" + name + ": '" + text +
+                                   "' is not a number");
+  }
+  return value;
+}
+
+Result<matrix::EngineOptions> GetEngineOptions(const Args& args) {
+  matrix::EngineOptions options;
+  const std::string engine = args.Get("engine", "tiled");
+  if (engine == "naive") {
+    options.engine = matrix::LineEngine::kNaive;
+  } else if (engine != "tiled") {
+    return Status::InvalidArgument("--engine must be tiled or naive");
+  }
+  PRIVELET_ASSIGN_OR_RETURN(
+      options.tile_lines,
+      GetCount(args, "tile-lines", matrix::kDefaultTileLines));
+  if (options.tile_lines == 0) {
+    return Status::InvalidArgument("--tile-lines must be >= 1");
+  }
+  return options;
+}
+
+// nullptr (serial) when --threads 0.
+Result<std::unique_ptr<common::ThreadPool>> GetPool(const Args& args) {
+  PRIVELET_ASSIGN_OR_RETURN(
+      std::size_t threads,
+      GetCount(args, "threads", common::ThreadPool::DefaultThreadCount()));
+  if (threads == 0) return std::unique_ptr<common::ThreadPool>();
+  return std::make_unique<common::ThreadPool>(threads);
+}
+
+Result<std::unique_ptr<mechanism::Mechanism>> MakeMechanism(const Args& args) {
+  const std::string name = args.Get("mechanism", "privelet");
+  if (name == "basic") {
+    return std::unique_ptr<mechanism::Mechanism>(
+        std::make_unique<mechanism::BasicMechanism>());
+  }
+  if (name == "hay") {
+    return std::unique_ptr<mechanism::Mechanism>(
+        std::make_unique<mechanism::HayHierarchicalMechanism>());
+  }
+  if (name == "privelet" || name == "privelet+") {
+    std::vector<std::string> sa;
+    const std::string sa_csv = args.Get("sa", "");
+    for (std::size_t begin = 0; begin < sa_csv.size();) {
+      const std::size_t comma = sa_csv.find(',', begin);
+      const std::size_t end = comma == std::string::npos ? sa_csv.size() : comma;
+      if (end > begin) sa.push_back(sa_csv.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    if (name == "privelet+" && sa.empty()) {
+      return Status::InvalidArgument(
+          "--mechanism privelet+ needs --sa with at least one attribute");
+    }
+    if (name == "privelet" && !sa.empty()) {
+      return Status::InvalidArgument("--sa requires --mechanism privelet+");
+    }
+    return std::unique_ptr<mechanism::Mechanism>(
+        std::make_unique<mechanism::PriveletPlusMechanism>(std::move(sa)));
+  }
+  return Status::InvalidArgument("unknown mechanism '" + name +
+                                 "' (basic|privelet|privelet+|hay)");
+}
+
+// Shared by gen and publish: materializes the input table from --csv,
+// --synthetic, or --census.
+Result<data::Table> MakeInputTable(const Args& args) {
+  const int sources = static_cast<int>(args.Has("csv")) +
+                      static_cast<int>(args.Has("synthetic")) +
+                      static_cast<int>(args.Has("census"));
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "exactly one input source required: --csv, --synthetic, or --census");
+  }
+  PRIVELET_ASSIGN_OR_RETURN(std::size_t tuples,
+                            GetCount(args, "tuples", 100'000));
+  PRIVELET_ASSIGN_OR_RETURN(std::size_t data_seed,
+                            GetCount(args, "data-seed", 42));
+  if (args.Has("csv")) {
+    if (!args.Has("schema")) {
+      return Status::InvalidArgument("--csv needs --schema FILE");
+    }
+    PRIVELET_ASSIGN_OR_RETURN(data::Schema schema,
+                              ReadSchemaSpecFile(args.Get("schema", "")));
+    return data::ReadCsv(args.Get("csv", ""), schema);
+  }
+  if (args.Has("synthetic")) {
+    PRIVELET_ASSIGN_OR_RETURN(std::size_t domain,
+                              GetCount(args, "synthetic", 0));
+    PRIVELET_ASSIGN_OR_RETURN(data::Schema schema,
+                              data::MakeScalabilitySchema(domain));
+    return data::GenerateUniformTable(schema, tuples, data_seed);
+  }
+  const std::string country = args.Get("census", "");
+  data::CensusConfig config = data::DefaultCensusConfig(
+      country == "us" ? data::CensusCountry::kUS
+                      : data::CensusCountry::kBrazil);
+  if (country != "us" && country != "brazil") {
+    return Status::InvalidArgument("--census must be brazil or us");
+  }
+  config.num_tuples = tuples;
+  config.seed = data_seed;
+  return data::GenerateCensus(config);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "privelet_cli: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+
+int RunGen(const Args& args) {
+  Status flags = RejectUnknownFlags(
+      args, {"synthetic", "census", "tuples", "data-seed", "csv-out",
+             "schema-out", "csv"});
+  if (!flags.ok()) return Fail(flags);
+  if (!args.Has("csv-out") || !args.Has("schema-out")) {
+    return Fail(Status::InvalidArgument(
+        "gen needs --csv-out FILE and --schema-out FILE"));
+  }
+  if (args.Has("csv")) {
+    return Fail(Status::InvalidArgument(
+        "gen generates data; --csv is a publish input (use --csv-out)"));
+  }
+  auto table = MakeInputTable(args);
+  if (!table.ok()) return Fail(table.status());
+  const std::string csv_path = args.Get("csv-out", "");
+  Status st = data::WriteCsv(csv_path, *table);
+  if (!st.ok()) return Fail(st);
+  st = WriteSchemaSpecFile(args.Get("schema-out", ""), table->schema());
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu rows x %zu attributes to %s (schema spec: %s)\n",
+              table->num_rows(), table->num_columns(), csv_path.c_str(),
+              args.Get("schema-out", "").c_str());
+  return 0;
+}
+
+int RunPublish(const Args& args) {
+  Status flags = RejectUnknownFlags(
+      args, {"csv", "schema", "synthetic", "census", "tuples", "data-seed",
+             "mechanism", "sa", "epsilon", "seed", "threads", "engine",
+             "tile-lines", "no-table", "output"});
+  if (!flags.ok()) return Fail(flags);
+  if (!args.Has("output")) {
+    return Fail(Status::InvalidArgument("publish needs --output FILE.pvls"));
+  }
+  auto table = MakeInputTable(args);
+  if (!table.ok()) return Fail(table.status());
+  auto mech = MakeMechanism(args);
+  if (!mech.ok()) return Fail(mech.status());
+  auto epsilon = GetDouble(args, "epsilon", 1.0);
+  if (!epsilon.ok()) return Fail(epsilon.status());
+  auto seed = GetCount(args, "seed", 7);
+  if (!seed.ok()) return Fail(seed.status());
+  auto options = GetEngineOptions(args);
+  if (!options.ok()) return Fail(options.status());
+  auto pool = GetPool(args);
+  if (!pool.ok()) return Fail(pool.status());
+
+  const matrix::FrequencyMatrix m = matrix::FrequencyMatrix::FromTable(*table);
+  (*mech)->set_thread_pool(pool->get());
+  (*mech)->set_engine_options(*options);
+
+  Stopwatch publish_watch;
+  auto session = query::PublishingSession::Publish(
+      table->schema(), **mech, m, *epsilon, *seed, pool->get(), *options);
+  if (!session.ok()) return Fail(session.status());
+  const double publish_seconds = publish_watch.ElapsedSeconds();
+
+  const std::string output = args.Get("output", "");
+  Stopwatch save_watch;
+  Status st;
+  if (args.Has("no-table")) {
+    storage::ReleaseSnapshotView view;
+    view.schema = &session->schema();
+    view.mechanism = session->metadata().mechanism;
+    view.epsilon = session->metadata().epsilon;
+    view.seed = session->metadata().seed;
+    view.engine_options = session->engine_options();
+    view.published = &session->published();
+    st = storage::WriteSnapshot(output, view);
+  } else {
+    st = storage::SaveSession(output, *session);
+  }
+  if (!st.ok()) return Fail(st);
+
+  std::error_code ec;
+  const std::uintmax_t bytes = std::filesystem::file_size(output, ec);
+  std::printf(
+      "published %s: n=%zu tuples, m=%zu cells, epsilon=%g, seed=%zu\n"
+      "snapshot %s: %ju bytes%s (publish %.3fs, save %.3fs)\n",
+      std::string((*mech)->name()).c_str(), table->num_rows(), m.size(),
+      *epsilon, static_cast<std::size_t>(*seed), output.c_str(),
+      ec ? static_cast<std::uintmax_t>(0) : bytes,
+      args.Has("no-table") ? " (no prefix table)" : "", publish_seconds,
+      save_watch.ElapsedSeconds());
+  return 0;
+}
+
+int RunInspect(const Args& args) {
+  Status flags = RejectUnknownFlags(args, {});
+  if (!flags.ok()) return Fail(flags);
+  if (args.positional.size() != 1) {
+    return Fail(Status::InvalidArgument("inspect takes one snapshot path"));
+  }
+  auto info = storage::InspectSnapshot(args.positional[0]);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("snapshot:     %s (%ju bytes, CRC OK)\n",
+              args.positional[0].c_str(),
+              static_cast<std::uintmax_t>(info->file_bytes));
+  std::printf("mechanism:    %s\n", info->mechanism.empty()
+                                        ? "(unknown)"
+                                        : info->mechanism.c_str());
+  std::printf("epsilon:      %g\n", info->epsilon);
+  std::printf("seed:         %llu\n",
+              static_cast<unsigned long long>(info->seed));
+  std::printf("engine:       %s, tile_lines=%zu\n",
+              info->engine_options.engine == matrix::LineEngine::kTiled
+                  ? "tiled"
+                  : "naive",
+              info->engine_options.tile_lines);
+  std::printf("prefix table: %s\n", info->has_prefix_table ? "yes" : "no");
+  std::printf("cells:        %zu\n", info->num_cells);
+  for (std::size_t a = 0; a < info->schema.num_attributes(); ++a) {
+    const data::Attribute& attr = info->schema.attribute(a);
+    if (attr.is_ordinal()) {
+      std::printf("attribute:    %s ordinal |A|=%zu\n", attr.name().c_str(),
+                  attr.domain_size());
+    } else {
+      std::printf("attribute:    %s nominal |A|=%zu height=%zu\n",
+                  attr.name().c_str(), attr.domain_size(),
+                  attr.hierarchy().height());
+    }
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  Status flags = RejectUnknownFlags(
+      args, {"workload", "random", "workload-seed", "dump-workload",
+             "threads", "output"});
+  if (!flags.ok()) return Fail(flags);
+  if (args.positional.size() != 1) {
+    return Fail(Status::InvalidArgument("query takes one snapshot path"));
+  }
+  if (args.Has("workload") == args.Has("random")) {
+    return Fail(Status::InvalidArgument(
+        "query needs exactly one of --workload FILE or --random N"));
+  }
+  auto pool = GetPool(args);
+  if (!pool.ok()) return Fail(pool.status());
+
+  Stopwatch load_watch;
+  auto session = storage::LoadSession(args.positional[0], pool->get());
+  if (!session.ok()) return Fail(session.status());
+  const double load_seconds = load_watch.ElapsedSeconds();
+
+  std::vector<query::RangeQuery> queries;
+  if (args.Has("workload")) {
+    auto parsed = ReadWorkloadFile(args.Get("workload", ""),
+                                   session->schema());
+    if (!parsed.ok()) return Fail(parsed.status());
+    queries = std::move(*parsed);
+  } else {
+    query::WorkloadOptions options;
+    auto count = GetCount(args, "random", 0);
+    if (!count.ok()) return Fail(count.status());
+    auto wseed = GetCount(args, "workload-seed", 7);
+    if (!wseed.ok()) return Fail(wseed.status());
+    options.num_queries = *count;
+    options.seed = *wseed;
+    auto generated = query::GenerateWorkload(session->schema(), options);
+    if (!generated.ok()) return Fail(generated.status());
+    queries = std::move(*generated);
+    if (args.Has("dump-workload")) {
+      Status st = WriteWorkloadFile(args.Get("dump-workload", ""),
+                                    session->schema(), queries);
+      if (!st.ok()) return Fail(st);
+    }
+  }
+
+  Stopwatch answer_watch;
+  const std::vector<double> answers = session->AnswerAll(queries);
+  const double answer_seconds = answer_watch.ElapsedSeconds();
+
+  const std::string output = args.Get("output", "-");
+  std::FILE* out = stdout;
+  if (output != "-") {
+    out = std::fopen(output.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IOError("cannot open '" + output + "' for writing"));
+    }
+  }
+  // %.17g round-trips doubles exactly, so identical releases print
+  // identical answer files (the CLI e2e test diffs them).
+  bool write_ok = true;
+  for (const double a : answers) {
+    write_ok = std::fprintf(out, "%.17g\n", a) > 0 && write_ok;
+  }
+  write_ok = write_ok && std::ferror(out) == 0;
+  if (out != stdout) {
+    write_ok = std::fclose(out) == 0 && write_ok;
+  } else {
+    write_ok = std::fflush(out) == 0 && write_ok;
+  }
+  if (!write_ok) {
+    return Fail(Status::IOError("writing answers to '" + output + "' failed"));
+  }
+
+  std::fprintf(stderr, "answered %zu queries in %.3fs (load %.3fs)\n",
+               answers.size(), answer_seconds, load_seconds);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  auto args = ParseArgs(argc, argv, 2);
+  if (!args.ok()) return Fail(args.status());
+  if (command == "help" || args->Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (command == "gen") return RunGen(*args);
+  if (command == "publish") return RunPublish(*args);
+  if (command == "inspect") return RunInspect(*args);
+  if (command == "query") return RunQuery(*args);
+  std::fprintf(stderr, "privelet_cli: unknown command '%s'\n\n%s",
+               command.c_str(), kUsage);
+  return 1;
+}
+
+}  // namespace
+}  // namespace privelet::cli
+
+int main(int argc, char** argv) { return privelet::cli::Run(argc, argv); }

@@ -1,0 +1,171 @@
+#include "privelet_cli/schema_spec.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+
+namespace privelet::cli {
+
+namespace {
+
+Status SpecError(const std::string& context, std::size_t line_no,
+                 const std::string& what) {
+  return Status::InvalidArgument(context + ":" +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+Result<std::size_t> ParseCount(const std::string& token) {
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoull(token, &pos);
+  } catch (...) {
+    return Status::InvalidArgument("'" + token + "' is not a count");
+  }
+  if (pos != token.size() || value == 0) {
+    return Status::InvalidArgument("'" + token + "' is not a count");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<data::Schema> ParseSchemaSpec(const std::string& text,
+                                     const std::string& context) {
+  std::vector<data::Attribute> attrs;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank / comment-only line
+
+    std::string name;
+    if (!(fields >> name)) {
+      return SpecError(context, line_no, "missing attribute name");
+    }
+    std::vector<std::size_t> counts;
+    std::string shape;
+    if (kind == "ordinal") {
+      shape = "domain";
+    } else if (kind == "nominal") {
+      if (!(fields >> shape)) {
+        return SpecError(context, line_no, "missing hierarchy shape");
+      }
+    } else {
+      return SpecError(context, line_no,
+                       "unknown attribute kind '" + kind + "'");
+    }
+    std::string token;
+    while (fields >> token) {
+      auto count = ParseCount(token);
+      if (!count.ok()) {
+        return SpecError(context, line_no, count.status().message());
+      }
+      counts.push_back(*count);
+    }
+    if (counts.empty()) {
+      return SpecError(context, line_no, "missing counts after '" + shape +
+                                             "'");
+    }
+
+    if (kind == "ordinal") {
+      if (counts.size() != 1) {
+        return SpecError(context, line_no,
+                         "ordinal takes exactly one domain size");
+      }
+      attrs.push_back(data::Attribute::Ordinal(name, counts[0]));
+      continue;
+    }
+    Result<data::Hierarchy> hierarchy =
+        Status::InvalidArgument("unknown hierarchy shape '" + shape + "'");
+    if (shape == "flat") {
+      if (counts.size() != 1) {
+        return SpecError(context, line_no, "flat takes exactly one count");
+      }
+      hierarchy = data::Hierarchy::Flat(counts[0]);
+    } else if (shape == "groups") {
+      hierarchy = data::Hierarchy::FromGroupSizes(counts);
+    } else if (shape == "balanced") {
+      hierarchy = data::Hierarchy::Balanced(counts);
+    }
+    if (!hierarchy.ok()) {
+      return SpecError(context, line_no, hierarchy.status().message());
+    }
+    attrs.push_back(data::Attribute::Nominal(name, std::move(*hierarchy)));
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument(context + ": spec defines no attributes");
+  }
+  return data::Schema(std::move(attrs));
+}
+
+Result<data::Schema> ReadSchemaSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseSchemaSpec(text.str(), path);
+}
+
+Status WriteSchemaSpecFile(const std::string& path,
+                           const data::Schema& schema) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << "# privelet schema spec (see tools/privelet_cli/schema_spec.h)\n";
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    const data::Attribute& attr = schema.attribute(a);
+    if (attr.is_ordinal()) {
+      out << "ordinal " << attr.name() << ' ' << attr.domain_size() << '\n';
+      continue;
+    }
+    const data::Hierarchy& h = attr.hierarchy();
+    if (h.height() == 2) {
+      out << "nominal " << attr.name() << " flat " << h.num_leaves() << '\n';
+      continue;
+    }
+    if (h.height() == 3) {
+      out << "nominal " << attr.name() << " groups";
+      for (std::size_t group : h.NodesAtLevel(2)) {
+        out << ' ' << (h.node(group).leaf_end - h.node(group).leaf_begin);
+      }
+      out << '\n';
+      continue;
+    }
+    // Taller hierarchies are expressible only when each level has one
+    // uniform fanout.
+    std::vector<std::size_t> fanouts;
+    bool uniform = true;
+    for (std::size_t level = 1; uniform && level < h.height(); ++level) {
+      const std::vector<std::size_t> nodes = h.NodesAtLevel(level);
+      const std::size_t fanout = h.fanout(nodes.front());
+      for (std::size_t id : nodes) uniform = uniform && h.fanout(id) == fanout;
+      fanouts.push_back(fanout);
+    }
+    if (!uniform) {
+      return Status::InvalidArgument(
+          "hierarchy of '" + attr.name() +
+          "' (height > 3, non-uniform fanouts) has no spec representation");
+    }
+    out << "nominal " << attr.name() << " balanced";
+    for (std::size_t f : fanouts) out << ' ' << f;
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace privelet::cli

@@ -1,0 +1,42 @@
+// Text schema specs for privelet_cli: a line-oriented format describing
+// the attributes of a table, used when publishing from a CSV (the CSV
+// itself only carries attribute names and dense indices). Written by
+// `privelet_cli gen --schema-out` and consumed by `publish --schema`.
+//
+// One attribute per line, `#` starts a comment, blank lines ignored:
+//
+//   ordinal <name> <domain_size>
+//   nominal <name> flat <num_leaves>          # root -> leaves (height 2)
+//   nominal <name> groups <size> <size> ...   # root -> groups -> leaves
+//   nominal <name> balanced <fanout> ...      # uniform fanout per level
+//
+// Attribute order in the file is the attribute order of the schema (and
+// therefore the axis order of the frequency matrix).
+#ifndef PRIVELET_TOOLS_CLI_SCHEMA_SPEC_H_
+#define PRIVELET_TOOLS_CLI_SCHEMA_SPEC_H_
+
+#include <string>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+
+namespace privelet::cli {
+
+/// Parses a schema spec from text. `context` names the source (e.g. the
+/// file path) in error messages.
+Result<data::Schema> ParseSchemaSpec(const std::string& text,
+                                     const std::string& context);
+
+/// Reads and parses a schema spec file.
+Result<data::Schema> ReadSchemaSpecFile(const std::string& path);
+
+/// Writes `schema` as a spec file. Hierarchies are emitted in the most
+/// specific form that reproduces them (flat / groups / balanced); fails
+/// for hierarchy shapes the format cannot express (height > 3 with
+/// non-uniform fanouts).
+Status WriteSchemaSpecFile(const std::string& path,
+                           const data::Schema& schema);
+
+}  // namespace privelet::cli
+
+#endif  // PRIVELET_TOOLS_CLI_SCHEMA_SPEC_H_

@@ -1,0 +1,119 @@
+#include "privelet_cli/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace privelet::cli {
+
+namespace {
+
+Status WorkloadError(const std::string& path, std::size_t line_no,
+                     const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+Result<std::size_t> ParseIndex(const std::string& token) {
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoull(token, &pos);
+  } catch (...) {
+    return Status::InvalidArgument("'" + token + "' is not an index");
+  }
+  if (pos != token.size()) {
+    return Status::InvalidArgument("'" + token + "' is not an index");
+  }
+  return value;
+}
+
+Status ApplyPredicate(const data::Schema& schema, const std::string& token,
+                      query::RangeQuery* query) {
+  const std::size_t eq = token.find('=');
+  const std::size_t at = token.find('@');
+  if (eq != std::string::npos) {
+    const std::string name = token.substr(0, eq);
+    const std::string bounds = token.substr(eq + 1);
+    const std::size_t colon = bounds.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("'" + token + "': expected name=lo:hi");
+    }
+    PRIVELET_ASSIGN_OR_RETURN(std::size_t attr, schema.FindAttribute(name));
+    PRIVELET_ASSIGN_OR_RETURN(std::size_t lo,
+                              ParseIndex(bounds.substr(0, colon)));
+    PRIVELET_ASSIGN_OR_RETURN(std::size_t hi,
+                              ParseIndex(bounds.substr(colon + 1)));
+    return query->SetRange(schema, attr, lo, hi);
+  }
+  if (at != std::string::npos) {
+    const std::string name = token.substr(0, at);
+    PRIVELET_ASSIGN_OR_RETURN(std::size_t attr, schema.FindAttribute(name));
+    PRIVELET_ASSIGN_OR_RETURN(std::size_t node,
+                              ParseIndex(token.substr(at + 1)));
+    return query->SetHierarchyNode(schema, attr, node);
+  }
+  return Status::InvalidArgument("'" + token +
+                                 "': expected name=lo:hi or name@node");
+}
+
+}  // namespace
+
+Result<std::vector<query::RangeQuery>> ReadWorkloadFile(
+    const std::string& path, const data::Schema& schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::vector<query::RangeQuery> queries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token)) continue;  // blank / comment-only line
+
+    query::RangeQuery query(schema.num_attributes());
+    if (token != "*") {
+      do {
+        Status st = ApplyPredicate(schema, token, &query);
+        if (!st.ok()) {
+          return WorkloadError(path, line_no, st.message());
+        }
+      } while (fields >> token);
+    } else if (fields >> token) {
+      return WorkloadError(path, line_no, "'*' takes no predicates");
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+Status WriteWorkloadFile(const std::string& path, const data::Schema& schema,
+                         std::span<const query::RangeQuery> queries) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << "# privelet workload (see tools/privelet_cli/workload_io.h)\n";
+  for (const query::RangeQuery& q : queries) {
+    bool any = false;
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (!q.range(a).has_value()) continue;
+      if (any) out << ' ';
+      out << schema.attribute(a).name() << '=' << q.range(a)->lo << ':'
+          << q.range(a)->hi;
+      any = true;
+    }
+    if (!any) out << '*';
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace privelet::cli

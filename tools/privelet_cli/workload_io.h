@@ -1,0 +1,37 @@
+// Text workloads for privelet_cli: one range-count query per line,
+// whitespace-separated predicates, `#` comments, blank lines ignored.
+//
+//   Age=0:30 Occupation@5    # interval on Age AND subtree of node 5
+//   Income=100:200
+//   *                        # no predicates (the full-table count)
+//
+// `name=lo:hi` is an inclusive interval over an attribute's dense domain
+// (valid on any attribute — nominal intervals are ranges in the imposed
+// leaf order); `name@node` selects the subtree of hierarchy node id
+// `node` of a nominal attribute. The writer emits only the `=` form
+// (subtree predicates resolve to leaf intervals), so written files
+// re-parse to queries with identical bounds.
+#ifndef PRIVELET_TOOLS_CLI_WORKLOAD_IO_H_
+#define PRIVELET_TOOLS_CLI_WORKLOAD_IO_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/query/range_query.h"
+
+namespace privelet::cli {
+
+/// Reads a workload file, validating every predicate against `schema`.
+Result<std::vector<query::RangeQuery>> ReadWorkloadFile(
+    const std::string& path, const data::Schema& schema);
+
+/// Writes `queries` in the text format above (resolved `=` intervals).
+Status WriteWorkloadFile(const std::string& path, const data::Schema& schema,
+                         std::span<const query::RangeQuery> queries);
+
+}  // namespace privelet::cli
+
+#endif  // PRIVELET_TOOLS_CLI_WORKLOAD_IO_H_
