@@ -7,9 +7,10 @@
 //   4. post-process (integer counts; DP-preserving),
 //   5. persist the release as a PVLS snapshot (storage/snapshot.h) with
 //      its provenance recorded,
-// and then, acting as the analyst in a separate serving step, load the
-// snapshot into a PublishingSession (storage::LoadSession) and answer a
-// query batch, comparing against the predicted noise variance. Publishing
+// and then, acting as the analyst in a separate serving step, memory-map
+// the snapshot into a zero-copy PublishingSession (storage::MapSession)
+// and answer a query batch, comparing against the predicted noise
+// variance. Publishing
 // and serving both run on a worker pool; thanks to the determinism
 // contract the release is bit-identical to a serial run for the same
 // seed, and the snapshot round trip changes no bits either.
@@ -103,12 +104,16 @@ int main() {
                                   sizeof(double)) / 1e6);
 
   // --- analyst side -----------------------------------------------------
-  // Load the snapshot into a PublishingSession: it owns the noisy cube,
-  // its prefix-sum table, and the release provenance; answers batches
-  // across the pool; and is safe to share between serving threads.
-  auto session = storage::LoadSession(release_path, &pool);
+  // Serve the snapshot in place: OpenServingSession memory-maps a v2
+  // file, checks the CRC once, and the session's evaluator reads the
+  // prefix table straight from the mapped pages — zero copies, no O(m)
+  // load work (falling back to the LoadSession copy path for v1 files or
+  // platforms without mmap; answers are bit-identical either way). The
+  // session carries the release provenance, answers batches across the
+  // pool, and is safe to share between serving threads.
+  auto session = storage::OpenServingSession(release_path, &pool);
   if (!session.ok()) return 1;
-  std::printf("loaded release: mechanism=%s epsilon=%g seed=%llu\n",
+  std::printf("mapped release: mechanism=%s epsilon=%g seed=%llu\n",
               session->metadata().mechanism.c_str(),
               session->metadata().epsilon,
               static_cast<unsigned long long>(session->metadata().seed));

@@ -1,0 +1,92 @@
+#include "privelet/common/file_mapping.h"
+
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace privelet::common {
+
+namespace {
+
+#if !defined(_WIN32)
+std::string ErrnoMessage() {
+  char buf[128];
+  // GNU strerror_r may return a static string instead of filling buf.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return strerror_r(errno, buf, sizeof(buf));
+#else
+  return strerror_r(errno, buf, sizeof(buf)) == 0 ? buf : "unknown error";
+#endif
+}
+#endif
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if defined(_WIN32)
+  return Status::IOError("memory mapping is not supported on this platform");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path + "': " + ErrnoMessage());
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string msg = ErrnoMessage();
+    ::close(fd);
+    return Status::IOError("cannot stat '" + path + "': " + msg);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile();
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // not needed past this point either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot map '" + path + "': " + ErrnoMessage());
+  }
+  // Best-effort readahead hint: snapshot opens stream the whole file once
+  // for the CRC check immediately after mapping.
+#if defined(POSIX_MADV_WILLNEED)
+  (void)::posix_madvise(addr, size, POSIX_MADV_WILLNEED);
+#endif
+  return MappedFile(addr, size);
+#endif
+}
+
+void MappedFile::Reset() {
+#if !defined(_WIN32)
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+  }
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace privelet::common

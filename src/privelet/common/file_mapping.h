@@ -1,0 +1,58 @@
+// Read-only memory mapping of whole files. The zero-copy serving path
+// (storage::MappedSnapshot) is built on this: a multi-GB release snapshot
+// is mapped once and its payload sections are served straight from the
+// page cache, so opening a release costs no allocation proportional to
+// the file and many processes mapping the same snapshot share one set of
+// physical pages.
+#ifndef PRIVELET_COMMON_FILE_MAPPING_H_
+#define PRIVELET_COMMON_FILE_MAPPING_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "privelet/common/result.h"
+
+namespace privelet::common {
+
+/// RAII read-only mapping of one file. Move-only; the mapping (and the
+/// validity of every span derived from bytes()) ends when the owning
+/// object is destroyed. The mapped base address is page-aligned, so a
+/// payload section placed at a 64-byte-aligned file offset is 64-byte
+/// aligned in memory too.
+class MappedFile {
+ public:
+  /// Maps `path` read-only in full. Fails with IOError when the file
+  /// cannot be opened, stat'ed, or mapped (including on platforms without
+  /// mmap support).
+  static Result<MappedFile> Open(const std::string& path);
+
+  /// An empty mapping (bytes() is an empty span).
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The file's bytes. Valid until this object (or the object it was
+  /// moved into) is destroyed.
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(addr_), size_};
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* addr, std::size_t size) : addr_(addr), size_(size) {}
+
+  void Reset();
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace privelet::common
+
+#endif  // PRIVELET_COMMON_FILE_MAPPING_H_

@@ -3,6 +3,16 @@
 // predicates are intervals; nominal subtree predicates are contiguous in
 // the imposed leaf order, Sec. V-A), so after O(m) preprocessing any query
 // is answered with 2^d table lookups.
+//
+// Storage comes in two modes sharing one query path:
+//   owned — the build and parts constructors materialize the entries in a
+//     private vector (the classic mode);
+//   view  — the span constructor serves lookups straight out of caller-
+//     managed memory (the raw accumulator section of a memory-mapped PVLS
+//     v2 snapshot), so adopting a multi-GB table costs no copy at all.
+// The caller of the view constructor guarantees the backing storage
+// outlives the table and every copy of it (storage::MappedSnapshot is
+// kept alive by the owning PublishingSession).
 #ifndef PRIVELET_MATRIX_PREFIX_SUM_H_
 #define PRIVELET_MATRIX_PREFIX_SUM_H_
 
@@ -10,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "privelet/common/check.h"
@@ -40,8 +51,20 @@ class PrefixSumTable {
   explicit PrefixSumTable(const FrequencyMatrix& source,
                           common::ThreadPool* pool = nullptr,
                           const EngineOptions& options = {})
-      : dims_(source.dims()) {
+      : PrefixSumTable(source.dims(), std::span<const double>(source.values()),
+                       pool, options) {}
+
+  /// Same build over raw row-major values with the given dims (the
+  /// product of `dims` must equal source.size()). Lets a serving process
+  /// rebuild the table straight from a mapped snapshot's matrix section
+  /// without materializing a FrequencyMatrix copy first.
+  PrefixSumTable(std::vector<std::size_t> dims, std::span<const double> source,
+                 common::ThreadPool* pool = nullptr,
+                 const EngineOptions& options = {})
+      : dims_(std::move(dims)) {
     InitStrides();
+    PRIVELET_CHECK(!dims_.empty() && NumCells() == source.size(),
+                   "source values do not match the dims");
     sums_.resize(source.size());
     common::ParallelFor(pool, source.size(), /*grain=*/0,
                         [&](std::size_t begin, std::size_t end) {
@@ -73,6 +96,7 @@ class PrefixSumTable {
             }
           });
     }
+    data_ = sums_;
   }
 
   /// Reassembles a table from its serialized parts: `sums` must hold the
@@ -85,10 +109,55 @@ class PrefixSumTable {
   PrefixSumTable(std::vector<std::size_t> dims, std::vector<Accum> sums)
       : dims_(std::move(dims)), sums_(std::move(sums)) {
     InitStrides();
-    std::size_t expected = 1;
-    for (std::size_t d : dims_) expected *= d;
-    PRIVELET_CHECK(!dims_.empty() && expected == sums_.size(),
+    PRIVELET_CHECK(!dims_.empty() && NumCells() == sums_.size(),
                    "prefix-sum parts do not form a table");
+    data_ = sums_;
+  }
+
+  /// Non-owning view over externally stored entries (the raw accumulator
+  /// section of a mapped PVLS v2 snapshot): lookups read `view` directly,
+  /// so adoption is O(1) with no copy. Entries are trusted like the parts
+  /// constructor's; the backing storage must outlive this table and every
+  /// table copied from it.
+  PrefixSumTable(std::vector<std::size_t> dims, std::span<const Accum> view)
+      : dims_(std::move(dims)), data_(view) {
+    InitStrides();
+    PRIVELET_CHECK(!dims_.empty() && NumCells() == data_.size(),
+                   "prefix-sum view does not form a table");
+  }
+
+  // `data_` must track `sums_` across copies and moves: a copied owned
+  // table views its own copy of the entries, while a copied view table
+  // keeps aliasing the external storage.
+  PrefixSumTable(const PrefixSumTable& other)
+      : dims_(other.dims_), strides_(other.strides_), sums_(other.sums_) {
+    data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+  }
+  PrefixSumTable(PrefixSumTable&& other) noexcept
+      : dims_(std::move(other.dims_)),
+        strides_(std::move(other.strides_)),
+        sums_(std::move(other.sums_)) {
+    data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+    other.data_ = {};
+  }
+  PrefixSumTable& operator=(const PrefixSumTable& other) {
+    if (this != &other) {
+      dims_ = other.dims_;
+      strides_ = other.strides_;
+      sums_ = other.sums_;
+      data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+    }
+    return *this;
+  }
+  PrefixSumTable& operator=(PrefixSumTable&& other) noexcept {
+    if (this != &other) {
+      dims_ = std::move(other.dims_);
+      strides_ = std::move(other.strides_);
+      sums_ = std::move(other.sums_);
+      data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+      other.data_ = {};
+    }
+    return *this;
   }
 
   /// Sum of all entries with lo[i] <= coord[i] <= hi[i] (inclusive bounds).
@@ -121,17 +190,21 @@ class PrefixSumTable {
         }
       }
       if (empty) continue;
-      total += (low_sides % 2 == 0) ? sums_[flat] : -sums_[flat];
+      total += (low_sides % 2 == 0) ? data_[flat] : -data_[flat];
     }
     return total;
   }
 
   const std::vector<std::size_t>& dims() const { return dims_; }
 
+  /// True when the entries live in caller-managed storage (the span
+  /// constructor) rather than in this table.
+  bool is_view() const { return sums_.empty() && !data_.empty(); }
+
   /// The flat (row-major) table entries — entry at a coordinate is the
   /// inclusive prefix sum up to it. The serialization surface consumed by
   /// storage/snapshot.cc and accepted back by the parts constructor.
-  std::span<const Accum> raw_sums() const { return sums_; }
+  std::span<const Accum> raw_sums() const { return data_; }
 
  private:
   void InitStrides() {
@@ -141,6 +214,12 @@ class PrefixSumTable {
       strides_[axis] = stride;
       stride *= dims_[axis];
     }
+  }
+
+  std::size_t NumCells() const {
+    std::size_t cells = 1;
+    for (std::size_t d : dims_) cells *= d;
+    return cells;
   }
 
   /// Tiled running-sum pass along one axis: panels of up to `tile`
@@ -173,7 +252,8 @@ class PrefixSumTable {
 
   std::vector<std::size_t> dims_;
   std::vector<std::size_t> strides_;
-  std::vector<Accum> sums_;
+  std::vector<Accum> sums_;  ///< owned entries; empty in view mode
+  std::span<const Accum> data_;  ///< what RangeSum reads: sums_ or the view
 };
 
 extern template class PrefixSumTable<long double>;

@@ -8,11 +8,14 @@ QueryEvaluator::QueryEvaluator(const data::Schema& schema,
                                const matrix::FrequencyMatrix& m,
                                common::ThreadPool* pool,
                                const matrix::EngineOptions& options)
-    : schema_(schema), table_(m, pool, options) {}
+    : table_(m, pool, options) {
+  PRIVELET_CHECK(table_.dims() == schema.DomainSizes(),
+                 "matrix dims do not match the schema");
+}
 
 QueryEvaluator::QueryEvaluator(const data::Schema& schema,
                                matrix::PrefixSumTable<long double> table)
-    : schema_(schema), table_(std::move(table)) {
+    : table_(std::move(table)) {
   PRIVELET_CHECK(table_.dims() == schema.DomainSizes(),
                  "prefix-sum table dims do not match the schema");
 }
@@ -41,7 +44,7 @@ double QueryEvaluator::Answer(const RangeQuery& query) const {
 double QueryEvaluator::Answer(const RangeQuery& query,
                               std::vector<std::size_t>* lo,
                               std::vector<std::size_t>* hi) const {
-  query.ResolveBounds(schema_, lo, hi);
+  query.ResolveBounds(table_.dims(), lo, hi);
   return static_cast<double>(table_.RangeSum(*lo, *hi));
 }
 
@@ -49,7 +52,10 @@ ExactEvaluator::ExactEvaluator(const data::Schema& schema,
                                const matrix::FrequencyMatrix& m,
                                common::ThreadPool* pool,
                                const matrix::EngineOptions& options)
-    : schema_(schema), table_(m, pool, options) {}
+    : table_(m, pool, options) {
+  PRIVELET_CHECK(table_.dims() == schema.DomainSizes(),
+                 "matrix dims do not match the schema");
+}
 
 std::int64_t ExactEvaluator::Answer(const RangeQuery& query) const {
   BoundScratch& scratch = ThreadBoundScratch();
@@ -59,7 +65,7 @@ std::int64_t ExactEvaluator::Answer(const RangeQuery& query) const {
 std::int64_t ExactEvaluator::Answer(const RangeQuery& query,
                                     std::vector<std::size_t>* lo,
                                     std::vector<std::size_t>* hi) const {
-  query.ResolveBounds(schema_, lo, hi);
+  query.ResolveBounds(table_.dims(), lo, hi);
   return table_.RangeSum(*lo, *hi);
 }
 

@@ -22,18 +22,26 @@ namespace privelet::query {
 /// Answers range-count queries over a real-valued (typically noisy) matrix
 /// in O(2^d) after O(m) setup. Answer is const with no hidden mutable
 /// state, so a shared evaluator serves concurrent callers safely.
+///
+/// The schema passed at construction is only validated against, never
+/// retained: answering resolves unconstrained axes from the table's own
+/// dims (== the schema's domain sizes, checked), so an evaluator safely
+/// outlives the schema — and, for table-adopting construction, the matrix
+/// — it was built from.
 class QueryEvaluator {
  public:
   /// `pool` (optional) parallelizes the prefix-sum build and `options`
   /// selects its line engine (matrix/engine.h); neither is retained after
-  /// construction.
+  /// construction. The matrix dims must match the schema's domain sizes.
   QueryEvaluator(const data::Schema& schema, const matrix::FrequencyMatrix& m,
                  common::ThreadPool* pool = nullptr,
                  const matrix::EngineOptions& options = {});
 
-  /// Adopts an already-built table (e.g. deserialized from a release
-  /// snapshot) instead of paying the O(m) build. The table dims must
-  /// match the schema's domain sizes.
+  /// Adopts an already-built table — deserialized from a release snapshot,
+  /// or a non-owning view into a mapped one — instead of paying the O(m)
+  /// build. The table dims must match the schema's domain sizes. For view
+  /// tables the caller keeps the backing storage alive (see
+  /// matrix::PrefixSumTable).
   QueryEvaluator(const data::Schema& schema,
                  matrix::PrefixSumTable<long double> table);
 
@@ -50,13 +58,13 @@ class QueryEvaluator {
                 std::vector<std::size_t>* hi) const;
 
  private:
-  const data::Schema& schema_;
   matrix::PrefixSumTable<long double> table_;
 };
 
 /// Answers range-count queries over an exact count matrix with integer
 /// arithmetic (no rounding for any data size). Thread-safe like
-/// QueryEvaluator.
+/// QueryEvaluator, and likewise independent of the schema after
+/// construction.
 class ExactEvaluator {
  public:
   ExactEvaluator(const data::Schema& schema, const matrix::FrequencyMatrix& m,
@@ -69,7 +77,6 @@ class ExactEvaluator {
                       std::vector<std::size_t>* hi) const;
 
  private:
-  const data::Schema& schema_;
   matrix::PrefixSumTable<std::int64_t> table_;
 };
 

@@ -6,21 +6,35 @@ namespace privelet::query {
 
 PublishingSession::PublishingSession(
     std::shared_ptr<const data::Schema> schema,
-    matrix::FrequencyMatrix published,
-    std::optional<matrix::PrefixSumTable<long double>> table,
-    ReleaseMetadata metadata, common::ThreadPool* pool,
-    const matrix::EngineOptions& options)
+    std::shared_ptr<const matrix::FrequencyMatrix> published,
+    std::shared_ptr<const QueryEvaluator> evaluator, ReleaseMetadata metadata,
+    common::ThreadPool* pool, const matrix::EngineOptions& options,
+    std::shared_ptr<const void> mapping)
     : schema_(std::move(schema)),
-      published_(std::make_shared<const matrix::FrequencyMatrix>(
-          std::move(published))),
-      evaluator_(table.has_value()
-                     ? std::make_shared<const QueryEvaluator>(
-                           *schema_, std::move(*table))
-                     : std::make_shared<const QueryEvaluator>(
-                           *schema_, *published_, pool, options)),
+      published_(std::move(published)),
+      mapping_(std::move(mapping)),
+      evaluator_(std::move(evaluator)),
       metadata_(std::move(metadata)),
       options_(options),
       pool_(pool) {}
+
+PublishingSession PublishingSession::BuildOwned(
+    data::Schema schema, matrix::FrequencyMatrix published,
+    std::optional<matrix::PrefixSumTable<long double>> table,
+    ReleaseMetadata metadata, common::ThreadPool* pool,
+    const matrix::EngineOptions& options) {
+  auto schema_ptr = std::make_shared<const data::Schema>(std::move(schema));
+  auto matrix_ptr = std::make_shared<const matrix::FrequencyMatrix>(
+      std::move(published));
+  auto evaluator = table.has_value()
+                       ? std::make_shared<const QueryEvaluator>(
+                             *schema_ptr, std::move(*table))
+                       : std::make_shared<const QueryEvaluator>(
+                             *schema_ptr, *matrix_ptr, pool, options);
+  return PublishingSession(std::move(schema_ptr), std::move(matrix_ptr),
+                           std::move(evaluator), std::move(metadata), pool,
+                           options);
+}
 
 Result<PublishingSession> PublishingSession::Publish(
     const data::Schema& schema, const mechanism::Mechanism& mech,
@@ -29,9 +43,8 @@ Result<PublishingSession> PublishingSession::Publish(
   PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
                             mech.Publish(schema, m, epsilon, seed));
   ReleaseMetadata metadata{std::string(mech.name()), epsilon, seed};
-  return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), std::nullopt,
-                           std::move(metadata), pool, options);
+  return BuildOwned(schema, std::move(published), std::nullopt,
+                    std::move(metadata), pool, options);
 }
 
 Result<PublishingSession> PublishingSession::FromMatrix(
@@ -41,9 +54,8 @@ Result<PublishingSession> PublishingSession::FromMatrix(
     return Status::InvalidArgument(
         "published matrix dims do not match the schema");
   }
-  return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), std::nullopt,
-                           ReleaseMetadata{}, pool, options);
+  return BuildOwned(schema, std::move(published), std::nullopt,
+                    ReleaseMetadata{}, pool, options);
 }
 
 Result<PublishingSession> PublishingSession::FromParts(
@@ -58,9 +70,14 @@ Result<PublishingSession> PublishingSession::FromParts(
     return Status::InvalidArgument(
         "prefix-sum table dims do not match the published matrix");
   }
-  return PublishingSession(std::make_shared<const data::Schema>(schema),
-                           std::move(published), std::move(table),
-                           std::move(metadata), pool, options);
+  return BuildOwned(schema, std::move(published), std::move(table),
+                    std::move(metadata), pool, options);
+}
+
+const matrix::FrequencyMatrix& PublishingSession::published() const {
+  PRIVELET_CHECK(published_ != nullptr,
+                 "mapped session does not materialize the release matrix");
+  return *published_;
 }
 
 double PublishingSession::Answer(const RangeQuery& query) const {

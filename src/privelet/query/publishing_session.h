@@ -1,17 +1,21 @@
 // PublishingSession: the serving-side facade over one published release.
-// It owns the noisy frequency matrix together with its prefix-sum
-// evaluator and answers range-count queries from them — one object to hand
-// to a query-serving frontend. All answering entry points are const and
-// thread-safe: any number of threads may call Answer / AnswerAll on a
-// shared session concurrently, and AnswerAll additionally fans a batch
-// across a worker pool.
+// It owns (or maps) the release's prefix-sum evaluator and answers
+// range-count queries from it — one object to hand to a query-serving
+// frontend. All answering entry points are const and thread-safe: any
+// number of threads may call Answer / AnswerAll on a shared session
+// concurrently, and AnswerAll additionally fans a batch across a worker
+// pool.
 //
 // Releases outlive processes: ToSnapshot / FromSnapshot (implemented in
 // storage/session_io.cc, which also provides the file-level
 // SaveSession / LoadSession) round-trip a session through the PVLS
 // snapshot format, so a serving process loads a release — including its
-// precomputed prefix-sum table — instead of re-running the publish. See
-// docs/ARCHITECTURE.md for the publish → snapshot → serve dataflow.
+// precomputed prefix-sum table — instead of re-running the publish.
+// FromMapped goes one step further: the session serves straight out of a
+// memory-mapped v2 snapshot (storage::MappedSnapshot) with zero copies —
+// the evaluator's table is a span view into the file's pages, kept alive
+// by the session. See docs/ARCHITECTURE.md for the publish → snapshot →
+// serve dataflow.
 #ifndef PRIVELET_QUERY_PUBLISHING_SESSION_H_
 #define PRIVELET_QUERY_PUBLISHING_SESSION_H_
 
@@ -34,6 +38,7 @@
 
 namespace privelet::storage {
 struct ReleaseSnapshot;
+class MappedSnapshot;
 }  // namespace privelet::storage
 
 namespace privelet::query {
@@ -89,14 +94,35 @@ class PublishingSession {
   static Result<PublishingSession> FromSnapshot(
       storage::ReleaseSnapshot snapshot, common::ThreadPool* pool = nullptr);
 
+  /// Wraps a memory-mapped v2 snapshot as a zero-copy serving session:
+  /// when the mapping carries an adoptable prefix table, the evaluator
+  /// views the file's pages directly (no O(m) copy or rebuild — opening
+  /// is O(header + CRC)); otherwise the table is rebuilt from the mapped
+  /// matrix values, still without materializing a matrix copy. The
+  /// session shares ownership of the mapping, which therefore stays
+  /// alive until the last session (and evaluator) using it is gone.
+  /// Mapped sessions do not materialize the release matrix:
+  /// has_published() is false. Implemented in storage/session_io.cc.
+  static Result<PublishingSession> FromMapped(
+      std::shared_ptr<const storage::MappedSnapshot> mapped,
+      common::ThreadPool* pool = nullptr);
+
   /// Deep-copies this session's release into an owning snapshot (schema,
   /// metadata, matrix, prefix table). To persist without the copy, use
   /// storage::SaveSession, which streams straight from the live session.
+  /// Requires has_published() (a mapped session is already a file).
   /// Implemented in storage/session_io.cc.
   storage::ReleaseSnapshot ToSnapshot() const;
 
   const data::Schema& schema() const { return *schema_; }
-  const matrix::FrequencyMatrix& published() const { return *published_; }
+
+  /// Whether this session materializes the release matrix. True for every
+  /// construction path except FromMapped.
+  bool has_published() const { return published_ != nullptr; }
+
+  /// The release matrix. PRIVELET_CHECKs has_published() — mapped
+  /// sessions serve from the snapshot's pages and hold no matrix object.
+  const matrix::FrequencyMatrix& published() const;
 
   /// Provenance of the release (mechanism id, epsilon, seed).
   const ReleaseMetadata& metadata() const { return metadata_; }
@@ -105,7 +131,8 @@ class PublishingSession {
   /// build and AnswerAll; persisted in snapshots).
   const matrix::EngineOptions& engine_options() const { return options_; }
 
-  /// The serving prefix-sum table (what snapshots persist).
+  /// The serving prefix-sum table (what snapshots persist). For mapped
+  /// sessions this is a non-owning view into the snapshot file.
   const matrix::PrefixSumTable<long double>& prefix_table() const {
     return evaluator_->table();
   }
@@ -120,15 +147,32 @@ class PublishingSession {
 
  private:
   PublishingSession(std::shared_ptr<const data::Schema> schema,
-                    matrix::FrequencyMatrix published,
-                    std::optional<matrix::PrefixSumTable<long double>> table,
+                    std::shared_ptr<const matrix::FrequencyMatrix> published,
+                    std::shared_ptr<const QueryEvaluator> evaluator,
                     ReleaseMetadata metadata, common::ThreadPool* pool,
-                    const matrix::EngineOptions& options);
+                    const matrix::EngineOptions& options,
+                    std::shared_ptr<const void> mapping = nullptr);
+
+  /// Shared assembly behind every matrix-owning factory: heap-holds the
+  /// schema and matrix, builds the evaluator (adopting `table` when
+  /// present, else the O(m) build on `pool` under `options`). Dims have
+  /// already been validated by the caller. Takes the schema by value so
+  /// load paths that own one (FromSnapshot) move instead of copying.
+  static PublishingSession BuildOwned(
+      data::Schema schema, matrix::FrequencyMatrix published,
+      std::optional<matrix::PrefixSumTable<long double>> table,
+      ReleaseMetadata metadata, common::ThreadPool* pool,
+      const matrix::EngineOptions& options);
 
   // Heap-held so moves of the session never invalidate the references the
-  // evaluator keeps into schema and matrix.
+  // evaluator keeps into schema and matrix. `published_` is null for
+  // mapped sessions; `mapping_` pins the MappedSnapshot (and with it the
+  // pages the evaluator's table views) for the session's lifetime —
+  // declared before `evaluator_` so destruction unmaps only after the
+  // evaluator (whose table may view the mapped pages) is gone.
   std::shared_ptr<const data::Schema> schema_;
   std::shared_ptr<const matrix::FrequencyMatrix> published_;
+  std::shared_ptr<const void> mapping_;
   std::shared_ptr<const QueryEvaluator> evaluator_;
   ReleaseMetadata metadata_;
   matrix::EngineOptions options_;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "privelet/common/check.h"
+
 namespace privelet::query {
 
 Status RangeQuery::SetRange(const data::Schema& schema, std::size_t attr,
@@ -57,6 +59,24 @@ void RangeQuery::ResolveBounds(const data::Schema& schema,
     } else {
       (*lo)[a] = 0;
       (*hi)[a] = schema.attribute(a).domain_size() - 1;
+    }
+  }
+}
+
+void RangeQuery::ResolveBounds(std::span<const std::size_t> domain_sizes,
+                               std::vector<std::size_t>* lo,
+                               std::vector<std::size_t>* hi) const {
+  PRIVELET_DCHECK(domain_sizes.size() == ranges_.size(),
+                  "domain size arity mismatch");
+  lo->resize(ranges_.size());
+  hi->resize(ranges_.size());
+  for (std::size_t a = 0; a < ranges_.size(); ++a) {
+    if (ranges_[a].has_value()) {
+      (*lo)[a] = ranges_[a]->lo;
+      (*hi)[a] = ranges_[a]->hi;
+    } else {
+      (*lo)[a] = 0;
+      (*hi)[a] = domain_sizes[a] - 1;
     }
   }
 }

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "privelet/common/status.h"
@@ -57,6 +58,14 @@ class RangeQuery {
   /// Resolved inclusive per-axis bounds over the full matrix (unconstrained
   /// axes become [0, |A|-1]).
   void ResolveBounds(const data::Schema& schema,
+                     std::vector<std::size_t>* lo,
+                     std::vector<std::size_t>* hi) const;
+
+  /// Same resolution against bare per-attribute domain sizes (one per
+  /// attribute, in schema order). Evaluators hold the sizes by value and
+  /// use this overload, so answering never dereferences the schema the
+  /// query was built against.
+  void ResolveBounds(std::span<const std::size_t> domain_sizes,
                      std::vector<std::size_t>* lo,
                      std::vector<std::size_t>* hi) const;
 

@@ -1,11 +1,12 @@
 #include "privelet/storage/session_io.h"
 
+#include <memory>
 #include <utility>
 
 namespace privelet::query {
 
-// Defined here rather than in publishing_session.cc: these two members
-// are the only place the query layer touches storage types, and keeping
+// Defined here rather than in publishing_session.cc: these members are
+// the only place the query layer touches storage types, and keeping
 // their definitions in storage/ preserves the one-way layer order.
 
 storage::ReleaseSnapshot PublishingSession::ToSnapshot() const {
@@ -36,10 +37,38 @@ Result<PublishingSession> PublishingSession::FromSnapshot(
     return Status::InvalidArgument(
         "published matrix dims do not match the schema");
   }
-  return PublishingSession(
-      std::make_shared<const data::Schema>(std::move(snapshot.schema)),
-      std::move(snapshot.published), std::nullopt, std::move(metadata), pool,
-      snapshot.engine_options);
+  return BuildOwned(std::move(snapshot.schema), std::move(snapshot.published),
+                    std::nullopt, std::move(metadata), pool,
+                    snapshot.engine_options);
+}
+
+Result<PublishingSession> PublishingSession::FromMapped(
+    std::shared_ptr<const storage::MappedSnapshot> mapped,
+    common::ThreadPool* pool) {
+  if (mapped == nullptr) {
+    return Status::InvalidArgument("FromMapped requires a mapped snapshot");
+  }
+  ReleaseMetadata metadata{mapped->mechanism(), mapped->epsilon(),
+                           mapped->seed()};
+  // The schema lives inside the mapped snapshot; the aliasing constructor
+  // shares its lifetime without a copy.
+  std::shared_ptr<const data::Schema> schema(mapped, &mapped->schema());
+  // Zero-copy adoption when the stored accumulator matches this platform;
+  // otherwise a deterministic rebuild straight from the mapped matrix
+  // values (still no matrix materialization).
+  matrix::PrefixSumTable<long double> table =
+      mapped->has_prefix_table()
+          ? matrix::PrefixSumTable<long double>(mapped->dims(),
+                                                mapped->prefix_table())
+          : matrix::PrefixSumTable<long double>(mapped->dims(),
+                                                mapped->matrix_values(), pool,
+                                                mapped->engine_options());
+  auto evaluator =
+      std::make_shared<const QueryEvaluator>(*schema, std::move(table));
+  const matrix::EngineOptions options = mapped->engine_options();
+  return PublishingSession(std::move(schema), /*published=*/nullptr,
+                           std::move(evaluator), std::move(metadata), pool,
+                           options, std::move(mapped));
 }
 
 }  // namespace privelet::query
@@ -48,6 +77,11 @@ namespace privelet::storage {
 
 Status SaveSession(const std::string& path,
                    const query::PublishingSession& session) {
+  if (!session.has_published()) {
+    return Status::InvalidArgument(
+        "cannot save a mapped session — it serves from an existing "
+        "snapshot file");
+  }
   ReleaseSnapshotView view;
   view.schema = &session.schema();
   view.mechanism = session.metadata().mechanism;
@@ -63,6 +97,33 @@ Result<query::PublishingSession> LoadSession(const std::string& path,
                                              common::ThreadPool* pool) {
   PRIVELET_ASSIGN_OR_RETURN(ReleaseSnapshot snapshot, ReadSnapshot(path));
   return query::PublishingSession::FromSnapshot(std::move(snapshot), pool);
+}
+
+Result<query::PublishingSession> MapSession(const std::string& path,
+                                            common::ThreadPool* pool) {
+  PRIVELET_ASSIGN_OR_RETURN(MappedSnapshot mapped, MappedSnapshot::Open(path));
+  return query::PublishingSession::FromMapped(
+      std::make_shared<const MappedSnapshot>(std::move(mapped)), pool);
+}
+
+Result<query::PublishingSession> OpenServingSession(const std::string& path,
+                                                    common::ThreadPool* pool) {
+  auto mapped = MapSession(path, pool);
+  if (mapped.ok()) return mapped;
+  switch (mapped.status().code()) {
+    case StatusCode::kFailedPrecondition:
+      // v1 snapshot: the sections are not mappable in place.
+      return LoadSession(path, pool);
+    case StatusCode::kIOError:
+      // mmap itself failed (unsupported platform/filesystem) — the copy
+      // loader may still read the file; a missing file just fails again
+      // with the same error.
+      return LoadSession(path, pool);
+    default:
+      // Corrupt/invalid snapshots fail identically on both paths; don't
+      // pay a second full read to rediscover that.
+      return mapped;
+  }
 }
 
 }  // namespace privelet::storage

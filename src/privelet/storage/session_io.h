@@ -1,9 +1,11 @@
 // File-level persistence of serving sessions: SaveSession streams a live
 // PublishingSession straight into a PVLS snapshot (no copy of the matrix
 // or table), LoadSession turns a snapshot file back into a serving
-// session. Also the home of PublishingSession::ToSnapshot/FromSnapshot —
-// they are declared on the session for discoverability but implemented
-// here because storage sits above query in the layer order
+// session, and MapSession / OpenServingSession serve a v2 snapshot in
+// place from a memory mapping with zero copies. Also the home of
+// PublishingSession::ToSnapshot/FromSnapshot/FromMapped — they are
+// declared on the session for discoverability but implemented here
+// because storage sits above query in the layer order
 // (docs/ARCHITECTURE.md).
 #ifndef PRIVELET_STORAGE_SESSION_IO_H_
 #define PRIVELET_STORAGE_SESSION_IO_H_
@@ -19,17 +21,34 @@ namespace privelet::storage {
 
 /// Writes `session`'s release — schema, provenance metadata, engine
 /// options, noisy matrix, prefix-sum table — to `path` as a PVLS
-/// snapshot, streaming from the session's own storage.
+/// snapshot, streaming from the session's own storage. The session must
+/// materialize its matrix (has_published()); a mapped session *is* its
+/// snapshot file already and is rejected with InvalidArgument.
 Status SaveSession(const std::string& path,
                    const query::PublishingSession& session);
 
-/// Loads a snapshot and wraps it as a serving session. When the file
-/// carries an adoptable prefix table this is an O(file size) read with no
-/// O(m) compute; otherwise the table is rebuilt on `pool` under the
-/// snapshot's engine options. Either way the loaded session answers
-/// bit-identically to the one that was saved.
+/// Loads a snapshot (v1 or v2) by copy and wraps it as a serving session.
+/// When the file carries an adoptable prefix table this is an O(file
+/// size) read with no O(m) compute; otherwise the table is rebuilt on
+/// `pool` under the snapshot's engine options. Either way the loaded
+/// session answers bit-identically to the one that was saved.
 Result<query::PublishingSession> LoadSession(const std::string& path,
                                              common::ThreadPool* pool = nullptr);
+
+/// Maps a v2 snapshot and serves it in place: open cost is
+/// O(header + CRC) and the prefix table is adopted as a zero-copy view
+/// into the file's pages (rebuilt from the mapped matrix only when the
+/// stored accumulator layout does not match this platform). Answers are
+/// bit-identical to LoadSession's. Fails with FailedPrecondition on v1
+/// files — use OpenServingSession to fall back automatically.
+Result<query::PublishingSession> MapSession(const std::string& path,
+                                            common::ThreadPool* pool = nullptr);
+
+/// The serving entry point: MapSession when the file supports it (v2),
+/// the LoadSession copy path otherwise (v1). What query::ReleaseStore
+/// uses to resolve a release id to a live session.
+Result<query::PublishingSession> OpenServingSession(
+    const std::string& path, common::ThreadPool* pool = nullptr);
 
 }  // namespace privelet::storage
 

@@ -2,11 +2,22 @@
 
 #include <cfloat>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <utility>
 #include <vector>
+
+#include <atomic>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "privelet/data/attribute.h"
 #include "privelet/data/hierarchy.h"
@@ -17,7 +28,13 @@ namespace privelet::storage {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'V', 'L', 'S'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;  // double-double table encoding
+constexpr std::uint32_t kVersion = 2;        // aligned sections, raw accum
+
+// Payload sections (matrix values, table entries) start on this file
+// offset multiple so a page-aligned memory mapping yields naturally
+// aligned arrays — the precondition for MappedSnapshot's zero-copy spans.
+constexpr std::size_t kSectionAlignment = 64;
 
 // Structural limits. Generous against every real release, tight enough
 // that a corrupt length field cannot drive a pathological allocation on
@@ -29,27 +46,114 @@ constexpr std::size_t kMaxDims = 64;
 
 constexpr std::size_t kChunkElements = 1 << 14;  // 128 KiB of doubles
 
+// Object bytes of `long double` that carry value information. The x87
+// 80-bit extended type (LDBL_MANT_DIG == 64) occupies 10 bytes, whatever
+// the object size pads it to (16 on x86-64, 12 on i386); the trailing
+// padding bytes are indeterminate in memory, so the writer copies only
+// the value bytes into zeroed slots — identical releases must produce
+// byte-identical snapshot files (docs/DETERMINISM.md).
+constexpr std::size_t kAccumValueBytes =
+    LDBL_MANT_DIG == 64 ? 10 : sizeof(long double);
+
 bool CheckedMul(std::size_t a, std::size_t b, std::size_t* out) {
   if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) return false;
   *out = a * b;
   return true;
 }
 
+std::size_t PadBytes(std::uint64_t offset) {
+  return static_cast<std::size_t>((kSectionAlignment -
+                                   offset % kSectionAlignment) %
+                                  kSectionAlignment);
+}
+
+// Unique-per-writer temp name next to the destination, so concurrent
+// saves to the same path never share (and never truncate each other's)
+// in-progress file — the loser of the final rename race fails cleanly
+// with the previous snapshot, or the winner's output, intact.
+std::string TempSnapshotPath(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(_WIN32)
+  const unsigned long pid = static_cast<unsigned long>(_getpid());
+#else
+  const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+// Flushes a closed file's data to stable storage. No-op where fsync is
+// unavailable (Windows std-only build) — there the rename below is not
+// crash-atomic either.
+Status SyncFile(const std::string& path) {
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot reopen '" + path + "' to sync it");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync of '" + path + "' failed");
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+// Makes the rename itself durable by syncing the containing directory.
+// Best effort: some filesystems refuse directory fsync; the file's data
+// is already durable by then.
+void SyncParentDirectory(const std::string& path) {
+#if !defined(_WIN32)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // Streaming writer: every byte goes through the running CRC; Finish()
 // appends the checksum. No whole-file staging buffer exists anywhere —
 // the largest transient is one kChunkElements scratch chunk.
+//
+// The stream targets a unique temp file next to `path` and Finish()
+// renames it into place: serving processes keep snapshots memory-mapped
+// for long periods, and truncating a live mapping's file in place would
+// SIGBUS its readers — the rename swaps the directory entry while
+// existing mappings keep the old inode. A failed write leaves the
+// previous snapshot untouched.
 class SnapshotWriter {
  public:
   explicit SnapshotWriter(const std::string& path)
-      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {}
+      : path_(path),
+        tmp_path_(TempSnapshotPath(path)),
+        out_(tmp_path_, std::ios::binary | std::ios::trunc) {}
+
+  ~SnapshotWriter() {
+    // Finish() not reached (validation error in the caller) or failed:
+    // drop the partial temp file.
+    if (!finished_) {
+      out_.close();
+      std::remove(tmp_path_.c_str());
+    }
+  }
 
   bool ok() const { return static_cast<bool>(out_); }
+  const std::string& tmp_path() const { return tmp_path_; }
 
   void WriteRaw(const void* data, std::size_t len) {
     crc_ = Crc32Update(crc_, data, len);
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(len));
+    offset_ += len;
   }
 
   template <typename T>
@@ -63,17 +167,44 @@ class SnapshotWriter {
     WriteRaw(s.data(), s.size());
   }
 
+  /// Zero-fills up to the next kSectionAlignment file offset.
+  void PadToSectionAlignment() {
+    static constexpr char kZeros[kSectionAlignment] = {};
+    const std::size_t pad = PadBytes(offset_);
+    if (pad > 0) WriteRaw(kZeros, pad);
+  }
+
   Status Finish() {
     const std::uint32_t crc = Crc32Finish(crc_);
     out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
     out_.flush();
-    if (!out_) return Status::IOError("write to '" + path_ + "' failed");
+    if (!out_) return Status::IOError("write to '" + tmp_path_ + "' failed");
+    out_.close();
+    // Replace semantics must survive a crash: the temp file's data has to
+    // be durable before the rename may be, or a power cut can persist the
+    // rename over still-unwritten blocks and destroy the old snapshot.
+    PRIVELET_RETURN_IF_ERROR(SyncFile(tmp_path_));
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+#if defined(_WIN32)
+      // Windows rename does not replace an existing destination; the
+      // non-atomic remove+rename is the best that std:: offers there.
+      std::remove(path_.c_str());
+      if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+#endif
+        return Status::IOError("cannot move '" + tmp_path_ +
+                               "' into place at '" + path_ + "'");
+    }
+    SyncParentDirectory(path_);  // best effort; the data itself is durable
+    finished_ = true;
     return Status::OK();
   }
 
  private:
   std::string path_;
+  std::string tmp_path_;
   std::ofstream out_;
+  bool finished_ = false;
+  std::uint64_t offset_ = 0;
   std::uint32_t crc_ = kCrc32Init;
 };
 
@@ -101,8 +232,11 @@ class SnapshotReader {
     return r;
   }
 
+  const std::string& path() const { return path_; }
   std::uint64_t file_bytes() const { return file_bytes_; }
   std::uint64_t remaining() const { return remaining_; }
+  /// Bytes consumed so far (== the current file offset).
+  std::uint64_t offset() const { return offset_; }
 
   Status Corrupt(const std::string& what) const {
     return Status::InvalidArgument("snapshot '" + path_ + "': " + what);
@@ -118,6 +252,7 @@ class SnapshotReader {
     }
     crc_ = Crc32Update(crc_, dst, len);
     remaining_ -= len;
+    offset_ += len;
     return Status::OK();
   }
 
@@ -174,11 +309,75 @@ class SnapshotReader {
   std::ifstream in_;
   std::uint64_t file_bytes_ = 0;
   std::uint64_t remaining_ = 0;
+  std::uint64_t offset_ = 0;
   std::uint32_t crc_ = kCrc32Init;
 };
 
 // ---------------------------------------------------------------------------
-// Schema section.
+// In-memory reader over an already-mapped payload (everything before the
+// trailing CRC). The CRC is verified once over the whole mapping before
+// parsing starts, so this reader only bounds-checks; Skip is O(1), which
+// is what makes MappedSnapshot::Open O(header) after the checksum pass.
+// Mirrors SnapshotReader's interface so the section parsers below are
+// shared templates.
+class MemReader {
+ public:
+  MemReader(std::string path, std::span<const std::byte> payload)
+      : path_(std::move(path)), payload_(payload) {}
+
+  const std::string& path() const { return path_; }
+  std::uint64_t remaining() const { return payload_.size() - pos_; }
+  std::uint64_t offset() const { return pos_; }
+
+  /// The current read position inside the mapping (used to take section
+  /// spans without copying).
+  const std::byte* cursor() const { return payload_.data() + pos_; }
+
+  Status Corrupt(const std::string& what) const {
+    return Status::InvalidArgument("snapshot '" + path_ + "': " + what);
+  }
+
+  Status ReadRaw(void* dst, std::size_t len, const char* what) {
+    if (len > remaining()) {
+      return Corrupt(std::string("truncated while reading ") + what);
+    }
+    std::memcpy(dst, payload_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPod(T* dst, const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadRaw(dst, sizeof(T), what);
+  }
+
+  Status ReadString(std::string* dst, std::size_t max_len, const char* what) {
+    std::uint16_t len = 0;
+    PRIVELET_RETURN_IF_ERROR(ReadPod(&len, what));
+    if (len > max_len) {
+      return Corrupt(std::string(what) + " length out of bounds");
+    }
+    dst->resize(len);
+    return ReadRaw(dst->data(), len, what);
+  }
+
+  Status Skip(std::size_t len, const char* what) {
+    if (len > remaining()) {
+      return Corrupt(std::string("truncated while reading ") + what);
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::span<const std::byte> payload_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema section (shared between the streamed and mapped readers).
 
 void WriteHierarchy(SnapshotWriter& w, const data::Hierarchy& h) {
   w.WritePod(static_cast<std::uint64_t>(h.num_nodes()));
@@ -203,7 +402,8 @@ data::HierarchySpec BuildSpec(const std::vector<std::uint32_t>& counts,
   return spec;
 }
 
-Result<data::Hierarchy> ReadHierarchy(SnapshotReader& r) {
+template <typename Reader>
+Result<data::Hierarchy> ReadHierarchy(Reader& r) {
   std::uint64_t num_nodes = 0;
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&num_nodes, "hierarchy node count"));
   // Each node costs 4 bytes; bounding by the remaining bytes caps the
@@ -251,7 +451,8 @@ void WriteSchema(SnapshotWriter& w, const data::Schema& schema) {
   }
 }
 
-Result<data::Schema> ReadSchema(SnapshotReader& r) {
+template <typename Reader>
+Result<data::Schema> ReadSchema(Reader& r) {
   std::uint32_t num_attributes = 0;
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&num_attributes, "attribute count"));
   if (num_attributes == 0 || num_attributes > kMaxAttributes) {
@@ -295,7 +496,8 @@ void WriteEngineOptions(SnapshotWriter& w, const matrix::EngineOptions& o) {
   w.WritePod(static_cast<std::uint64_t>(o.tile_lines));
 }
 
-Result<matrix::EngineOptions> ReadEngineOptions(SnapshotReader& r) {
+template <typename Reader>
+Result<matrix::EngineOptions> ReadEngineOptions(Reader& r) {
   std::uint8_t engine = 0;
   std::uint64_t tile_lines = 0;
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&engine, "line engine"));
@@ -312,7 +514,8 @@ Result<matrix::EngineOptions> ReadEngineOptions(SnapshotReader& r) {
 // ---------------------------------------------------------------------------
 // Matrix and table sections.
 
-Result<std::vector<std::size_t>> ReadDims(SnapshotReader& r,
+template <typename Reader>
+Result<std::vector<std::size_t>> ReadDims(Reader& r,
                                           const data::Schema& schema) {
   std::uint32_t num_dims = 0;
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&num_dims, "dimension count"));
@@ -343,43 +546,64 @@ Result<std::vector<std::size_t>> ReadDims(SnapshotReader& r,
   return dims;
 }
 
-// Whether the double-double encoding below reconstructs every entry
-// bit-exactly. Checked up front because the flag is serialized ahead of
-// the entries (a pure stream cannot patch it in afterwards); one extra
-// pass over the table is cheap next to the write itself.
-bool TableEncodesExactly(std::span<const long double> sums) {
-  for (const long double x : sums) {
-    const double hi = static_cast<double>(x);
-    const double lo = static_cast<double>(x - static_cast<long double>(hi));
-    if (static_cast<long double>(hi) + static_cast<long double>(lo) != x) {
-      return false;
-    }
+/// v2 only: consumes the zero padding bringing the reader to the next
+/// section-aligned offset. Nonzero padding is rejected so the byte format
+/// stays canonical (identical releases <=> identical files).
+template <typename Reader>
+Status ConsumeSectionPadding(Reader& r) {
+  const std::size_t pad = PadBytes(r.offset());
+  if (pad == 0) return Status::OK();
+  unsigned char buf[kSectionAlignment];
+  PRIVELET_RETURN_IF_ERROR(r.ReadRaw(buf, pad, "section padding"));
+  for (std::size_t i = 0; i < pad; ++i) {
+    if (buf[i] != 0) return r.Corrupt("nonzero section padding");
   }
-  return true;
+  return Status::OK();
 }
 
-// Double-double encoding of the long-double accumulator: hi is the entry
-// rounded to double, lo the (exactly representable) residual.
-void WriteTableEntries(SnapshotWriter& w, std::span<const long double> sums) {
-  std::vector<double> chunk;
-  chunk.reserve(2 * kChunkElements);
-  std::size_t i = 0;
-  while (i < sums.size()) {
-    chunk.clear();
-    const std::size_t end = std::min(sums.size(), i + kChunkElements);
-    for (; i < end; ++i) {
-      const long double x = sums[i];
-      const double hi = static_cast<double>(x);
-      chunk.push_back(hi);
-      chunk.push_back(
-          static_cast<double>(x - static_cast<long double>(hi)));
-    }
-    w.WriteRaw(chunk.data(), chunk.size() * sizeof(double));
+// Everything up to (and including) the dims field — identical in v1 and
+// v2, shared by the streamed readers and MappedSnapshot.
+struct HeaderFields {
+  std::uint32_t version = 0;
+  std::string mechanism;
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+  matrix::EngineOptions options;
+  data::Schema schema;
+  std::vector<std::size_t> dims;
+  std::size_t cells = 0;
+};
+
+template <typename Reader>
+Status ParseHeaderFields(Reader& r, HeaderFields* out) {
+  char magic[4];
+  PRIVELET_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + r.path() +
+                                   "' is not a PVLS release snapshot");
   }
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&out->version, "version"));
+  if (out->version != kVersionLegacy && out->version != kVersion) {
+    return r.Corrupt("unsupported snapshot version");
+  }
+  PRIVELET_RETURN_IF_ERROR(
+      r.ReadString(&out->mechanism, kMaxNameLen, "mechanism id"));
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&out->epsilon, "epsilon"));
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&out->seed, "seed"));
+  PRIVELET_ASSIGN_OR_RETURN(out->options, ReadEngineOptions(r));
+  PRIVELET_ASSIGN_OR_RETURN(out->schema, ReadSchema(r));
+  PRIVELET_ASSIGN_OR_RETURN(out->dims, ReadDims(r, out->schema));
+  // Overflow-checked by ReadDims (and bounded by the file size).
+  out->cells = 1;
+  for (std::size_t d : out->dims) out->cells *= d;
+  return Status::OK();
 }
 
-Status ReadTableEntries(SnapshotReader& r, std::size_t cells,
-                        std::vector<long double>* sums) {
+// v1 table entries: double-double pairs (hi = entry rounded to double,
+// lo = exact residual), lossless for accumulators whose significand fits
+// in 106 bits. Kept for reading legacy snapshots.
+Status ReadTableEntriesV1(SnapshotReader& r, std::size_t cells,
+                          std::vector<long double>* sums) {
   sums->resize(cells);
   std::vector<double> chunk(2 * std::min(cells, kChunkElements));
   std::size_t i = 0;
@@ -396,43 +620,71 @@ Status ReadTableEntries(SnapshotReader& r, std::size_t cells,
   return Status::OK();
 }
 
+// v2 table entries: the accumulator's raw object bytes in fixed
+// sizeof(long double) slots, value bytes first, padding bytes zeroed.
+void WriteRawTableEntries(SnapshotWriter& w,
+                          std::span<const long double> sums) {
+  constexpr std::size_t kSlot = sizeof(long double);
+  std::vector<unsigned char> chunk(std::min(sums.size(), kChunkElements) *
+                                   kSlot);
+  std::size_t i = 0;
+  while (i < sums.size()) {
+    const std::size_t count = std::min(sums.size() - i, kChunkElements);
+    std::memset(chunk.data(), 0, count * kSlot);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::memcpy(chunk.data() + k * kSlot, &sums[i + k], kAccumValueBytes);
+    }
+    w.WriteRaw(chunk.data(), count * kSlot);
+    i += count;
+  }
+}
+
+// v2 table-section header: whether this platform's accumulator matches
+// the stored layout bit-for-bit (adoption is a raw copy / view; anything
+// else falls back to the deterministic rebuild).
+struct TableSectionV2 {
+  std::uint16_t mant_dig = 0;
+  std::uint16_t accum_bytes = 0;
+  std::size_t payload = 0;
+
+  bool adoptable() const {
+    return mant_dig == LDBL_MANT_DIG && accum_bytes == sizeof(long double);
+  }
+};
+
+template <typename Reader>
+Status ReadTableSectionHeaderV2(Reader& r, std::size_t cells,
+                                TableSectionV2* section) {
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&section->mant_dig, "table accumulator"));
+  PRIVELET_RETURN_IF_ERROR(
+      r.ReadPod(&section->accum_bytes, "table accumulator width"));
+  if (section->accum_bytes == 0 || section->accum_bytes > 64) {
+    return r.Corrupt("table accumulator width out of bounds");
+  }
+  PRIVELET_RETURN_IF_ERROR(ConsumeSectionPadding(r));
+  if (!CheckedMul(cells, section->accum_bytes, &section->payload) ||
+      section->payload > r.remaining()) {
+    return r.Corrupt("prefix-table payload exceeds the file size");
+  }
+  return Status::OK();
+}
+
 // Shared parse behind ReadSnapshot and InspectSnapshot: `snapshot` is
 // filled when non-null, otherwise payloads are skipped (still streamed
 // through the CRC) and only `info` is filled.
 Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
                      SnapshotInfo* info) {
   PRIVELET_ASSIGN_OR_RETURN(SnapshotReader r, SnapshotReader::Open(path));
-  char magic[4];
-  PRIVELET_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path +
-                                   "' is not a PVLS release snapshot");
-  }
-  std::uint32_t version = 0;
-  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&version, "version"));
-  if (version != kVersion) {
-    return r.Corrupt("unsupported snapshot version");
-  }
+  HeaderFields h;
+  PRIVELET_RETURN_IF_ERROR(ParseHeaderFields(r, &h));
+  const std::size_t cells = h.cells;
 
-  std::string mechanism;
-  PRIVELET_RETURN_IF_ERROR(
-      r.ReadString(&mechanism, kMaxNameLen, "mechanism id"));
-  double epsilon = 0.0;
-  std::uint64_t seed = 0;
-  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&epsilon, "epsilon"));
-  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&seed, "seed"));
-  PRIVELET_ASSIGN_OR_RETURN(matrix::EngineOptions options,
-                            ReadEngineOptions(r));
-  PRIVELET_ASSIGN_OR_RETURN(data::Schema schema, ReadSchema(r));
-  PRIVELET_ASSIGN_OR_RETURN(std::vector<std::size_t> dims,
-                            ReadDims(r, schema));
-  // Overflow-checked by ReadDims (and bounded by the file size).
-  std::size_t cells = 1;
-  for (std::size_t d : dims) cells *= d;
-
+  if (h.version >= kVersion) {
+    PRIVELET_RETURN_IF_ERROR(ConsumeSectionPadding(r));
+  }
   matrix::FrequencyMatrix published;
   if (snapshot != nullptr) {
-    published = matrix::FrequencyMatrix(dims);
+    published = matrix::FrequencyMatrix(h.dims);
     PRIVELET_RETURN_IF_ERROR(r.ReadRaw(published.values().data(),
                                        cells * sizeof(double),
                                        "matrix values"));
@@ -444,7 +696,7 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&has_table, "table flag"));
   if (has_table > 1) return r.Corrupt("bad table flag");
   std::optional<matrix::PrefixSumTable<long double>> prefix;
-  if (has_table == 1) {
+  if (has_table == 1 && h.version == kVersionLegacy) {
     std::uint16_t mant_dig = 0;
     std::uint8_t exact = 0;
     PRIVELET_RETURN_IF_ERROR(r.ReadPod(&mant_dig, "table accumulator"));
@@ -458,29 +710,44 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
         snapshot != nullptr && exact == 1 && mant_dig == LDBL_MANT_DIG;
     if (adoptable) {
       std::vector<long double> sums;
-      PRIVELET_RETURN_IF_ERROR(ReadTableEntries(r, cells, &sums));
-      prefix.emplace(dims, std::move(sums));
+      PRIVELET_RETURN_IF_ERROR(ReadTableEntriesV1(r, cells, &sums));
+      prefix.emplace(h.dims, std::move(sums));
     } else {
       PRIVELET_RETURN_IF_ERROR(r.Skip(payload, "prefix-table entries"));
+    }
+  } else if (has_table == 1) {
+    TableSectionV2 section;
+    PRIVELET_RETURN_IF_ERROR(ReadTableSectionHeaderV2(r, cells, &section));
+    if (snapshot != nullptr && section.adoptable()) {
+      // The entries are this platform's accumulator verbatim — one read,
+      // no decode.
+      std::vector<long double> sums(cells);
+      PRIVELET_RETURN_IF_ERROR(
+          r.ReadRaw(sums.data(), section.payload, "prefix-table entries"));
+      prefix.emplace(h.dims, std::move(sums));
+    } else {
+      PRIVELET_RETURN_IF_ERROR(r.Skip(section.payload,
+                                      "prefix-table entries"));
     }
   }
   PRIVELET_RETURN_IF_ERROR(r.VerifyCrc());
 
   if (snapshot != nullptr) {
-    snapshot->schema = std::move(schema);
-    snapshot->mechanism = std::move(mechanism);
-    snapshot->epsilon = epsilon;
-    snapshot->seed = seed;
-    snapshot->engine_options = options;
+    snapshot->schema = std::move(h.schema);
+    snapshot->mechanism = std::move(h.mechanism);
+    snapshot->epsilon = h.epsilon;
+    snapshot->seed = h.seed;
+    snapshot->engine_options = h.options;
     snapshot->published = std::move(published);
     snapshot->prefix = std::move(prefix);
   } else {
-    info->schema = std::move(schema);
-    info->mechanism = std::move(mechanism);
-    info->epsilon = epsilon;
-    info->seed = seed;
-    info->engine_options = options;
-    info->dims = std::move(dims);
+    info->version = h.version;
+    info->schema = std::move(h.schema);
+    info->mechanism = std::move(h.mechanism);
+    info->epsilon = h.epsilon;
+    info->seed = h.seed;
+    info->engine_options = h.options;
+    info->dims = std::move(h.dims);
     info->num_cells = cells;
     info->has_prefix_table = has_table == 1;
     info->file_bytes = r.file_bytes();
@@ -514,7 +781,7 @@ Status WriteSnapshot(const std::string& path,
 
   SnapshotWriter w(path);
   if (!w.ok()) {
-    return Status::IOError("cannot open '" + path + "' for writing");
+    return Status::IOError("cannot open '" + w.tmp_path() + "' for writing");
   }
   w.WriteRaw(kMagic, sizeof(kMagic));
   w.WritePod(kVersion);
@@ -529,14 +796,15 @@ Status WriteSnapshot(const std::string& path,
   for (std::size_t d : m.dims()) {
     w.WritePod(static_cast<std::uint64_t>(d));
   }
+  w.PadToSectionAlignment();
   w.WriteRaw(m.values().data(), m.size() * sizeof(double));
 
   w.WritePod(static_cast<std::uint8_t>(view.prefix != nullptr ? 1 : 0));
   if (view.prefix != nullptr) {
     w.WritePod(static_cast<std::uint16_t>(LDBL_MANT_DIG));
-    w.WritePod(static_cast<std::uint8_t>(
-        TableEncodesExactly(view.prefix->raw_sums()) ? 1 : 0));
-    WriteTableEntries(w, view.prefix->raw_sums());
+    w.WritePod(static_cast<std::uint16_t>(sizeof(long double)));
+    w.PadToSectionAlignment();
+    WriteRawTableEntries(w, view.prefix->raw_sums());
   }
   return w.Finish();
 }
@@ -563,6 +831,81 @@ Result<SnapshotInfo> InspectSnapshot(const std::string& path) {
   SnapshotInfo info;
   PRIVELET_RETURN_IF_ERROR(ParseSnapshot(path, nullptr, &info));
   return info;
+}
+
+Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
+  PRIVELET_ASSIGN_OR_RETURN(common::MappedFile file,
+                            common::MappedFile::Open(path));
+  const std::span<const std::byte> bytes = file.bytes();
+  const auto corrupt = [&path](const std::string& what) {
+    return Status::InvalidArgument("snapshot '" + path + "': " + what);
+  };
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
+    return corrupt("file too short to be a snapshot");
+  }
+  // Version gate before the O(file) CRC pass, so the v1 fallback to the
+  // copy loader stays cheap.
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a PVLS release snapshot");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    return Status::FailedPrecondition(
+        "snapshot '" + path + "' is PVLS v" + std::to_string(version) +
+        " — only v2 sections can be mapped in place; use the copy loader");
+  }
+  // CRC checked exactly once, over the whole mapping.
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+              sizeof(stored));
+  if (stored != Crc32(bytes.data(), bytes.size() - sizeof(stored))) {
+    return corrupt("CRC mismatch (file corrupted)");
+  }
+
+  MemReader r(path, bytes.first(bytes.size() - sizeof(std::uint32_t)));
+  HeaderFields h;
+  PRIVELET_RETURN_IF_ERROR(ParseHeaderFields(r, &h));
+  PRIVELET_RETURN_IF_ERROR(ConsumeSectionPadding(r));
+
+  MappedSnapshot mapped;
+  const std::byte* values_ptr = r.cursor();
+  if (reinterpret_cast<std::uintptr_t>(values_ptr) % alignof(double) != 0) {
+    return corrupt("matrix section is misaligned");
+  }
+  PRIVELET_RETURN_IF_ERROR(r.Skip(h.cells * sizeof(double), "matrix values"));
+  mapped.values_ = {reinterpret_cast<const double*>(values_ptr), h.cells};
+
+  std::uint8_t has_table = 0;
+  PRIVELET_RETURN_IF_ERROR(r.ReadPod(&has_table, "table flag"));
+  if (has_table > 1) return corrupt("bad table flag");
+  if (has_table == 1) {
+    TableSectionV2 section;
+    PRIVELET_RETURN_IF_ERROR(ReadTableSectionHeaderV2(r, h.cells, &section));
+    const std::byte* table_ptr = r.cursor();
+    PRIVELET_RETURN_IF_ERROR(r.Skip(section.payload, "prefix-table entries"));
+    if (section.adoptable() &&
+        reinterpret_cast<std::uintptr_t>(table_ptr) %
+                alignof(long double) == 0) {
+      mapped.table_ = {reinterpret_cast<const long double*>(table_ptr),
+                       h.cells};
+    }
+    // Not adoptable: the section stays unused and the caller rebuilds the
+    // table from matrix_values() — deterministically identical.
+  }
+  if (r.remaining() != 0) {
+    return corrupt("trailing bytes after the table section");
+  }
+
+  mapped.file_ = std::move(file);
+  mapped.schema_ = std::move(h.schema);
+  mapped.mechanism_ = std::move(h.mechanism);
+  mapped.epsilon_ = h.epsilon;
+  mapped.seed_ = h.seed;
+  mapped.options_ = h.options;
+  mapped.dims_ = std::move(h.dims);
+  return mapped;
 }
 
 }  // namespace privelet::storage

@@ -7,9 +7,10 @@
 // noisy frequency matrix, and optionally the precomputed prefix-sum table
 // so serving starts without even the O(m) rebuild.
 //
-// PVLS format v1 (all integers little-endian, doubles IEEE-754 binary64):
+// PVLS format v2 (all integers little-endian, doubles IEEE-754 binary64;
+// the current write format):
 //
-//   magic "PVLS" | u32 version
+//   magic "PVLS" | u32 version = 2
 //   u16 mech_len | mech_len bytes     mechanism id ("" = unknown)
 //   f64 epsilon | u64 seed
 //   u8 engine (0 tiled, 1 naive) | u64 tile_lines
@@ -17,20 +18,31 @@
 //     u16 name_len | name bytes | u8 kind (0 ordinal, 1 nominal)
 //     ordinal: u64 domain_size
 //     nominal: u64 num_nodes | u32 child_count per node in BFS order
-//   u32 num_dims | u64 dims[num_dims] | f64 values[product(dims)]
+//   u32 num_dims | u64 dims[num_dims]
+//   zero padding to the next 64-byte file offset
+//   f64 values[product(dims)]
 //   u8 has_table, if 1:
-//     u16 mant_dig | u8 exact | (f64 hi, f64 lo)[product(dims)]
-//   u32 crc32 of every preceding byte
+//     u16 mant_dig | u16 accum_bytes
+//     zero padding to the next 64-byte file offset
+//     raw accumulator entries, product(dims) * accum_bytes bytes
+//   u32 crc32 of every preceding byte (padding included)
 //
-// The prefix table's long-double entries are stored as double-double
-// pairs (hi = entry rounded to double, lo = exact residual), which is
-// lossless whenever the accumulator's significand fits in 106 bits (it
-// does on x86-64's 80-bit extended type). The writer verifies every
-// encoded entry reconstructs bit-exactly and records the result in
-// `exact`; the reader only adopts a stored table when `exact` is set and
-// `mant_dig` matches its own accumulator — otherwise the table section is
-// skipped and the loader rebuilds from the matrix, which the determinism
-// contract (docs/DETERMINISM.md) guarantees is bit-identical anyway.
+// Both payload sections start on a 64-byte file offset so a page-aligned
+// memory mapping of the file yields naturally aligned f64 / accumulator
+// arrays: MappedSnapshot serves queries straight out of those sections
+// with zero copies. The table entries are the accumulator's raw object
+// bytes (little-endian `long double`); on x86-64 that is the 80-bit
+// extended type in 16-byte slots, whose 6 trailing padding bytes the
+// writer zeroes so identical releases still produce byte-identical files.
+// A reader whose accumulator does not match (mant_dig, accum_bytes)
+// skips the section and rebuilds the table from the matrix, which the
+// determinism contract (docs/DETERMINISM.md) guarantees is bit-identical.
+//
+// PVLS v1 differs in the table section only — no alignment padding and
+// double-double encoded entries (u16 mant_dig | u8 exact | (f64 hi,
+// f64 lo) per cell). v1 files remain fully readable through the legacy
+// copy path (ReadSnapshot / LoadSession); only MappedSnapshot requires
+// v2. The writer always emits v2.
 //
 // Reads are streamed and defensive: every variable-length field is
 // validated against the bytes actually remaining in the file before any
@@ -42,9 +54,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "privelet/common/file_mapping.h"
 #include "privelet/common/result.h"
 #include "privelet/data/schema.h"
 #include "privelet/matrix/engine.h"
@@ -83,7 +98,7 @@ struct ReleaseSnapshotView {
   const matrix::PrefixSumTable<long double>* prefix = nullptr;
 };
 
-/// Streams `view` to `path` in PVLS v1 format, overwriting any existing
+/// Streams `view` to `path` in PVLS v2 format, overwriting any existing
 /// file. The matrix dims must equal the schema's domain sizes, and a
 /// non-null prefix table must share them.
 Status WriteSnapshot(const std::string& path, const ReleaseSnapshotView& view);
@@ -91,9 +106,11 @@ Status WriteSnapshot(const std::string& path, const ReleaseSnapshotView& view);
 /// Convenience overload over an owning snapshot.
 Status WriteSnapshot(const std::string& path, const ReleaseSnapshot& snapshot);
 
-/// Reads and fully validates a snapshot: structural limits, dimension
-/// overflow, schema/matrix agreement, hierarchy invariants
+/// Reads and fully validates a snapshot (v1 or v2): structural limits,
+/// dimension overflow, schema/matrix agreement, hierarchy invariants
 /// (data::Hierarchy::FromSpec re-checks them), and the trailing CRC.
+/// This is the copy path — payloads are decoded into owned storage; the
+/// zero-copy alternative is MappedSnapshot below.
 Result<ReleaseSnapshot> ReadSnapshot(const std::string& path);
 
 /// Reads only the metadata of a snapshot — everything except the matrix
@@ -102,6 +119,7 @@ Result<ReleaseSnapshot> ReadSnapshot(const std::string& path);
 /// not the goal (the whole file is still streamed for the CRC), avoiding
 /// the decoded matrix's memory footprint is.
 struct SnapshotInfo {
+  std::uint32_t version = 0;  ///< PVLS format version of the file (1 or 2)
   data::Schema schema;
   std::string mechanism;
   double epsilon = 0.0;
@@ -114,6 +132,60 @@ struct SnapshotInfo {
 };
 
 Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// A PVLS v2 snapshot served in place from a read-only memory mapping:
+/// Open maps the file, checks the CRC once over the whole mapping, and
+/// decodes only the small header sections (schema, provenance, dims) —
+/// the matrix values and prefix-table entries stay in the file and are
+/// exposed as naturally aligned spans over the mapped pages. Opening is
+/// therefore O(header + CRC) with no allocation proportional to the
+/// release, and any number of processes mapping the same snapshot share
+/// one set of physical pages.
+///
+/// Movable, not copyable. Every span is a view into the mapping and dies
+/// with it; PublishingSession::FromMapped keeps the object alive (via
+/// shared_ptr) for as long as an evaluator serves from it.
+///
+/// v1 files (and future versions) are rejected with FailedPrecondition so
+/// callers can fall back to the ReadSnapshot copy path; corrupt files
+/// fail with InvalidArgument exactly like the streamed reader.
+class MappedSnapshot {
+ public:
+  static Result<MappedSnapshot> Open(const std::string& path);
+
+  const data::Schema& schema() const { return schema_; }
+  const std::string& mechanism() const { return mechanism_; }
+  double epsilon() const { return epsilon_; }
+  std::uint64_t seed() const { return seed_; }
+  const matrix::EngineOptions& engine_options() const { return options_; }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::size_t num_cells() const { return values_.size(); }
+  std::uint64_t file_bytes() const { return file_.size(); }
+
+  /// The noisy matrix values, row-major, straight from the mapping.
+  std::span<const double> matrix_values() const { return values_; }
+
+  /// Whether the file carries a prefix table this platform can adopt
+  /// in place (accumulator layout matches `long double` here).
+  bool has_prefix_table() const { return !table_.empty(); }
+
+  /// The raw prefix-table entries (empty when !has_prefix_table()).
+  /// Feed to matrix::PrefixSumTable's view constructor for O(1) adoption.
+  std::span<const long double> prefix_table() const { return table_; }
+
+ private:
+  MappedSnapshot() = default;
+
+  common::MappedFile file_;
+  data::Schema schema_;
+  std::string mechanism_;
+  double epsilon_ = 0.0;
+  std::uint64_t seed_ = 0;
+  matrix::EngineOptions options_;
+  std::vector<std::size_t> dims_;
+  std::span<const double> values_;
+  std::span<const long double> table_;
+};
 
 }  // namespace privelet::storage
 

@@ -40,6 +40,37 @@ echo "== publish (generator path, 4 threads) must produce identical bytes"
        --output "$TMP/release2.pvls"
 cmp "$TMP/release.pvls" "$TMP/release2.pvls"
 
+echo "== serve (multi-release batch front end over the ReleaseStore)"
+cat > "$TMP/requests.txt" <<EOF
+# one request per line: <release-id> <workload-file>
+main $TMP/workload.txt
+main $TMP/workload.txt
+ghost $TMP/workload.txt
+EOF
+"$CLI" serve "main=$TMP/release.pvls" --max-resident 1 \
+       --requests "$TMP/requests.txt" --output "$TMP/served.txt"
+# Two successful batches, bit-identical to the query subcommand's
+# answers (the serve path memory-maps the snapshot; answers must not
+# depend on the serving mode), and the unknown id reported inline.
+[ "$(grep -c '^ok 500$' "$TMP/served.txt")" -eq 2 ]
+grep -q "^error: NotFound" "$TMP/served.txt"
+sed -n '2,501p' "$TMP/served.txt" > "$TMP/served_first.txt"
+cmp "$TMP/served_first.txt" "$TMP/answers1.txt"
+
+echo "== bad privacy parameters are rejected before publishing"
+for bad_epsilon in 0 -1 nan inf abc; do
+  if "$CLI" publish --synthetic 4096 --tuples 100 --epsilon "$bad_epsilon" \
+         --output "$TMP/bad.pvls" 2>/dev/null; then
+    echo "FAIL: --epsilon $bad_epsilon accepted" >&2
+    exit 1
+  fi
+done
+if "$CLI" publish --synthetic 4096 --tuples 100 --seed=-3 \
+       --output "$TMP/bad.pvls" 2>/dev/null; then
+  echo "FAIL: --seed -3 accepted" >&2
+  exit 1
+fi
+
 echo "== corrupt snapshots are rejected"
 head -c 200 "$TMP/release.pvls" > "$TMP/truncated.pvls"
 if "$CLI" inspect "$TMP/truncated.pvls" 2>/dev/null; then

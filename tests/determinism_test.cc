@@ -262,6 +262,52 @@ TEST(PublishDeterminismTest, SnapshotFilesInvariantAcrossThreadsAndEngines) {
   }
 }
 
+// Extends the serving sweep across the mmap boundary: for releases
+// published under every engine/tile combination, the zero-copy mapped
+// session must answer bit-identically to the legacy copy-loaded session,
+// under every pool size — the storage mode of the prefix table (owned
+// copy vs. span view into the file) is a pure operational knob.
+TEST(PublishDeterminismTest, MappedServingMatchesCopyLoadAcrossEnginesAndThreads) {
+  const data::Schema schema = MultiShardSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 12);
+  mechanism::PriveletPlusMechanism mech({"Nom"});
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 300;
+  auto workload = query::GenerateWorkload(schema, wopts);
+  ASSERT_TRUE(workload.ok());
+
+  std::vector<double> expected;  // pinned by the first configuration
+  for (const matrix::EngineOptions& options :
+       {matrix::EngineOptions{matrix::LineEngine::kTiled,
+                              matrix::kDefaultTileLines},
+        matrix::EngineOptions{matrix::LineEngine::kNaive,
+                              matrix::kDefaultTileLines},
+        matrix::EngineOptions{matrix::LineEngine::kTiled, 8}}) {
+    mech.set_engine_options(options);
+    auto session = query::PublishingSession::Publish(
+        schema, mech, m, /*epsilon=*/0.8, /*seed=*/57, nullptr, options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    const std::string path = testing::TempDir() + "/det_mapped.pvls";
+    ASSERT_TRUE(storage::SaveSession(path, *session).ok());
+    if (expected.empty()) expected = session->AnswerAll(*workload);
+
+    auto copied = storage::LoadSession(path);
+    ASSERT_TRUE(copied.ok());
+    EXPECT_EQ(expected, copied->AnswerAll(*workload));
+    auto mapped_serial = storage::MapSession(path);
+    ASSERT_TRUE(mapped_serial.ok()) << mapped_serial.status().ToString();
+    EXPECT_EQ(expected, mapped_serial->AnswerAll(*workload));
+    for (const std::size_t threads : kPoolSizes) {
+      common::ThreadPool pool(threads);
+      auto mapped = storage::MapSession(path, &pool);
+      ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+      EXPECT_EQ(expected, mapped->AnswerAll(*workload))
+          << threads << " threads";
+    }
+  }
+}
+
 TEST(NoiseShardDeterminismTest, ShardedDrawsDependOnlyOnIndex) {
   // Three shard widths of values, processed with and without pools: the
   // noise vector must be identical, and the first shard must reproduce

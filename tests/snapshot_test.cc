@@ -6,6 +6,7 @@
 // allocations.
 #include <gtest/gtest.h>
 
+#include <cfloat>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -278,6 +279,15 @@ class ByteBuilder {
     bytes_ += s;
     return *this;
   }
+  ByteBuilder& Raw(const void* p, std::size_t n) {
+    bytes_.append(static_cast<const char*>(p), n);
+    return *this;
+  }
+  /// Zero-fills to the next 64-byte offset (a v2 section boundary).
+  ByteBuilder& PadTo64() {
+    bytes_.append((64 - bytes_.size() % 64) % 64, '\0');
+    return *this;
+  }
   /// Appends the CRC-32 of everything so far (a well-formed footer).
   ByteBuilder& Crc() {
     return Pod(storage::Crc32(bytes_.data(), bytes_.size()));
@@ -289,11 +299,13 @@ class ByteBuilder {
 };
 
 // Common prefix: header + a 1-attribute ordinal schema with the given
-// domain, up to (excluding) the dims section.
-ByteBuilder MinimalPrefix(std::uint64_t domain) {
+// domain, up to (excluding) the dims section. `version` locks either the
+// legacy v1 layout or the current v2 one (they differ only in the payload
+// alignment and table encoding after this prefix).
+ByteBuilder MinimalPrefix(std::uint64_t domain, std::uint32_t version = 1) {
   ByteBuilder b;
   b.Pod('P').Pod('V').Pod('L').Pod('S');
-  b.Pod(std::uint32_t{1});                     // version
+  b.Pod(version);
   b.Str("Test");                               // mechanism
   b.Pod(double{0.5});                          // epsilon
   b.Pod(std::uint64_t{7});                     // seed
@@ -351,6 +363,71 @@ TEST(SnapshotTest, MatrixPayloadBeyondFileSizeIsRejected) {
   EXPECT_FALSE(storage::ReadSnapshot(path).ok());
 }
 
+// The current write format: the same minimal release, version 2 —
+// payload sections aligned to 64-byte offsets, raw-accumulator table
+// encoding. Locks the v2 byte layout independently of the writer.
+TEST(SnapshotTest, HandcraftedV2SnapshotParsesAndMaps) {
+  ByteBuilder b = MinimalPrefix(4, /*version=*/2);
+  b.Pod(std::uint32_t{1}).Pod(std::uint64_t{4});  // dims
+  b.PadTo64();
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) b.Pod(v);
+  b.Pod(std::uint8_t{1});  // table follows
+  b.Pod(static_cast<std::uint16_t>(LDBL_MANT_DIG));
+  b.Pod(static_cast<std::uint16_t>(sizeof(long double)));
+  b.PadTo64();
+  for (const long double v : {1.0L, 3.0L, 6.0L, 10.0L}) {
+    char slot[sizeof(long double)] = {};
+    // Value bytes first, trailing slot bytes zero — what the writer
+    // produces for x87's padded 80-bit extended type (IEEE-quad and
+    // double-sized long doubles have no padding to zero).
+    std::memcpy(slot, &v, LDBL_MANT_DIG == 64 ? 10 : sizeof(v));
+    b.Raw(slot, sizeof(slot));
+  }
+  b.Crc();
+  const std::string path = TempPath("minimal_v2.pvls");
+  WriteFileBytes(path, b.bytes());
+
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ("Test", snapshot->mechanism);
+  EXPECT_EQ((std::vector<double>{1.0, 2.0, 3.0, 4.0}),
+            snapshot->published.values());
+  ASSERT_TRUE(snapshot->prefix.has_value());
+  EXPECT_EQ((std::vector<long double>{1.0L, 3.0L, 6.0L, 10.0L}),
+            std::vector<long double>(snapshot->prefix->raw_sums().begin(),
+                                     snapshot->prefix->raw_sums().end()));
+
+  auto mapped = storage::MappedSnapshot::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ((std::vector<std::size_t>{4}), mapped->dims());
+  ASSERT_TRUE(mapped->has_prefix_table());
+  EXPECT_EQ(10.0L, mapped->prefix_table()[3]);
+  EXPECT_EQ(3.0, mapped->matrix_values()[2]);
+}
+
+TEST(SnapshotTest, V2NonzeroSectionPaddingIsRejected) {
+  ByteBuilder b = MinimalPrefix(4, /*version=*/2);
+  b.Pod(std::uint32_t{1}).Pod(std::uint64_t{4});
+  std::string bytes = b.bytes();
+  bytes.append((64 - bytes.size() % 64) % 64, '\0');
+  bytes[bytes.size() - 1] = '\x01';  // corrupt the padding, then re-CRC
+  ByteBuilder rest;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) rest.Pod(v);
+  rest.Pod(std::uint8_t{0});
+  bytes += rest.bytes();
+  ByteBuilder footer;
+  footer.Pod(storage::Crc32(bytes.data(), bytes.size()));
+  bytes += footer.bytes();
+  const std::string path = TempPath("bad_padding.pvls");
+  WriteFileBytes(path, bytes);
+
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_NE(std::string::npos, snapshot.status().message().find("padding"))
+      << snapshot.status().ToString();
+  EXPECT_FALSE(storage::MappedSnapshot::Open(path).ok());
+}
+
 TEST(SnapshotTest, HierarchyWithFanoutOneIsRejected) {
   ByteBuilder b;
   b.Pod('P').Pod('V').Pod('L').Pod('S');
@@ -368,6 +445,177 @@ TEST(SnapshotTest, HierarchyWithFanoutOneIsRejected) {
   const std::string path = TempPath("chain.pvls");
   WriteFileBytes(path, b.bytes());
   EXPECT_FALSE(storage::ReadSnapshot(path).ok());
+}
+
+// A complete v1 file (dims + matrix + double-double table, no alignment
+// padding): the legacy format must stay readable byte-for-byte, its
+// stored table must still be adopted by the copy loader, and the serving
+// entry point must transparently fall back from the mmap path.
+TEST(SnapshotTest, LegacyV1SnapshotStillLoadsAndServes) {
+  ByteBuilder b = MinimalPrefix(4, /*version=*/1);
+  b.Pod(std::uint32_t{1}).Pod(std::uint64_t{4});  // dims, no padding in v1
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) b.Pod(v);
+  b.Pod(std::uint8_t{1});  // table follows
+  b.Pod(static_cast<std::uint16_t>(LDBL_MANT_DIG));
+  b.Pod(std::uint8_t{1});  // exact
+  for (const double hi : {1.0, 3.0, 6.0, 10.0}) {
+    b.Pod(hi).Pod(0.0);  // (hi, lo) double-double pairs
+  }
+  b.Crc();
+  const std::string path = TempPath("legacy_v1.pvls");
+  WriteFileBytes(path, b.bytes());
+
+  auto info = storage::InspectSnapshot(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(1u, info->version);
+  EXPECT_TRUE(info->has_prefix_table);
+
+  auto snapshot = storage::ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_TRUE(snapshot->prefix.has_value());
+  EXPECT_EQ(6.0L, snapshot->prefix->raw_sums()[2]);
+
+  // v1 sections are not mappable in place; the serving entry point falls
+  // back to the copy loader and answers identically.
+  auto mapped = storage::MapSession(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, mapped.status().code());
+  auto served = storage::OpenServingSession(path);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->has_published());  // copy path materializes
+
+  query::RangeQuery q(1);
+  ASSERT_TRUE(q.SetRange(snapshot->schema, 0, 1, 2).ok());
+  auto direct = storage::LoadSession(path);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->Answer(q), served->Answer(q));
+  EXPECT_EQ(5.0, served->Answer(q));  // 2 + 3
+}
+
+// ---------------------------------------------------------------------------
+// The zero-copy serving chain: MappedSnapshot -> view table -> session.
+
+TEST(SnapshotTest, MappedSessionAnswers1kWorkloadIdenticallyToCopyLoad) {
+  const data::Schema schema = TestSchema();
+  common::ThreadPool pool(4);
+  const query::PublishingSession original = PublishTestSession(schema, &pool);
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 1000);
+  const std::vector<double> expected = original.AnswerAll(workload);
+
+  const std::string path = TempPath("mapped.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, original).ok());
+
+  auto copied = storage::LoadSession(path, &pool);
+  ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+  auto mapped = storage::MapSession(path, &pool);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  EXPECT_EQ(expected, copied->AnswerAll(workload));
+  EXPECT_EQ(expected, mapped->AnswerAll(workload));
+  EXPECT_EQ(original.metadata().mechanism, mapped->metadata().mechanism);
+  EXPECT_EQ(original.metadata().epsilon, mapped->metadata().epsilon);
+  EXPECT_EQ(original.metadata().seed, mapped->metadata().seed);
+}
+
+TEST(SnapshotTest, MappedSessionServesFromAViewWithoutMaterializing) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession original =
+      PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("view.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, original).ok());
+
+  auto mapped = storage::MapSession(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  // Zero-copy contract: the table is a span view into the mapping, no
+  // matrix object exists, and re-saving (which would need one) is
+  // rejected rather than crashing.
+  EXPECT_TRUE(mapped->prefix_table().is_view());
+  EXPECT_FALSE(mapped->has_published());
+  EXPECT_FALSE(storage::SaveSession(TempPath("resave.pvls"), *mapped).ok());
+
+  // The view must equal the original entries bit-for-bit.
+  const auto want = original.prefix_table().raw_sums();
+  const auto got = mapped->prefix_table().raw_sums();
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "entry " << i;
+  }
+}
+
+TEST(SnapshotTest, MappedSnapshotSectionsAreAligned) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession original =
+      PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("aligned.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, original).ok());
+
+  auto mapped = storage::MappedSnapshot::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped->has_prefix_table());
+  // Sections sit on 64-byte file offsets and the mapping is page-aligned,
+  // so the in-memory spans are 64-byte aligned — the precondition for
+  // reading `long double` (16-byte alignment) in place.
+  EXPECT_EQ(0u, reinterpret_cast<std::uintptr_t>(
+                    mapped->matrix_values().data()) % 64);
+  EXPECT_EQ(0u, reinterpret_cast<std::uintptr_t>(
+                    mapped->prefix_table().data()) % 64);
+  EXPECT_EQ(mapped->num_cells(), mapped->prefix_table().size());
+}
+
+TEST(SnapshotTest, RewritingASnapshotDoesNotDisturbLiveMappings) {
+  const data::Schema schema = TestSchema();
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 200);
+  mechanism::PriveletPlusMechanism mech({"Occ"});
+  const std::string path = TempPath("republish.pvls");
+
+  auto first = query::PublishingSession::Publish(
+      schema, mech, RandomMatrix(schema, 3), /*epsilon=*/0.9, /*seed=*/41);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(storage::SaveSession(path, *first).ok());
+  auto mapped = storage::MapSession(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const std::vector<double> old_answers = mapped->AnswerAll(workload);
+
+  // Republish to the same path while the mapping is live. The writer
+  // renames a temp file into place, so the mapped session keeps serving
+  // the old inode's pages (no SIGBUS, no torn reads) while new opens see
+  // the new release.
+  auto second = query::PublishingSession::Publish(
+      schema, mech, RandomMatrix(schema, 3), /*epsilon=*/0.9, /*seed=*/42);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(storage::SaveSession(path, *second).ok());
+
+  EXPECT_EQ(old_answers, mapped->AnswerAll(workload));
+  auto remapped = storage::MapSession(path);
+  ASSERT_TRUE(remapped.ok()) << remapped.status().ToString();
+  EXPECT_EQ(second->AnswerAll(workload), remapped->AnswerAll(workload));
+  EXPECT_NE(old_answers, remapped->AnswerAll(workload));
+}
+
+TEST(SnapshotTest, MappedOpenRejectsFlippedBytesViaTheSingleCrcCheck) {
+  const data::Schema schema = TestSchema();
+  const query::PublishingSession session = PublishTestSession(schema, nullptr);
+  const std::string path = TempPath("mflip_src.pvls");
+  ASSERT_TRUE(storage::SaveSession(path, session).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  const std::string flip = TempPath("mflip.pvls");
+  for (const std::size_t offset :
+       {std::size_t{9}, std::size_t{60}, bytes.size() / 3,
+        2 * bytes.size() / 3, bytes.size() - 2}) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x40);
+    WriteFileBytes(flip, corrupted);
+    EXPECT_FALSE(storage::MappedSnapshot::Open(flip).ok())
+        << "flip at " << offset << " mapped";
+  }
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{8}, std::size_t{40}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    WriteFileBytes(flip, bytes.substr(0, keep));
+    EXPECT_FALSE(storage::MappedSnapshot::Open(flip).ok())
+        << "prefix of " << keep << " bytes mapped";
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -9,11 +9,16 @@
 //   privelet_cli publish  CSV or generated table -> snapshot (.pvls)
 //   privelet_cli inspect  snapshot -> metadata summary (validates CRC)
 //   privelet_cli query    snapshot + workload -> one answer per line
+//   privelet_cli serve    multi-release batch front end over a ReleaseStore
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +36,7 @@
 #include "privelet/mechanism/mechanism.h"
 #include "privelet/mechanism/privelet_mechanism.h"
 #include "privelet/query/publishing_session.h"
+#include "privelet/query/release_store.h"
 #include "privelet/query/workload.h"
 #include "privelet/storage/session_io.h"
 #include "privelet/storage/snapshot.h"
@@ -55,10 +61,19 @@ usage:
   privelet_cli query   FILE.pvls (--workload FILE | --random N
                        [--workload-seed S] [--dump-workload FILE])
                        [--threads N] [--output FILE]
+  privelet_cli serve   ID=FILE.pvls [ID=FILE.pvls ...] [--threads N]
+                       [--max-resident K] [--requests FILE] [--output FILE]
+
+serve reads one request per line — `<release-id> <workload-file>` — from
+stdin (or --requests), lazily memory-maps the named release, and answers
+the workload in one pooled batch: `ok <n>` then n answers, or
+`error: <message>`. --max-resident K keeps at most K releases resident
+(LRU).
 
 defaults: --tuples 100000, --data-seed 42, --mechanism privelet,
           --epsilon 1.0, --seed 7, --threads <hardware> (0 = serial),
-          --engine tiled, --workload-seed 7, --output - (stdout for query)
+          --engine tiled, --workload-seed 7, --max-resident 0 (unbounded),
+          --output - (stdout for query/serve)
 )";
 
 struct Args {
@@ -122,6 +137,14 @@ Result<std::size_t> GetCount(const Args& args, const std::string& name,
                              std::size_t dflt) {
   if (!args.Has(name)) return dflt;
   const std::string text = args.Get(name, "");
+  // Strictly digits: std::stoull alone would silently accept (and wrap)
+  // signed input like "-1", and counts/seeds are exact operator inputs —
+  // a garbled value must never reach the mechanism.
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("--" + name + ": '" + text +
+                                   "' is not a count");
+  }
   std::size_t value = 0;
   std::size_t pos = 0;
   try {
@@ -302,6 +325,15 @@ int RunPublish(const Args& args) {
   if (!mech.ok()) return Fail(mech.status());
   auto epsilon = GetDouble(args, "epsilon", 1.0);
   if (!epsilon.ok()) return Fail(epsilon.status());
+  // The privacy guarantee is meaningless (and the Laplace scale ill-
+  // defined) outside (0, inf); reject before anything reaches the
+  // mechanism. std::stod parses "nan"/"inf", so finiteness is checked
+  // explicitly.
+  if (!std::isfinite(*epsilon) || *epsilon <= 0.0) {
+    return Fail(Status::InvalidArgument(
+        "--epsilon must be a finite value > 0 (got '" +
+        args.Get("epsilon", "1.0") + "')"));
+  }
   auto seed = GetCount(args, "seed", 7);
   if (!seed.ok()) return Fail(seed.status());
   auto options = GetEngineOptions(args);
@@ -357,9 +389,10 @@ int RunInspect(const Args& args) {
   }
   auto info = storage::InspectSnapshot(args.positional[0]);
   if (!info.ok()) return Fail(info.status());
-  std::printf("snapshot:     %s (%ju bytes, CRC OK)\n",
+  std::printf("snapshot:     %s (%ju bytes, PVLS v%u, CRC OK)\n",
               args.positional[0].c_str(),
-              static_cast<std::uintmax_t>(info->file_bytes));
+              static_cast<std::uintmax_t>(info->file_bytes),
+              static_cast<unsigned>(info->version));
   std::printf("mechanism:    %s\n", info->mechanism.empty()
                                         ? "(unknown)"
                                         : info->mechanism.c_str());
@@ -464,6 +497,117 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+// Batch serving front end over query::ReleaseStore: releases are named
+// on the command line as ID=FILE.pvls pairs, requests arrive one per
+// line as `<release-id> <workload-file>`, and each workload is answered
+// in one pooled AnswerAll against the (lazily memory-mapped, LRU-bounded)
+// release. Request failures are reported inline and do not stop the loop
+// — a long-running front end must survive a bad request.
+int RunServe(const Args& args) {
+  Status flags = RejectUnknownFlags(
+      args, {"threads", "max-resident", "requests", "output"});
+  if (!flags.ok()) return Fail(flags);
+  if (args.positional.empty()) {
+    return Fail(Status::InvalidArgument(
+        "serve needs at least one ID=FILE.pvls release"));
+  }
+  auto pool = GetPool(args);
+  if (!pool.ok()) return Fail(pool.status());
+  auto max_resident = GetCount(args, "max-resident", 0);
+  if (!max_resident.ok()) return Fail(max_resident.status());
+
+  query::ReleaseStore::Options store_options;
+  store_options.max_resident = *max_resident;
+  store_options.pool = pool->get();
+  query::ReleaseStore store(store_options);
+  for (const std::string& spec : args.positional) {
+    const std::size_t eq = spec.find('=');
+    if (eq == 0 || eq == std::string::npos || eq + 1 == spec.size()) {
+      return Fail(Status::InvalidArgument(
+          "release spec '" + spec + "' is not ID=FILE.pvls"));
+    }
+    Status st = store.Register(spec.substr(0, eq), spec.substr(eq + 1));
+    if (!st.ok()) return Fail(st);
+  }
+
+  std::ifstream request_file;
+  std::istream* in = &std::cin;
+  if (args.Has("requests")) {
+    request_file.open(args.Get("requests", ""));
+    if (!request_file) {
+      return Fail(Status::IOError("cannot open requests file '" +
+                                  args.Get("requests", "") + "'"));
+    }
+    in = &request_file;
+  }
+  const std::string output = args.Get("output", "-");
+  std::FILE* out = stdout;
+  if (output != "-") {
+    out = std::fopen(output.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IOError("cannot open '" + output + "' for writing"));
+    }
+  }
+
+  Stopwatch serve_watch;
+  std::size_t requests = 0, failures = 0, total_queries = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++requests;
+    std::istringstream fields(line);
+    std::string id, workload_path, extra;
+    const bool parsed =
+        static_cast<bool>(fields >> id >> workload_path) && !(fields >> extra);
+    const auto respond_error = [&](const Status& status) {
+      ++failures;
+      std::fprintf(out, "error: %s\n", status.ToString().c_str());
+    };
+    if (!parsed) {
+      respond_error(Status::InvalidArgument(
+          "request must be `<release-id> <workload-file>`"));
+    } else {
+      auto session = store.Acquire(id);
+      if (!session.ok()) {
+        respond_error(session.status());
+      } else {
+        auto queries = ReadWorkloadFile(workload_path, (*session)->schema());
+        if (!queries.ok()) {
+          respond_error(queries.status());
+        } else {
+          const std::vector<double> answers = (*session)->AnswerAll(*queries);
+          total_queries += answers.size();
+          std::fprintf(out, "ok %zu\n", answers.size());
+          // %.17g round-trips doubles exactly (same contract as query).
+          for (const double a : answers) std::fprintf(out, "%.17g\n", a);
+        }
+      }
+    }
+    // A batch front end is consumed by another process: every response
+    // must be visible as soon as it is complete.
+    if (std::fflush(out) != 0 || std::ferror(out) != 0) {
+      if (out != stdout) std::fclose(out);
+      return Fail(Status::IOError("writing answers to '" + output +
+                                  "' failed"));
+    }
+  }
+  const double seconds = serve_watch.ElapsedSeconds();
+  if (out != stdout && std::fclose(out) != 0) {
+    return Fail(Status::IOError("writing answers to '" + output + "' failed"));
+  }
+
+  const query::ReleaseStore::Stats stats = store.stats();
+  std::fprintf(stderr,
+               "served %zu requests (%zu failed), %zu queries in %.3fs "
+               "(%.0f queries/s); %llu loads, %llu hits, %llu evictions\n",
+               requests, failures, total_queries, seconds,
+               seconds > 0 ? static_cast<double>(total_queries) / seconds : 0.0,
+               static_cast<unsigned long long>(stats.loads),
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.evictions));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -480,6 +624,7 @@ int Run(int argc, char** argv) {
   if (command == "publish") return RunPublish(*args);
   if (command == "inspect") return RunInspect(*args);
   if (command == "query") return RunQuery(*args);
+  if (command == "serve") return RunServe(*args);
   std::fprintf(stderr, "privelet_cli: unknown command '%s'\n\n%s",
                command.c_str(), kUsage);
   return 1;
