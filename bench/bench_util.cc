@@ -32,6 +32,18 @@ std::string SlugOf(const char* text) {
 
 }  // namespace
 
+std::size_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t peak_kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &peak_kib) == 1) break;
+  }
+  std::fclose(f);
+  return peak_kib * 1024;
+}
+
 BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
 
 BenchReport::~BenchReport() {

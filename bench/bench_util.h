@@ -36,6 +36,11 @@ inline bool FullScale() {
 /// The ε values of Figs. 6-9 (panels a-d).
 inline std::vector<double> PaperEpsilons() { return {0.5, 0.75, 1.0, 1.25}; }
 
+/// High-water-mark resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where unavailable. Monotone over the process
+/// lifetime: to attribute a peak to one phase, measure that phase first.
+std::size_t PeakRssBytes();
+
 /// Machine-readable companion to the printed tables: harnesses append flat
 /// {key: number} rows, and the destructor writes them as a JSON array of
 /// objects to BENCH_<name>.json in the current working directory. The

@@ -203,9 +203,9 @@ BENCHMARK(BM_PublishPriveletThreads)
 // reference.
 matrix::EngineOptions TileArgOptions(std::size_t tile) {
   if (tile == 0) {
-    return {matrix::LineEngine::kNaive, matrix::kDefaultTileLines};
+    return matrix::MakeEngineOptions(matrix::LineEngine::kNaive);
   }
-  return {matrix::LineEngine::kTiled, tile};
+  return matrix::MakeEngineOptions(matrix::LineEngine::kTiled, tile);
 }
 
 struct Tile2DCase {

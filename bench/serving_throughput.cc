@@ -144,22 +144,28 @@ int Run(bool smoke) {
               qps(mmap.answer_s));
   std::printf("  %-12s %12s %14.0f\n", "store-hit", "-", qps(store_answer_s));
 
+  // One process-wide VmHWM; identical across the rows of a run, there to
+  // correlate serving footprint with the publish-side memory numbers.
+  const double peak_rss = static_cast<double>(PeakRssBytes());
   BenchReport report("serving_throughput");
   report.AddRow({{"mmap", 0.0},
                  {"cells", static_cast<double>(m.size())},
                  {"queries", static_cast<double>(num_queries)},
                  {"load_ms", copy.load_s * 1e3},
-                 {"queries_per_s", qps(copy.answer_s)}});
+                 {"queries_per_s", qps(copy.answer_s)},
+                 {"peak_rss", peak_rss}});
   report.AddRow({{"mmap", 1.0},
                  {"cells", static_cast<double>(m.size())},
                  {"queries", static_cast<double>(num_queries)},
                  {"load_ms", mmap.load_s * 1e3},
-                 {"queries_per_s", qps(mmap.answer_s)}});
+                 {"queries_per_s", qps(mmap.answer_s)},
+                 {"peak_rss", peak_rss}});
   report.AddRow({{"mmap", 1.0},
                  {"cells", static_cast<double>(m.size())},
                  {"queries", static_cast<double>(num_queries)},
                  {"load_ms", 0.0},
-                 {"queries_per_s", qps(store_answer_s)}});
+                 {"queries_per_s", qps(store_answer_s)},
+                 {"peak_rss", peak_rss}});
 
   std::remove(path.c_str());
 

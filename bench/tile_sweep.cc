@@ -127,7 +127,7 @@ int Run(bool smoke) {
     matrix::FrequencyMatrix naive_release;
     const Timing naive =
         Measure(c.schema, m,
-                {matrix::LineEngine::kNaive, matrix::kDefaultTileLines}, reps,
+                matrix::MakeEngineOptions(matrix::LineEngine::kNaive), reps,
                 &naive_release);
     const double naive_total = naive.forward_s + naive.inverse_s;
     std::printf("%s (m = %zu)\n", c.name.c_str(), m.size());
@@ -146,8 +146,10 @@ int Run(bool smoke) {
     for (const std::size_t tile : tiles) {
       matrix::FrequencyMatrix release;
       const Timing tiled = Measure(
-          c.schema, m, {matrix::LineEngine::kTiled, tile}, reps, &release);
-      PRIVELET_CHECK(release.values() == naive_release.values(),
+          c.schema, m, matrix::MakeEngineOptions(matrix::LineEngine::kTiled, tile),
+          reps, &release);
+      PRIVELET_CHECK(
+          matrix::ValuesEqual(release.values(), naive_release.values()),
                      "tiled release differs from the naive reference");
       const double total = tiled.forward_s + tiled.inverse_s;
       const double speedup = total > 0.0 ? naive_total / total : 0.0;

@@ -1,7 +1,11 @@
 #include "privelet/common/file_mapping.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <utility>
+#include <vector>
+
+#include "privelet/common/check.h"
 
 #if !defined(_WIN32)
 #include <cerrno>
@@ -24,6 +28,13 @@ std::string ErrnoMessage() {
 #else
   return strerror_r(errno, buf, sizeof(buf)) == 0 ? buf : "unknown error";
 #endif
+}
+
+std::string ResolveScratchDir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (tmpdir != nullptr && tmpdir[0] != '\0') return tmpdir;
+  return "/tmp";
 }
 #endif
 
@@ -60,7 +71,90 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
 #if defined(POSIX_MADV_WILLNEED)
   (void)::posix_madvise(addr, size, POSIX_MADV_WILLNEED);
 #endif
-  return MappedFile(addr, size);
+  return MappedFile(addr, size, /*writable=*/false, /*release_safe=*/false);
+#endif
+}
+
+Result<MappedFile> MappedFile::CreateScratch(std::size_t size,
+                                             const std::string& dir) {
+#if defined(_WIN32)
+  return Status::IOError("scratch mapping is not supported on this platform");
+#else
+  const std::string resolved = ResolveScratchDir(dir);
+  std::vector<char> name(resolved.begin(), resolved.end());
+  const char suffix[] = "/privelet_scratch.XXXXXX";
+  name.insert(name.end(), suffix, suffix + sizeof(suffix));
+  const int fd = ::mkstemp(name.data());
+  if (fd < 0) {
+    return Status::IOError("cannot create scratch file under '" + resolved +
+                           "': " + ErrnoMessage());
+  }
+  // Unlink immediately: the mapping keeps the inode alive, and the space
+  // is reclaimed no matter how the process exits.
+  ::unlink(name.data());
+  if (size == 0) {
+    ::close(fd);
+    MappedFile empty;
+    empty.writable_ = true;
+    return empty;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const std::string msg = ErrnoMessage();
+    ::close(fd);
+    return Status::IOError("cannot size scratch file to " +
+                           std::to_string(size) + " bytes: " + msg);
+  }
+  void* addr =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot map scratch file (" + std::to_string(size) +
+                           " bytes): " + ErrnoMessage());
+  }
+  // Suppress readahead on scratch mappings: strided passes touch one
+  // element per page, and physical readahead would stream whole tracts of
+  // the file into the page cache for single-element reads. (This does not
+  // stop fault-around, which maps already-cached pages near a read fault;
+  // PageTouchedBytes accounts for that when pacing release-behind.)
+#if defined(POSIX_MADV_RANDOM)
+  (void)::posix_madvise(addr, size, POSIX_MADV_RANDOM);
+#endif
+  return MappedFile(addr, size, /*writable=*/true, /*release_safe=*/true);
+#endif
+}
+
+Result<MappedFile> MappedFile::CreateAnonymous(std::size_t size) {
+#if defined(_WIN32)
+  return Status::IOError(
+      "anonymous mapping is not supported on this platform");
+#else
+  if (size == 0) {
+    MappedFile empty;
+    empty.writable_ = true;
+    return empty;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot map " + std::to_string(size) +
+                           " anonymous bytes: " + ErrnoMessage());
+  }
+  // Anonymous pages must never be MADV_DONTNEED'ed: the kernel would
+  // replace them with zero pages, destroying the contents.
+  return MappedFile(addr, size, /*writable=*/true, /*release_safe=*/false);
+#endif
+}
+
+std::span<std::byte> MappedFile::mutable_bytes() const {
+  PRIVELET_CHECK(writable_, "mutable_bytes() on a read-only mapping");
+  return {static_cast<std::byte*>(addr_), size_};
+}
+
+void MappedFile::ReleaseResidency() const {
+#if !defined(_WIN32)
+  if (release_safe_ && addr_ != nullptr) {
+    (void)::madvise(addr_, size_, MADV_DONTNEED);
+  }
 #endif
 }
 
@@ -72,19 +166,25 @@ void MappedFile::Reset() {
 #endif
   addr_ = nullptr;
   size_ = 0;
+  writable_ = false;
+  release_safe_ = false;
 }
 
 MappedFile::~MappedFile() { Reset(); }
 
 MappedFile::MappedFile(MappedFile&& other) noexcept
     : addr_(std::exchange(other.addr_, nullptr)),
-      size_(std::exchange(other.size_, 0)) {}
+      size_(std::exchange(other.size_, 0)),
+      writable_(std::exchange(other.writable_, false)),
+      release_safe_(std::exchange(other.release_safe_, false)) {}
 
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this != &other) {
     Reset();
     addr_ = std::exchange(other.addr_, nullptr);
     size_ = std::exchange(other.size_, 0);
+    writable_ = std::exchange(other.writable_, false);
+    release_safe_ = std::exchange(other.release_safe_, false);
   }
   return *this;
 }

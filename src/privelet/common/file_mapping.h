@@ -1,9 +1,18 @@
-// Read-only memory mapping of whole files. The zero-copy serving path
-// (storage::MappedSnapshot) is built on this: a multi-GB release snapshot
-// is mapped once and its payload sections are served straight from the
-// page cache, so opening a release costs no allocation proportional to
-// the file and many processes mapping the same snapshot share one set of
-// physical pages.
+// Memory mappings of whole files, in two roles:
+//
+//  * Read-only mapping of an existing file (Open). The zero-copy serving
+//    path (storage::MappedSnapshot) is built on this: a multi-GB release
+//    snapshot is mapped once and its payload sections are served straight
+//    from the page cache, so opening a release costs no allocation
+//    proportional to the file and many processes mapping the same snapshot
+//    share one set of physical pages.
+//
+//  * Writable scratch backing for the out-of-core publish path
+//    (CreateScratch / CreateAnonymous). A scratch mapping behaves like a
+//    zero-initialized array that the kernel may spill to disk: the
+//    streaming transform writes panels through it and periodically calls
+//    ReleaseResidency() so peak RSS stays bounded by the panel budget even
+//    when the cube is many times larger than RAM allows.
 #ifndef PRIVELET_COMMON_FILE_MAPPING_H_
 #define PRIVELET_COMMON_FILE_MAPPING_H_
 
@@ -15,17 +24,35 @@
 
 namespace privelet::common {
 
-/// RAII read-only mapping of one file. Move-only; the mapping (and the
-/// validity of every span derived from bytes()) ends when the owning
-/// object is destroyed. The mapped base address is page-aligned, so a
-/// payload section placed at a 64-byte-aligned file offset is 64-byte
-/// aligned in memory too.
+/// RAII mapping of one file (or of anonymous memory). Move-only; the
+/// mapping (and the validity of every span derived from bytes() /
+/// mutable_bytes()) ends when the owning object is destroyed. The mapped
+/// base address is page-aligned, so a payload section placed at a
+/// 64-byte-aligned file offset is 64-byte aligned in memory too.
 class MappedFile {
  public:
   /// Maps `path` read-only in full. Fails with IOError when the file
   /// cannot be opened, stat'ed, or mapped (including on platforms without
   /// mmap support).
   static Result<MappedFile> Open(const std::string& path);
+
+  /// Creates a writable zero-filled scratch mapping of `size` bytes backed
+  /// by an unlinked temporary file under `dir` (empty -> $TMPDIR, falling
+  /// back to /tmp). The file has no name the moment this returns, so the
+  /// space is reclaimed automatically when the mapping is destroyed (or
+  /// the process dies). Because the backing is a file mapped MAP_SHARED,
+  /// ReleaseResidency() can evict resident pages without losing data:
+  /// dirty pages live on in the page cache / on disk and fault back in on
+  /// the next access.
+  static Result<MappedFile> CreateScratch(std::size_t size,
+                                          const std::string& dir = "");
+
+  /// Creates a writable zero-filled anonymous mapping of `size` bytes.
+  /// Unlike CreateScratch the pages have no file backing, so
+  /// ReleaseResidency() is a no-op (discarding anonymous pages would
+  /// zero-fill them). Useful where a plain allocation is wanted but the
+  /// mapping interface must stay uniform.
+  static Result<MappedFile> CreateAnonymous(std::size_t size);
 
   /// An empty mapping (bytes() is an empty span).
   MappedFile() = default;
@@ -42,15 +69,38 @@ class MappedFile {
     return {static_cast<const std::byte*>(addr_), size_};
   }
 
+  /// Writable view of a scratch/anonymous mapping. CHECK-fails on
+  /// read-only mappings.
+  std::span<std::byte> mutable_bytes() const;
+
   std::size_t size() const { return size_; }
 
+  /// True for CreateScratch / CreateAnonymous mappings.
+  bool writable() const { return writable_; }
+
+  /// Drops the mapping's resident pages (MADV_DONTNEED) so they stop
+  /// counting against the process RSS. Only file-backed scratch mappings
+  /// honor this — their dirty pages survive in the page cache and fault
+  /// back in on next access, so contents are unaffected. For read-only
+  /// and anonymous mappings this is a no-op (discarding an anonymous
+  /// page would destroy its contents). Safe to call concurrently with
+  /// readers/writers of the same mapping: they take minor faults and see
+  /// the stored data.
+  void ReleaseResidency() const;
+
  private:
-  MappedFile(void* addr, std::size_t size) : addr_(addr), size_(size) {}
+  MappedFile(void* addr, std::size_t size, bool writable, bool release_safe)
+      : addr_(addr),
+        size_(size),
+        writable_(writable),
+        release_safe_(release_safe) {}
 
   void Reset();
 
   void* addr_ = nullptr;
   std::size_t size_ = 0;
+  bool writable_ = false;
+  bool release_safe_ = false;
 };
 
 }  // namespace privelet::common

@@ -19,6 +19,7 @@
 #define PRIVELET_MATRIX_ENGINE_H_
 
 #include <cstddef>
+#include <string>
 
 namespace privelet::matrix {
 
@@ -37,7 +38,32 @@ struct EngineOptions {
   /// Lines per panel (B) for the tiled engine; values < 1 are treated as 1.
   /// Purely a performance knob: results are bit-identical for every value.
   std::size_t tile_lines = kDefaultTileLines;
+  /// Out-of-core publish budget in bytes. 0 (the default) keeps every
+  /// intermediate in owned vectors (the in-core engine). When > 0, publish
+  /// intermediates (transform scratch, prefix-sum accumulators) live in
+  /// unlinked mmap scratch files and the passes release residency as they
+  /// stream, bounding peak RSS by roughly this budget. Purely a memory
+  /// knob: the arithmetic is untouched, so published releases are
+  /// bit-identical to the in-core engine (see docs/DETERMINISM.md) — which
+  /// is also why this field is deliberately NOT serialized into snapshots.
+  std::size_t max_memory_bytes = 0;
+  /// Directory for scratch files when max_memory_bytes > 0; empty means
+  /// $TMPDIR (falling back to /tmp).
+  std::string scratch_dir;
+
+  bool out_of_core() const { return max_memory_bytes > 0; }
 };
+
+/// Convenience factory for the common "engine + tile size" configuration
+/// (partial aggregate init would trip -Wmissing-field-initializers now
+/// that EngineOptions carries the out-of-core knobs too).
+inline EngineOptions MakeEngineOptions(
+    LineEngine engine, std::size_t tile_lines = kDefaultTileLines) {
+  EngineOptions options;
+  options.engine = engine;
+  options.tile_lines = tile_lines;
+  return options;
+}
 
 }  // namespace privelet::matrix
 

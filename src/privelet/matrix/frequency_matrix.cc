@@ -1,20 +1,101 @@
 #include "privelet/matrix/frequency_matrix.h"
 
+#include <cstring>
+#include <limits>
+#include <utility>
+
 #include "privelet/common/math_util.h"
 
 namespace privelet::matrix {
 
-FrequencyMatrix::FrequencyMatrix(std::vector<std::size_t> dims)
-    : dims_(std::move(dims)) {
+namespace {
+
+// Satellite of the 10^9-cell sizing math: a huge-domain schema must trip a
+// CHECK, not silently wrap the cell count / strides around size_t.
+std::size_t CheckedMul(std::size_t a, std::size_t b) {
+  PRIVELET_CHECK(b == 0 || a <= std::numeric_limits<std::size_t>::max() / b,
+                 "dimension product overflow");
+  return a * b;
+}
+
+}  // namespace
+
+void FrequencyMatrix::InitStrides() {
   PRIVELET_CHECK(!dims_.empty(), "matrix needs >= 1 dimension");
   for (std::size_t d : dims_) PRIVELET_CHECK(d >= 1, "axis size must be >= 1");
   strides_.resize(dims_.size());
   std::size_t stride = 1;
   for (std::size_t axis = dims_.size(); axis-- > 0;) {
     strides_[axis] = stride;
-    stride *= dims_[axis];
+    stride = CheckedMul(stride, dims_[axis]);
   }
-  values_.assign(CheckedProduct(dims_), 0.0);
+  size_ = stride;
+}
+
+FrequencyMatrix::FrequencyMatrix(std::vector<std::size_t> dims)
+    : dims_(std::move(dims)) {
+  InitStrides();
+  owned_.assign(size_, 0.0);
+  data_ = owned_.data();
+}
+
+Result<FrequencyMatrix> FrequencyMatrix::CreateScratch(
+    std::vector<std::size_t> dims, const std::string& scratch_dir) {
+  FrequencyMatrix m;
+  m.dims_ = std::move(dims);
+  m.InitStrides();
+  const std::size_t bytes = CheckedMul(m.size_, sizeof(double));
+  PRIVELET_ASSIGN_OR_RETURN(
+      m.scratch_, common::MappedFile::CreateScratch(bytes, scratch_dir));
+  // ftruncate guarantees zero-filled pages, matching the owned constructor.
+  m.data_ = reinterpret_cast<double*>(m.scratch_.mutable_bytes().data());
+  return m;
+}
+
+FrequencyMatrix::FrequencyMatrix(const FrequencyMatrix& other)
+    : dims_(other.dims_),
+      strides_(other.strides_),
+      owned_(other.data_, other.data_ + other.size_),
+      data_(owned_.data()),
+      size_(other.size_) {}
+
+FrequencyMatrix& FrequencyMatrix::operator=(const FrequencyMatrix& other) {
+  if (this != &other) {
+    dims_ = other.dims_;
+    strides_ = other.strides_;
+    owned_.assign(other.data_, other.data_ + other.size_);
+    scratch_ = common::MappedFile();
+    data_ = owned_.data();
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+FrequencyMatrix::FrequencyMatrix(FrequencyMatrix&& other) noexcept
+    : dims_(std::move(other.dims_)),
+      strides_(std::move(other.strides_)),
+      owned_(std::move(other.owned_)),
+      scratch_(std::move(other.scratch_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {
+  other.dims_.clear();
+  other.strides_.clear();
+  other.owned_.clear();
+}
+
+FrequencyMatrix& FrequencyMatrix::operator=(FrequencyMatrix&& other) noexcept {
+  if (this != &other) {
+    dims_ = std::move(other.dims_);
+    strides_ = std::move(other.strides_);
+    owned_ = std::move(other.owned_);
+    scratch_ = std::move(other.scratch_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    other.dims_.clear();
+    other.strides_.clear();
+    other.owned_.clear();
+  }
+  return *this;
 }
 
 std::size_t FrequencyMatrix::FlatIndex(
@@ -29,7 +110,7 @@ std::size_t FrequencyMatrix::FlatIndex(
 }
 
 std::vector<std::size_t> FrequencyMatrix::Coords(std::size_t flat) const {
-  PRIVELET_DCHECK(flat < values_.size(), "flat index out of range");
+  PRIVELET_DCHECK(flat < size_, "flat index out of range");
   std::vector<std::size_t> coords(dims_.size());
   for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
     coords[axis] = flat / strides_[axis];
@@ -40,7 +121,7 @@ std::vector<std::size_t> FrequencyMatrix::Coords(std::size_t flat) const {
 
 std::size_t FrequencyMatrix::NumLines(std::size_t axis) const {
   PRIVELET_DCHECK(axis < dims_.size());
-  return values_.size() / dims_[axis];
+  return size_ / dims_[axis];
 }
 
 std::size_t FrequencyMatrix::LineBase(std::size_t axis, std::size_t line) const {
@@ -56,7 +137,7 @@ void FrequencyMatrix::GatherLine(std::size_t axis, std::size_t line,
   const std::size_t stride = strides_[axis];
   std::size_t index = LineBase(axis, line);
   for (std::size_t k = 0; k < dims_[axis]; ++k, index += stride) {
-    out[k] = values_[index];
+    out[k] = data_[index];
   }
 }
 
@@ -65,7 +146,7 @@ void FrequencyMatrix::ScatterLine(std::size_t axis, std::size_t line,
   const std::size_t stride = strides_[axis];
   std::size_t index = LineBase(axis, line);
   for (std::size_t k = 0; k < dims_[axis]; ++k, index += stride) {
-    values_[index] = in[k];
+    data_[index] = in[k];
   }
 }
 
@@ -77,14 +158,36 @@ FrequencyMatrix FrequencyMatrix::FromTable(const data::Table& table) {
     for (std::size_t a = 0; a < num_attrs; ++a) {
       flat += static_cast<std::size_t>(table.value(row, a)) * m.strides_[a];
     }
-    m.values_[flat] += 1.0;
+    m.data_[flat] += 1.0;
+  }
+  return m;
+}
+
+Result<FrequencyMatrix> FrequencyMatrix::FromTable(
+    const data::Table& table, const EngineOptions& options) {
+  if (!options.out_of_core()) return FromTable(table);
+  PRIVELET_ASSIGN_OR_RETURN(
+      FrequencyMatrix m,
+      CreateScratch(table.schema().DomainSizes(), options.scratch_dir));
+  const std::size_t num_attrs = table.schema().num_attributes();
+  // Counting touches one cell per row at an arbitrary position, so pace
+  // releases by rows: one row dirties at most one page.
+  const std::size_t rows_per_release =
+      std::max<std::size_t>(1, options.max_memory_bytes / 2 / 4096);
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    std::size_t flat = 0;
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      flat += static_cast<std::size_t>(table.value(row, a)) * m.strides_[a];
+    }
+    m.data_[flat] += 1.0;
+    if ((row + 1) % rows_per_release == 0) m.ReleaseResidency();
   }
   return m;
 }
 
 double FrequencyMatrix::Total() const {
   double total = 0.0;
-  for (double v : values_) total += v;
+  for (std::size_t i = 0; i < size_; ++i) total += data_[i];
   return total;
 }
 

@@ -4,15 +4,28 @@
 // reuse the same type. Also used for intermediate wavelet-coefficient
 // matrices, whose axes may be longer than the data axes (the nominal
 // transform is over-complete).
+//
+// Storage comes in two flavors behind one interface:
+//   * owned   — a std::vector<double> (the default; in-core publish path).
+//   * scratch — a writable common::MappedFile over an unlinked temp file
+//     (CreateScratch; out-of-core publish path). Same layout, same
+//     arithmetic; the only extra capability is ReleaseResidency(), which
+//     lets streaming passes evict already-processed pages so peak RSS
+//     stays bounded by the memory budget instead of the domain size.
 #ifndef PRIVELET_MATRIX_FREQUENCY_MATRIX_H_
 #define PRIVELET_MATRIX_FREQUENCY_MATRIX_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "privelet/common/check.h"
+#include "privelet/common/file_mapping.h"
+#include "privelet/common/result.h"
 #include "privelet/data/table.h"
+#include "privelet/matrix/engine.h"
 
 namespace privelet::matrix {
 
@@ -21,8 +34,26 @@ class FrequencyMatrix {
  public:
   FrequencyMatrix() = default;
 
-  /// Zero-filled matrix with the given per-axis sizes (all >= 1).
+  /// Zero-filled vector-backed matrix with the given per-axis sizes
+  /// (all >= 1).
   explicit FrequencyMatrix(std::vector<std::size_t> dims);
+
+  /// Zero-filled matrix backed by an unlinked mmap scratch file under
+  /// `scratch_dir` (empty -> $TMPDIR, then /tmp). Identical semantics to
+  /// the vector-backed constructor; additionally supports
+  /// ReleaseResidency(). Fails with IOError when the scratch file cannot
+  /// be created or mapped.
+  static Result<FrequencyMatrix> CreateScratch(
+      std::vector<std::size_t> dims, const std::string& scratch_dir = "");
+
+  /// Copying always lands in an owned vector (scratch-ness is a property
+  /// of how a matrix was created, not of its values). Moves transfer the
+  /// backing as-is.
+  FrequencyMatrix(const FrequencyMatrix& other);
+  FrequencyMatrix& operator=(const FrequencyMatrix& other);
+  FrequencyMatrix(FrequencyMatrix&& other) noexcept;
+  FrequencyMatrix& operator=(FrequencyMatrix&& other) noexcept;
+  ~FrequencyMatrix() = default;
 
   /// Number of axes d (= the schema's attribute count for data matrices).
   std::size_t num_dims() const { return dims_.size(); }
@@ -32,16 +63,26 @@ class FrequencyMatrix {
   std::size_t dim(std::size_t axis) const { return dims_[axis]; }
 
   /// Total number of entries (the paper's m for data matrices).
-  std::size_t size() const { return values_.size(); }
+  std::size_t size() const { return size_; }
 
   /// Entry at a row-major flat index (no bounds check in release builds).
-  double operator[](std::size_t flat) const { return values_[flat]; }
-  double& operator[](std::size_t flat) { return values_[flat]; }
+  double operator[](std::size_t flat) const { return data_[flat]; }
+  double& operator[](std::size_t flat) { return data_[flat]; }
 
   /// The flat row-major storage; mutable access is how transforms and
-  /// deserializers write in place.
-  const std::vector<double>& values() const { return values_; }
-  std::vector<double>& values() { return values_; }
+  /// deserializers write in place. Spans stay valid until the matrix is
+  /// destroyed, moved from, or assigned over.
+  std::span<const double> values() const { return {data_, size_}; }
+  std::span<double> values() { return {data_, size_}; }
+
+  /// True when the entries live in an mmap scratch file (CreateScratch).
+  bool is_scratch() const { return scratch_.size() > 0; }
+
+  /// Asks the kernel to drop resident pages of a scratch-backed matrix
+  /// (data is preserved; see common::MappedFile::ReleaseResidency). No-op
+  /// for vector-backed matrices. Safe to call concurrently with readers
+  /// and writers.
+  void ReleaseResidency() const { scratch_.ReleaseResidency(); }
 
   /// Row-major flat index of a coordinate vector.
   std::size_t FlatIndex(std::span<const std::size_t> coords) const;
@@ -50,10 +91,10 @@ class FrequencyMatrix {
   std::vector<std::size_t> Coords(std::size_t flat) const;
 
   double At(std::span<const std::size_t> coords) const {
-    return values_[FlatIndex(coords)];
+    return data_[FlatIndex(coords)];
   }
   double& At(std::span<const std::size_t> coords) {
-    return values_[FlatIndex(coords)];
+    return data_[FlatIndex(coords)];
   }
 
   /// Stride (in flat elements) between consecutive entries along `axis`.
@@ -78,14 +119,33 @@ class FrequencyMatrix {
   /// sizes; entry = number of tuples with those values. O(n + m).
   static FrequencyMatrix FromTable(const data::Table& table);
 
+  /// FromTable honoring `options`: with options.out_of_core() the counts
+  /// land in a scratch-backed matrix and residency is released as rows
+  /// stream in; otherwise identical to the in-core FromTable.
+  static Result<FrequencyMatrix> FromTable(
+      const data::Table& table, const EngineOptions& options);
+
   /// Sum of all entries (== n for a table-derived matrix).
   double Total() const;
 
  private:
+  void InitStrides();
+
   std::vector<std::size_t> dims_;
   std::vector<std::size_t> strides_;
-  std::vector<double> values_;
+  // Exactly one of owned_ / scratch_ backs data_ (both empty for a
+  // default-constructed matrix).
+  std::vector<double> owned_;
+  common::MappedFile scratch_;
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
 };
+
+/// Element-wise equality of two value spans (bit-exact, the comparison the
+/// determinism tests rely on). A plain == on spans would compare pointers.
+inline bool ValuesEqual(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
 
 }  // namespace privelet::matrix
 

@@ -4,10 +4,14 @@
 // the imposed leaf order, Sec. V-A), so after O(m) preprocessing any query
 // is answered with 2^d table lookups.
 //
-// Storage comes in two modes sharing one query path:
-//   owned — the build and parts constructors materialize the entries in a
-//     private vector (the classic mode);
-//   view  — the span constructor serves lookups straight out of caller-
+// Storage comes in three modes sharing one query path:
+//   owned   — the build and parts constructors materialize the entries in
+//     a private vector (the classic mode);
+//   scratch — BuildScratch materializes them in an unlinked mmap scratch
+//     file instead, releasing residency as the build streams so the
+//     out-of-core publish path can build a table many times larger than
+//     the memory budget (same arithmetic, hence bit-identical entries);
+//   view    — the span constructor serves lookups straight out of caller-
 //     managed memory (the raw accumulator section of a memory-mapped PVLS
 //     v2 snapshot), so adopting a multi-GB table costs no copy at all.
 // The caller of the view constructor guarantees the backing storage
@@ -19,11 +23,16 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "privelet/common/check.h"
+#include "privelet/common/file_mapping.h"
+#include "privelet/common/residency.h"
+#include "privelet/common/result.h"
 #include "privelet/common/thread_pool.h"
 #include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
@@ -51,8 +60,7 @@ class PrefixSumTable {
   explicit PrefixSumTable(const FrequencyMatrix& source,
                           common::ThreadPool* pool = nullptr,
                           const EngineOptions& options = {})
-      : PrefixSumTable(source.dims(), std::span<const double>(source.values()),
-                       pool, options) {}
+      : PrefixSumTable(source.dims(), source.values(), pool, options) {}
 
   /// Same build over raw row-major values with the given dims (the
   /// product of `dims` must equal source.size()). Lets a serving process
@@ -66,37 +74,39 @@ class PrefixSumTable {
     PRIVELET_CHECK(!dims_.empty() && NumCells() == source.size(),
                    "source values do not match the dims");
     sums_.resize(source.size());
-    common::ParallelFor(pool, source.size(), /*grain=*/0,
-                        [&](std::size_t begin, std::size_t end) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            sums_[i] = static_cast<Accum>(source[i]);
-                          }
-                        });
-    // One running-sum pass per axis turns the copy into an inclusive
-    // d-dimensional prefix table.
-    for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
-      const std::size_t stride_a = strides_[axis];
-      const std::size_t axis_dim = dims_[axis];
-      const std::size_t lines = sums_.size() / axis_dim;
-      if (options.engine == LineEngine::kTiled && stride_a > 1) {
-        BuildAxisTiled(axis_dim, stride_a, lines,
-                       std::max<std::size_t>(1, options.tile_lines), pool);
-        continue;
-      }
-      // Per-line path; for the last axis (stride 1) each line is already
-      // a contiguous sweep, so this is the layout-optimal walk there.
-      common::ParallelFor(
-          pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t line = begin; line < end; ++line) {
-              std::size_t base = (line / stride_a) * (stride_a * axis_dim) +
-                                 (line % stride_a);
-              for (std::size_t k = 1; k < axis_dim; ++k) {
-                sums_[base + k * stride_a] += sums_[base + (k - 1) * stride_a];
-              }
-            }
-          });
-    }
     data_ = sums_;
+    BuildFrom(sums_.data(), source, pool, options, /*residency_source=*/nullptr);
+  }
+
+  /// Out-of-core build: the entries live in an unlinked mmap scratch file
+  /// under options.scratch_dir and each build pass releases residency
+  /// (of the table and, when non-null, of `residency_source` — typically
+  /// the scratch-backed noisy matrix being summed) as it streams, pacing
+  /// peak RSS by options.max_memory_bytes. The additions are the exact
+  /// additions of the in-core build, so the resulting entries are
+  /// bit-identical. Fails with IOError when the scratch file cannot be
+  /// created or mapped.
+  static Result<PrefixSumTable> BuildScratch(
+      std::vector<std::size_t> dims, std::span<const double> source,
+      common::ThreadPool* pool, const EngineOptions& options,
+      const FrequencyMatrix* residency_source = nullptr) {
+    PrefixSumTable table;
+    table.dims_ = std::move(dims);
+    table.InitStrides();
+    PRIVELET_CHECK(!table.dims_.empty() && table.NumCells() == source.size(),
+                   "source values do not match the dims");
+    const std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
+    PRIVELET_CHECK(source.size() <= max_bytes / sizeof(Accum),
+                   "dimension product overflow");
+    PRIVELET_ASSIGN_OR_RETURN(
+        table.scratch_,
+        common::MappedFile::CreateScratch(source.size() * sizeof(Accum),
+                                          options.scratch_dir));
+    Accum* slots =
+        reinterpret_cast<Accum*>(table.scratch_.mutable_bytes().data());
+    table.data_ = std::span<const Accum>(slots, source.size());
+    table.BuildFrom(slots, source, pool, options, residency_source);
+    return table;
   }
 
   /// Reassembles a table from its serialized parts: `sums` must hold the
@@ -126,26 +136,28 @@ class PrefixSumTable {
                    "prefix-sum view does not form a table");
   }
 
-  // `data_` must track `sums_` across copies and moves: a copied owned
-  // table views its own copy of the entries, while a copied view table
-  // keeps aliasing the external storage.
+  // `data_` must track the backing across copies and moves: a copied
+  // owned/scratch table views its own copy of the entries, while a copied
+  // view table keeps aliasing the external storage. Copies always land in
+  // an owned vector (scratch-ness is not copied).
   PrefixSumTable(const PrefixSumTable& other)
-      : dims_(other.dims_), strides_(other.strides_), sums_(other.sums_) {
-    data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+      : dims_(other.dims_), strides_(other.strides_) {
+    AdoptCopiedEntries(other);
   }
   PrefixSumTable(PrefixSumTable&& other) noexcept
       : dims_(std::move(other.dims_)),
         strides_(std::move(other.strides_)),
-        sums_(std::move(other.sums_)) {
-    data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+        sums_(std::move(other.sums_)),
+        scratch_(std::move(other.scratch_)) {
+    data_ = OwnBackedSpan(other.data_);
     other.data_ = {};
   }
   PrefixSumTable& operator=(const PrefixSumTable& other) {
     if (this != &other) {
       dims_ = other.dims_;
       strides_ = other.strides_;
-      sums_ = other.sums_;
-      data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+      scratch_ = common::MappedFile();
+      AdoptCopiedEntries(other);
     }
     return *this;
   }
@@ -154,7 +166,8 @@ class PrefixSumTable {
       dims_ = std::move(other.dims_);
       strides_ = std::move(other.strides_);
       sums_ = std::move(other.sums_);
-      data_ = sums_.empty() ? other.data_ : std::span<const Accum>(sums_);
+      scratch_ = std::move(other.scratch_);
+      data_ = OwnBackedSpan(other.data_);
       other.data_ = {};
     }
     return *this;
@@ -199,7 +212,16 @@ class PrefixSumTable {
 
   /// True when the entries live in caller-managed storage (the span
   /// constructor) rather than in this table.
-  bool is_view() const { return sums_.empty() && !data_.empty(); }
+  bool is_view() const {
+    return sums_.empty() && scratch_.size() == 0 && !data_.empty();
+  }
+
+  /// True when the entries live in an mmap scratch file (BuildScratch).
+  bool is_scratch() const { return scratch_.size() > 0; }
+
+  /// Drops resident pages of a scratch-backed table (data preserved);
+  /// no-op otherwise. See common::MappedFile::ReleaseResidency.
+  void ReleaseResidency() const { scratch_.ReleaseResidency(); }
 
   /// The flat (row-major) table entries — entry at a coordinate is the
   /// inclusive prefix sum up to it. The serialization surface consumed by
@@ -207,19 +229,119 @@ class PrefixSumTable {
   std::span<const Accum> raw_sums() const { return data_; }
 
  private:
+  PrefixSumTable() = default;
+
   void InitStrides() {
     strides_.resize(dims_.size());
     std::size_t stride = 1;
     for (std::size_t axis = dims_.size(); axis-- > 0;) {
       strides_[axis] = stride;
-      stride *= dims_[axis];
+      stride = CheckedCellMul(stride, dims_[axis]);
     }
   }
 
   std::size_t NumCells() const {
     std::size_t cells = 1;
-    for (std::size_t d : dims_) cells *= d;
+    for (std::size_t d : dims_) cells = CheckedCellMul(cells, d);
     return cells;
+  }
+
+  static std::size_t CheckedCellMul(std::size_t a, std::size_t b) {
+    PRIVELET_CHECK(b == 0 || a <= std::numeric_limits<std::size_t>::max() / b,
+                   "dimension product overflow");
+    return a * b;
+  }
+
+  // data_ spans that point into the moved-from object's own backing
+  // (owned vector or scratch mapping) must be re-derived after the
+  // backing transfers; external view spans carry over unchanged.
+  std::span<const Accum> OwnBackedSpan(std::span<const Accum> view) {
+    if (!sums_.empty()) return sums_;
+    if (scratch_.size() > 0) {
+      return {reinterpret_cast<const Accum*>(scratch_.bytes().data()),
+              scratch_.size() / sizeof(Accum)};
+    }
+    return view;
+  }
+
+  void AdoptCopiedEntries(const PrefixSumTable& other) {
+    if (other.is_view()) {
+      sums_.clear();
+      data_ = other.data_;
+    } else {
+      sums_.assign(other.data_.begin(), other.data_.end());
+      data_ = sums_;
+    }
+  }
+
+  /// The shared build: copy `source` into `slots`, then one running-sum
+  /// pass per axis. Identical arithmetic for every storage mode.
+  void BuildFrom(Accum* slots, std::span<const double> source,
+                 common::ThreadPool* pool, const EngineOptions& options,
+                 const FrequencyMatrix* residency_source) {
+    common::ResidencyGovernor governor(
+        is_scratch() ? options.max_memory_bytes : 0, [&] {
+          ReleaseResidency();
+          if (residency_source != nullptr) residency_source->ReleaseResidency();
+        });
+    common::ParallelFor(
+        pool, source.size(), /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          // Charge in fixed sub-chunks: ParallelFor's auto chunks scale
+          // with the domain, and a single end-of-chunk charge would let
+          // the copy dirty a whole chunk's worth of table pages before
+          // release-behind could fire.
+          constexpr std::size_t kPaceCells = std::size_t{1} << 16;
+          for (std::size_t i = begin; i < end; i += kPaceCells) {
+            const std::size_t stop = std::min(end, i + kPaceCells);
+            for (std::size_t j = i; j < stop; ++j) {
+              slots[j] = static_cast<Accum>(source[j]);
+            }
+            governor.OnBytesProcessed((stop - i) *
+                                      (sizeof(Accum) + sizeof(double)));
+          }
+        });
+    // One running-sum pass per axis turns the copy into an inclusive
+    // d-dimensional prefix table.
+    for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+      const std::size_t stride_a = strides_[axis];
+      const std::size_t axis_dim = dims_[axis];
+      const std::size_t lines = source.size() / axis_dim;
+      if (options.engine == LineEngine::kTiled && stride_a > 1) {
+        BuildAxisTiled(slots, axis_dim, stride_a, lines,
+                       std::max<std::size_t>(1, options.tile_lines), pool,
+                       governor);
+        continue;
+      }
+      // Per-line path; for the last axis (stride 1) each line is already
+      // a contiguous sweep, so this is the layout-optimal walk there. A
+      // strided line faults the whole page under every entry — axis_dim
+      // pages before the line ends — so the strided walk charges the
+      // governor per step, not per line (see common::PageTouchedBytes).
+      const std::size_t step_touched =
+          stride_a > 1
+              ? common::PageTouchedBytes(1, stride_a, 1, sizeof(Accum))
+              : 0;
+      common::ParallelFor(
+          pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t line = begin; line < end; ++line) {
+              std::size_t base = (line / stride_a) * (stride_a * axis_dim) +
+                                 (line % stride_a);
+              if (stride_a > 1) {
+                for (std::size_t k = 1; k < axis_dim; ++k) {
+                  slots[base + k * stride_a] +=
+                      slots[base + (k - 1) * stride_a];
+                  governor.OnBytesProcessed(step_touched);
+                }
+              } else {
+                for (std::size_t k = 1; k < axis_dim; ++k) {
+                  slots[base + k] += slots[base + k - 1];
+                }
+                governor.OnBytesProcessed(axis_dim * sizeof(Accum));
+              }
+            }
+          });
+    }
   }
 
   /// Tiled running-sum pass along one axis: panels of up to `tile`
@@ -227,9 +349,10 @@ class PrefixSumTable {
   /// accumulates a contiguous run of elements into the contiguous run one
   /// axis-stride later. Per line the additions match the per-line path
   /// exactly (same operands, same order), hence bit-identical tables.
-  void BuildAxisTiled(std::size_t axis_dim, std::size_t stride,
+  void BuildAxisTiled(Accum* slots, std::size_t axis_dim, std::size_t stride,
                       std::size_t lines, std::size_t tile,
-                      common::ThreadPool* pool) {
+                      common::ThreadPool* pool,
+                      common::ResidencyGovernor& governor) {
     const std::size_t panels = (lines + tile - 1) / tile;
     common::ParallelFor(
         pool, panels, /*grain=*/0, [&](std::size_t pb, std::size_t pe) {
@@ -240,10 +363,16 @@ class PrefixSumTable {
                 stride, axis_dim, first, count,
                 [&](std::size_t base, std::size_t col, std::size_t run) {
                   (void)col;
+                  // Charge per axis step: a panel touches a page of the
+                  // table per step, which can dwarf the byte budget long
+                  // before an end-of-panel charge would fire.
+                  const std::size_t step_touched = common::PageTouchedBytes(
+                      1, stride, run, sizeof(Accum));
                   for (std::size_t k = 1; k < axis_dim; ++k) {
-                    Accum* curr = sums_.data() + base + k * stride;
+                    Accum* curr = slots + base + k * stride;
                     const Accum* prev = curr - stride;
                     for (std::size_t b = 0; b < run; ++b) curr[b] += prev[b];
+                    governor.OnBytesProcessed(step_touched);
                   }
                 });
           }
@@ -252,8 +381,9 @@ class PrefixSumTable {
 
   std::vector<std::size_t> dims_;
   std::vector<std::size_t> strides_;
-  std::vector<Accum> sums_;  ///< owned entries; empty in view mode
-  std::span<const Accum> data_;  ///< what RangeSum reads: sums_ or the view
+  std::vector<Accum> sums_;  ///< owned entries; empty in scratch/view mode
+  common::MappedFile scratch_;  ///< scratch entries; empty otherwise
+  std::span<const Accum> data_;  ///< what RangeSum reads: backing or the view
 };
 
 extern template class PrefixSumTable<long double>;

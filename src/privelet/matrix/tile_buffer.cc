@@ -13,7 +13,8 @@ double* TileBuffer::Prepare(std::size_t line_len, std::size_t count) {
 }
 
 void TileBuffer::Gather(const FrequencyMatrix& m, std::size_t axis,
-                        std::size_t first, std::size_t count) {
+                        std::size_t first, std::size_t count,
+                        common::ResidencyGovernor* governor) {
   PRIVELET_DCHECK(first + count <= m.NumLines(axis), "panel out of range");
   const std::size_t len = m.dim(axis);
   const std::size_t stride = m.Stride(axis);
@@ -23,15 +24,26 @@ void TileBuffer::Gather(const FrequencyMatrix& m, std::size_t axis,
   // moves a contiguous span of up to `stride` elements.
   ForEachLineRun(stride, len, first, count,
                  [&](std::size_t base, std::size_t col, std::size_t run) {
+                   if (governor == nullptr) {
+                     for (std::size_t k = 0; k < len; ++k) {
+                       const double* src = values + base + k * stride;
+                       std::copy(src, src + run, panel + k * count + col);
+                     }
+                     return;
+                   }
+                   const std::size_t step_bytes = common::PageTouchedBytes(
+                       1, stride, run, sizeof(double));
                    for (std::size_t k = 0; k < len; ++k) {
                      const double* src = values + base + k * stride;
                      std::copy(src, src + run, panel + k * count + col);
+                     governor->OnBytesProcessed(step_bytes);
                    }
                  });
 }
 
 void TileBuffer::Scatter(FrequencyMatrix& m, std::size_t axis,
-                         std::size_t first, std::size_t count) const {
+                         std::size_t first, std::size_t count,
+                         common::ResidencyGovernor* governor) const {
   PRIVELET_DCHECK(first + count <= m.NumLines(axis), "panel out of range");
   const std::size_t len = m.dim(axis);
   const std::size_t stride = m.Stride(axis);
@@ -40,9 +52,19 @@ void TileBuffer::Scatter(FrequencyMatrix& m, std::size_t axis,
   double* values = m.values().data();
   ForEachLineRun(stride, len, first, count,
                  [&](std::size_t base, std::size_t col, std::size_t run) {
+                   if (governor == nullptr) {
+                     for (std::size_t k = 0; k < len; ++k) {
+                       const double* src = panel + k * count + col;
+                       std::copy(src, src + run, values + base + k * stride);
+                     }
+                     return;
+                   }
+                   const std::size_t step_bytes = common::PageTouchedBytes(
+                       1, stride, run, sizeof(double));
                    for (std::size_t k = 0; k < len; ++k) {
                      const double* src = panel + k * count + col;
                      std::copy(src, src + run, values + base + k * stride);
+                     governor->OnBytesProcessed(step_bytes);
                    }
                  });
 }

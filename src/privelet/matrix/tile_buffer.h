@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "privelet/common/residency.h"
 #include "privelet/matrix/frequency_matrix.h"
 
 namespace privelet::matrix {
@@ -55,14 +56,26 @@ class TileBuffer {
 
   /// Gathers lines [first, first + count) of `m` along `axis` into the
   /// panel in interleaved layout. Requires first + count <= m.NumLines(axis).
+  ///
+  /// A non-null `governor` is charged the page-granular bytes each axis
+  /// step touches, *as the step happens*. A strided panel maps one page of
+  /// `m` per step — axis_dim pages before the copy loop finishes — so
+  /// out-of-core callers must pace releases inside the loop or the panel
+  /// blows through any byte budget before an end-of-panel charge could
+  /// fire. Releasing mid-gather is safe: evicted pages re-fault from the
+  /// page cache with their values intact.
   void Gather(const FrequencyMatrix& m, std::size_t axis, std::size_t first,
-              std::size_t count);
+              std::size_t count,
+              common::ResidencyGovernor* governor = nullptr);
 
   /// Writes the panel (same geometry as the matching Gather/Prepare) into
   /// lines [first, first + count) of `m` along `axis`. The panel must hold
-  /// m.dim(axis) * count elements.
+  /// m.dim(axis) * count elements. `governor` paces releases per axis step
+  /// exactly as in Gather (dirty pages survive MADV_DONTNEED on the shared
+  /// scratch mappings release-behind targets).
   void Scatter(FrequencyMatrix& m, std::size_t axis, std::size_t first,
-               std::size_t count) const;
+               std::size_t count,
+               common::ResidencyGovernor* governor = nullptr) const;
 
   double* panel() { return panel_.data(); }
   const double* panel() const { return panel_.data(); }

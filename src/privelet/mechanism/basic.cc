@@ -27,7 +27,7 @@ Result<matrix::FrequencyMatrix> BasicMechanism::Publish(
   // entries by one each), so Laplace magnitude 2/ε gives ε-DP (Theorem 1).
   const double lambda = 2.0 / epsilon;
   matrix::FrequencyMatrix noisy = m;
-  AddLaplaceNoise(std::span<double>(noisy.values()), lambda,
+  AddLaplaceNoise(noisy.values(), lambda,
                   rng::DeriveSeed(seed, 0xBA51C), thread_pool());
   return noisy;
 }

@@ -86,7 +86,7 @@ Result<std::vector<Marginal>> FourierMarginalMechanism::Publish(
 
   // Full Walsh-Hadamard transform of the frequency vector. Axis a of the
   // row-major matrix corresponds to bit (d-1-a) of the flat index.
-  std::vector<double> fhat = m.values();
+  std::vector<double> fhat(m.values().begin(), m.values().end());
   WalshHadamardTransform(&fhat);
   auto flat_mask_of = [d](std::uint64_t attribute_mask) {
     std::uint64_t flat = 0;

@@ -1,5 +1,6 @@
 #include "privelet/mechanism/privelet_mechanism.h"
 
+#include "privelet/common/residency.h"
 #include "privelet/mechanism/noise.h"
 #include "privelet/rng/distributions.h"
 #include "privelet/rng/splitmix64.h"
@@ -68,10 +69,15 @@ Result<matrix::FrequencyMatrix> PriveletPlusMechanism::Publish(
   // depends only on (seed, flat index) — fixed kNoiseShardSize-wide shards
   // on per-shard jump streams, see mechanism/noise.h — so the release is
   // bit-identical whatever the pool, engine, or tile size.
-  auto& values = coefficients.coeffs.values();
+  const std::span<double> values = coefficients.coeffs.values();
 
   if (options.engine == matrix::LineEngine::kNaive) {
     // Reference path: a separate full-matrix noise sweep before Inverse.
+    // The sweep walks the (possibly scratch-backed) coefficient matrix
+    // once in flat order, so release-behind pacing applies here too.
+    common::ResidencyGovernor governor(
+        options.max_memory_bytes,
+        [&coefficients] { coefficients.coeffs.ReleaseResidency(); });
     ForEachNoiseShard(
         values.size(), noise_seed, pool,
         [&](std::size_t begin, std::size_t end, rng::Xoshiro256pp& gen) {
@@ -79,6 +85,7 @@ Result<matrix::FrequencyMatrix> PriveletPlusMechanism::Publish(
               begin, end, [&](std::size_t flat, double weight) {
                 values[flat] += rng::SampleLaplace(gen, lambda / weight);
               });
+          governor.OnBytesProcessed((end - begin) * sizeof(double));
         });
     return transform.Inverse(coefficients, pool, options);
   }

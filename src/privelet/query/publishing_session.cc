@@ -42,7 +42,9 @@ Result<PublishingSession> PublishingSession::Publish(
     common::ThreadPool* pool, const matrix::EngineOptions& options) {
   PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
                             mech.Publish(schema, m, epsilon, seed));
-  ReleaseMetadata metadata{std::string(mech.name()), epsilon, seed};
+  ReleaseMetadata metadata{std::string(mech.name()), epsilon, seed,
+                           options.out_of_core() ? PublishMode::kStreamed
+                                                 : PublishMode::kInCore};
   return BuildOwned(schema, std::move(published), std::nullopt,
                     std::move(metadata), pool, options);
 }

@@ -43,14 +43,26 @@ class MappedSnapshot;
 
 namespace privelet::query {
 
+/// How a release's publish ran. Deliberately NOT persisted in snapshots:
+/// streamed and in-core publishes of the same release produce
+/// byte-identical PVLS files (docs/DETERMINISM.md), so the mode exists
+/// only in the memory of the process that ran the publish — sessions
+/// loaded from a file report kUnknown.
+enum class PublishMode {
+  kUnknown,  ///< not published by this process (loaded / wrapped matrix)
+  kInCore,   ///< whole release resident during the publish
+  kStreamed  ///< out-of-core: panels staged through mmap scratch files
+};
+
 /// Provenance of a published release, carried by the session and
-/// persisted in its snapshot. Publish() records the real values;
-/// sessions wrapped around a bare matrix (FromMatrix) report the
-/// defaults below.
+/// persisted in its snapshot (publish_mode excepted — see PublishMode).
+/// Publish() records the real values; sessions wrapped around a bare
+/// matrix (FromMatrix) report the defaults below.
 struct ReleaseMetadata {
   std::string mechanism;   ///< Mechanism::name() of the publisher; "" unknown
   double epsilon = 0.0;    ///< privacy budget; 0 unknown
   std::uint64_t seed = 0;  ///< publish seed; 0 when unknown
+  PublishMode publish_mode = PublishMode::kUnknown;  ///< in-memory only
 };
 
 class PublishingSession {

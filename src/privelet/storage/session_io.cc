@@ -1,7 +1,12 @@
 #include "privelet/storage/session_io.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
+#include <span>
 #include <utility>
+
+#include "privelet/common/residency.h"
 
 namespace privelet::query {
 
@@ -24,7 +29,7 @@ storage::ReleaseSnapshot PublishingSession::ToSnapshot() const {
 Result<PublishingSession> PublishingSession::FromSnapshot(
     storage::ReleaseSnapshot snapshot, common::ThreadPool* pool) {
   ReleaseMetadata metadata{std::move(snapshot.mechanism), snapshot.epsilon,
-                           snapshot.seed};
+                           snapshot.seed, PublishMode::kUnknown};
   if (snapshot.prefix.has_value()) {
     return FromParts(snapshot.schema, std::move(snapshot.published),
                      std::move(*snapshot.prefix), std::move(metadata), pool,
@@ -49,7 +54,7 @@ Result<PublishingSession> PublishingSession::FromMapped(
     return Status::InvalidArgument("FromMapped requires a mapped snapshot");
   }
   ReleaseMetadata metadata{mapped->mechanism(), mapped->epsilon(),
-                           mapped->seed()};
+                           mapped->seed(), PublishMode::kUnknown};
   // The schema lives inside the mapped snapshot; the aliasing constructor
   // shares its lifetime without a copy.
   std::shared_ptr<const data::Schema> schema(mapped, &mapped->schema());
@@ -91,6 +96,77 @@ Status SaveSession(const std::string& path,
   view.published = &session.published();
   view.prefix = &session.prefix_table();
   return WriteSnapshot(path, view);
+}
+
+Result<query::PublishingSession> PublishToFile(
+    const std::string& path, const data::Schema& schema,
+    const mechanism::Mechanism& mech, const matrix::FrequencyMatrix& m,
+    double epsilon, std::uint64_t seed, common::ThreadPool* pool,
+    const matrix::EngineOptions& options) {
+  PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
+                            mech.Publish(schema, m, epsilon, seed));
+  if (published.dims() != schema.DomainSizes()) {
+    return Status::InvalidArgument(
+        "published matrix dims do not match the schema");
+  }
+
+  // Serving table: scratch-backed when out of core, passing the noisy
+  // matrix along so the build's release-behind covers both mappings.
+  std::optional<matrix::PrefixSumTable<long double>> table;
+  if (options.out_of_core()) {
+    PRIVELET_ASSIGN_OR_RETURN(
+        auto scratch_table,
+        matrix::PrefixSumTable<long double>::BuildScratch(
+            published.dims(), published.values(), pool, options, &published));
+    table.emplace(std::move(scratch_table));
+  } else {
+    table.emplace(published.dims(), published.values(), pool, options);
+  }
+
+  // Stream both payload sections to disk in fixed chunks, releasing the
+  // pages already written behind the cursor. Chunking cannot change the
+  // file bytes (SnapshotStreamWriter's contract), so this produces
+  // exactly the file SaveSession would.
+  SnapshotStreamWriter writer;
+  SnapshotStreamWriter::Header header;
+  header.schema = &schema;
+  header.mechanism = mech.name();
+  header.epsilon = epsilon;
+  header.seed = seed;
+  header.engine_options = options;
+  PRIVELET_RETURN_IF_ERROR(writer.Begin(path, header));
+  constexpr std::size_t kStreamChunkCells = std::size_t{1} << 16;
+  const std::span<const double> values = published.values();
+  {
+    common::ResidencyGovernor governor(options.max_memory_bytes,
+                                       [&] { published.ReleaseResidency(); });
+    for (std::size_t i = 0; i < values.size(); i += kStreamChunkCells) {
+      const std::size_t count = std::min(kStreamChunkCells, values.size() - i);
+      PRIVELET_RETURN_IF_ERROR(writer.AppendValues(values.subspan(i, count)));
+      governor.OnBytesProcessed(count * sizeof(double));
+    }
+  }
+  PRIVELET_RETURN_IF_ERROR(writer.BeginPrefixTable());
+  const std::span<const long double> sums = table->raw_sums();
+  {
+    common::ResidencyGovernor governor(options.max_memory_bytes,
+                                       [&] { table->ReleaseResidency(); });
+    for (std::size_t i = 0; i < sums.size(); i += kStreamChunkCells) {
+      const std::size_t count = std::min(kStreamChunkCells, sums.size() - i);
+      PRIVELET_RETURN_IF_ERROR(
+          writer.AppendTableEntries(sums.subspan(i, count)));
+      governor.OnBytesProcessed(count * sizeof(long double));
+    }
+  }
+  PRIVELET_RETURN_IF_ERROR(writer.Finish());
+
+  query::ReleaseMetadata metadata{
+      std::string(mech.name()), epsilon, seed,
+      options.out_of_core() ? query::PublishMode::kStreamed
+                            : query::PublishMode::kInCore};
+  return query::PublishingSession::FromParts(schema, std::move(published),
+                                             std::move(*table),
+                                             std::move(metadata), pool, options);
 }
 
 Result<query::PublishingSession> LoadSession(const std::string& path,

@@ -10,10 +10,13 @@
 #ifndef PRIVELET_STORAGE_SESSION_IO_H_
 #define PRIVELET_STORAGE_SESSION_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "privelet/common/result.h"
 #include "privelet/common/thread_pool.h"
+#include "privelet/matrix/engine.h"
+#include "privelet/mechanism/mechanism.h"
 #include "privelet/query/publishing_session.h"
 #include "privelet/storage/snapshot.h"
 
@@ -26,6 +29,28 @@ namespace privelet::storage {
 /// snapshot file already and is rejected with InvalidArgument.
 Status SaveSession(const std::string& path,
                    const query::PublishingSession& session);
+
+/// Publishes `m` under `mech` at (epsilon, seed), streams the release
+/// snapshot to `path` section by section, and returns a serving session
+/// over the release. The snapshot bytes are identical to publishing a
+/// session and SaveSession-ing it with the same arguments — both paths
+/// run through SnapshotStreamWriter, and the release itself is
+/// bit-identical by the determinism contract.
+///
+/// This is the out-of-core publish entry: with options.out_of_core()
+/// (and the same options set on `mech` via set_engine_options) every
+/// release-sized buffer — transform scratch, noisy matrix, prefix
+/// table — lives in unlinked mmap scratch files whose resident pages are
+/// released as each stage streams past them, so peak RSS is paced by
+/// options.max_memory_bytes rather than the release size. Without
+/// out_of_core() it is an ordinary in-core publish-and-save. The
+/// returned session's metadata records which mode ran (PublishMode);
+/// the file does not — see query::PublishMode.
+Result<query::PublishingSession> PublishToFile(
+    const std::string& path, const data::Schema& schema,
+    const mechanism::Mechanism& mech, const matrix::FrequencyMatrix& m,
+    double epsilon, std::uint64_t seed, common::ThreadPool* pool = nullptr,
+    const matrix::EngineOptions& options = {});
 
 /// Loads a snapshot (v1 or v2) by copy and wraps it as a serving session.
 /// When the file carries an adoptable prefix table this is an O(file

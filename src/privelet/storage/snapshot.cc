@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -682,6 +683,9 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
   if (h.version >= kVersion) {
     PRIVELET_RETURN_IF_ERROR(ConsumeSectionPadding(r));
   }
+  const std::uint64_t values_offset = r.offset();
+  std::uint64_t table_offset = 0;
+  std::uint64_t table_bytes = 0;
   matrix::FrequencyMatrix published;
   if (snapshot != nullptr) {
     published = matrix::FrequencyMatrix(h.dims);
@@ -706,6 +710,8 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
         payload > r.remaining()) {
       return r.Corrupt("prefix-table payload exceeds the file size");
     }
+    table_offset = r.offset();
+    table_bytes = payload;
     const bool adoptable =
         snapshot != nullptr && exact == 1 && mant_dig == LDBL_MANT_DIG;
     if (adoptable) {
@@ -718,6 +724,8 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
   } else if (has_table == 1) {
     TableSectionV2 section;
     PRIVELET_RETURN_IF_ERROR(ReadTableSectionHeaderV2(r, cells, &section));
+    table_offset = r.offset();
+    table_bytes = section.payload;
     if (snapshot != nullptr && section.adoptable()) {
       // The entries are this platform's accumulator verbatim — one read,
       // no decode.
@@ -751,11 +759,169 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
     info->num_cells = cells;
     info->has_prefix_table = has_table == 1;
     info->file_bytes = r.file_bytes();
+    info->values_offset = values_offset;
+    info->values_bytes = cells * sizeof(double);
+    info->table_offset = table_offset;
+    info->table_bytes = table_bytes;
   }
   return Status::OK();
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotStreamWriter: the public incremental facade over SnapshotWriter.
+// The cell count is fixed by the schema at Begin; the state machine below
+// only enforces section ordering and completeness — every byte written
+// goes through the same SnapshotWriter helpers as the one-shot path, so
+// chunking cannot change the output.
+
+struct SnapshotStreamWriter::Impl {
+  enum class State { kValues, kTable, kDone };
+
+  explicit Impl(const std::string& path) : writer(path) {}
+
+  SnapshotWriter writer;
+  State state = State::kValues;
+  std::size_t expected_cells = 0;
+  std::size_t appended = 0;  // values or table entries, per `state`
+};
+
+SnapshotStreamWriter::SnapshotStreamWriter() = default;
+SnapshotStreamWriter::~SnapshotStreamWriter() = default;
+SnapshotStreamWriter::SnapshotStreamWriter(SnapshotStreamWriter&&) noexcept =
+    default;
+SnapshotStreamWriter& SnapshotStreamWriter::operator=(
+    SnapshotStreamWriter&&) noexcept = default;
+
+Status SnapshotStreamWriter::Begin(const std::string& path,
+                                   const Header& header) {
+  if (impl_ != nullptr) {
+    return Status::FailedPrecondition("snapshot stream already begun");
+  }
+  if (header.schema == nullptr) {
+    return Status::InvalidArgument("snapshot header missing schema");
+  }
+  if (header.mechanism.size() > kMaxNameLen) {
+    return Status::InvalidArgument("mechanism id too long");
+  }
+  for (std::size_t a = 0; a < header.schema->num_attributes(); ++a) {
+    if (header.schema->attribute(a).name().size() > kMaxNameLen) {
+      return Status::InvalidArgument("attribute name too long");
+    }
+  }
+  const std::vector<std::size_t> dims = header.schema->DomainSizes();
+  std::size_t cells = 1;
+  for (const std::size_t d : dims) {
+    if (!CheckedMul(cells, d, &cells)) {
+      return Status::InvalidArgument("schema dimension product overflows");
+    }
+  }
+
+  auto impl = std::make_unique<Impl>(path);
+  SnapshotWriter& w = impl->writer;
+  if (!w.ok()) {
+    return Status::IOError("cannot open '" + w.tmp_path() + "' for writing");
+  }
+  w.WriteRaw(kMagic, sizeof(kMagic));
+  w.WritePod(kVersion);
+  w.WriteString(header.mechanism);
+  w.WritePod(header.epsilon);
+  w.WritePod(header.seed);
+  WriteEngineOptions(w, header.engine_options);
+  WriteSchema(w, *header.schema);
+  w.WritePod(static_cast<std::uint32_t>(dims.size()));
+  for (const std::size_t d : dims) {
+    w.WritePod(static_cast<std::uint64_t>(d));
+  }
+  w.PadToSectionAlignment();
+  if (!w.ok()) {
+    return Status::IOError("write to '" + w.tmp_path() + "' failed");
+  }
+  impl->expected_cells = cells;
+  impl_ = std::move(impl);
+  return Status::OK();
+}
+
+Status SnapshotStreamWriter::AppendValues(std::span<const double> values) {
+  if (impl_ == nullptr || impl_->state != Impl::State::kValues) {
+    return Status::FailedPrecondition(
+        "AppendValues outside the matrix section");
+  }
+  if (values.size() > impl_->expected_cells - impl_->appended) {
+    return Status::InvalidArgument(
+        "more matrix values than the schema's cell count");
+  }
+  impl_->writer.WriteRaw(values.data(), values.size() * sizeof(double));
+  impl_->appended += values.size();
+  if (!impl_->writer.ok()) {
+    return Status::IOError("write to '" + impl_->writer.tmp_path() +
+                           "' failed");
+  }
+  return Status::OK();
+}
+
+Status SnapshotStreamWriter::BeginPrefixTable() {
+  if (impl_ == nullptr || impl_->state != Impl::State::kValues) {
+    return Status::FailedPrecondition("prefix table already begun");
+  }
+  if (impl_->appended != impl_->expected_cells) {
+    return Status::FailedPrecondition(
+        "prefix table begun before every matrix value was appended");
+  }
+  SnapshotWriter& w = impl_->writer;
+  w.WritePod(static_cast<std::uint8_t>(1));
+  w.WritePod(static_cast<std::uint16_t>(LDBL_MANT_DIG));
+  w.WritePod(static_cast<std::uint16_t>(sizeof(long double)));
+  w.PadToSectionAlignment();
+  impl_->state = Impl::State::kTable;
+  impl_->appended = 0;
+  if (!w.ok()) {
+    return Status::IOError("write to '" + w.tmp_path() + "' failed");
+  }
+  return Status::OK();
+}
+
+Status SnapshotStreamWriter::AppendTableEntries(
+    std::span<const long double> entries) {
+  if (impl_ == nullptr || impl_->state != Impl::State::kTable) {
+    return Status::FailedPrecondition(
+        "AppendTableEntries outside the table section");
+  }
+  if (entries.size() > impl_->expected_cells - impl_->appended) {
+    return Status::InvalidArgument(
+        "more table entries than the schema's cell count");
+  }
+  WriteRawTableEntries(impl_->writer, entries);
+  impl_->appended += entries.size();
+  if (!impl_->writer.ok()) {
+    return Status::IOError("write to '" + impl_->writer.tmp_path() +
+                           "' failed");
+  }
+  return Status::OK();
+}
+
+Status SnapshotStreamWriter::Finish() {
+  if (impl_ == nullptr) {
+    return Status::FailedPrecondition("snapshot stream not begun");
+  }
+  if (impl_->state == Impl::State::kDone) {
+    return Status::FailedPrecondition("snapshot stream already finished");
+  }
+  if (impl_->appended != impl_->expected_cells) {
+    return Status::InvalidArgument(
+        impl_->state == Impl::State::kValues
+            ? "matrix section incomplete at Finish"
+            : "prefix-table section incomplete at Finish");
+  }
+  if (impl_->state == Impl::State::kValues) {
+    impl_->writer.WritePod(static_cast<std::uint8_t>(0));  // no table
+  }
+  impl_->state = Impl::State::kDone;
+  const Status status = impl_->writer.Finish();
+  impl_.reset();  // drops the temp file when Finish failed
+  return status;
+}
 
 Status WriteSnapshot(const std::string& path,
                      const ReleaseSnapshotView& view) {
@@ -770,41 +936,19 @@ Status WriteSnapshot(const std::string& path,
     return Status::InvalidArgument(
         "snapshot prefix-table dims do not match the matrix");
   }
-  if (view.mechanism.size() > kMaxNameLen) {
-    return Status::InvalidArgument("mechanism id too long");
-  }
-  for (std::size_t a = 0; a < view.schema->num_attributes(); ++a) {
-    if (view.schema->attribute(a).name().size() > kMaxNameLen) {
-      return Status::InvalidArgument("attribute name too long");
-    }
-  }
 
-  SnapshotWriter w(path);
-  if (!w.ok()) {
-    return Status::IOError("cannot open '" + w.tmp_path() + "' for writing");
-  }
-  w.WriteRaw(kMagic, sizeof(kMagic));
-  w.WritePod(kVersion);
-  w.WriteString(view.mechanism);
-  w.WritePod(view.epsilon);
-  w.WritePod(view.seed);
-  WriteEngineOptions(w, view.engine_options);
-  WriteSchema(w, *view.schema);
-
-  const matrix::FrequencyMatrix& m = *view.published;
-  w.WritePod(static_cast<std::uint32_t>(m.num_dims()));
-  for (std::size_t d : m.dims()) {
-    w.WritePod(static_cast<std::uint64_t>(d));
-  }
-  w.PadToSectionAlignment();
-  w.WriteRaw(m.values().data(), m.size() * sizeof(double));
-
-  w.WritePod(static_cast<std::uint8_t>(view.prefix != nullptr ? 1 : 0));
+  SnapshotStreamWriter w;
+  SnapshotStreamWriter::Header header;
+  header.schema = view.schema;
+  header.mechanism = view.mechanism;
+  header.epsilon = view.epsilon;
+  header.seed = view.seed;
+  header.engine_options = view.engine_options;
+  PRIVELET_RETURN_IF_ERROR(w.Begin(path, header));
+  PRIVELET_RETURN_IF_ERROR(w.AppendValues(view.published->values()));
   if (view.prefix != nullptr) {
-    w.WritePod(static_cast<std::uint16_t>(LDBL_MANT_DIG));
-    w.WritePod(static_cast<std::uint16_t>(sizeof(long double)));
-    w.PadToSectionAlignment();
-    WriteRawTableEntries(w, view.prefix->raw_sums());
+    PRIVELET_RETURN_IF_ERROR(w.BeginPrefixTable());
+    PRIVELET_RETURN_IF_ERROR(w.AppendTableEntries(view.prefix->raw_sums()));
   }
   return w.Finish();
 }

@@ -53,6 +53,7 @@
 #define PRIVELET_STORAGE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -98,9 +99,76 @@ struct ReleaseSnapshotView {
   const matrix::PrefixSumTable<long double>* prefix = nullptr;
 };
 
+/// Incremental PVLS v2 writer — the out-of-core publish path's exit.
+/// Where WriteSnapshot needs the whole release resident at once, this
+/// class accepts the matrix values (and optionally the prefix-table
+/// entries) in caller-chosen chunks, so a streamed publish can drain
+/// each panel to disk and release its pages before producing the next:
+///
+///   SnapshotStreamWriter w;
+///   w.Begin(path, header);          // writes magic..dims + padding
+///   w.AppendValues(panel);          // repeat until all cells written
+///   w.BeginPrefixTable();           // optional; writes the table header
+///   w.AppendTableEntries(chunk);    // repeat until all cells written
+///   w.Finish();                     // CRC, fsync, atomic rename
+///
+/// The byte stream is identical to WriteSnapshot's for the same logical
+/// release — WriteSnapshot is implemented on top of this class, so the
+/// identity holds by construction, not by parallel maintenance
+/// (docs/DETERMINISM.md). Until Finish succeeds everything lands in a
+/// unique temp file next to `path`; dropping the writer early (or a
+/// failed Finish) removes it and leaves any previous snapshot untouched.
+/// The cell count is pinned by the schema at Begin: appending more than
+/// product(DomainSizes()) values fails, and Finish fails unless exactly
+/// that many values (and table entries, if the section was begun) were
+/// appended. Movable, not copyable.
+class SnapshotStreamWriter {
+ public:
+  /// The release provenance written ahead of the payload sections —
+  /// ReleaseSnapshotView minus the payloads themselves.
+  struct Header {
+    const data::Schema* schema = nullptr;
+    std::string_view mechanism;
+    double epsilon = 0.0;
+    std::uint64_t seed = 0;
+    matrix::EngineOptions engine_options;
+  };
+
+  SnapshotStreamWriter();
+  ~SnapshotStreamWriter();
+  SnapshotStreamWriter(SnapshotStreamWriter&&) noexcept;
+  SnapshotStreamWriter& operator=(SnapshotStreamWriter&&) noexcept;
+
+  /// Opens the temp file and writes everything up to (and including) the
+  /// matrix section's alignment padding. Must be the first call.
+  Status Begin(const std::string& path, const Header& header);
+
+  /// Appends the next chunk of matrix values (row-major continuation of
+  /// the previous chunk). Any chunking is valid, including empty spans.
+  Status AppendValues(std::span<const double> values);
+
+  /// Ends the matrix section and opens the prefix-table section. Valid
+  /// only once, after every matrix value has been appended. Skipping this
+  /// call writes a snapshot without a table section.
+  Status BeginPrefixTable();
+
+  /// Appends the next chunk of prefix-table entries (flat-index order).
+  Status AppendTableEntries(std::span<const long double> entries);
+
+  /// Validates completeness, appends the CRC, fsyncs, and renames the
+  /// temp file over `path`. The writer is spent afterwards.
+  Status Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Streams `view` to `path` in PVLS v2 format, overwriting any existing
 /// file. The matrix dims must equal the schema's domain sizes, and a
-/// non-null prefix table must share them.
+/// non-null prefix table must share them. Thin wrapper over
+/// SnapshotStreamWriter (one AppendValues / AppendTableEntries call
+/// each), so its bytes match any chunked streaming of the same release.
 Status WriteSnapshot(const std::string& path, const ReleaseSnapshotView& view);
 
 /// Convenience overload over an owning snapshot.
@@ -129,6 +197,14 @@ struct SnapshotInfo {
   std::size_t num_cells = 0;
   bool has_prefix_table = false;
   std::uint64_t file_bytes = 0;
+  /// Payload section layout: file offset and byte length of the matrix
+  /// values and (when has_prefix_table) the raw table entries. In v2
+  /// both offsets are multiples of the 64-byte section alignment; the
+  /// table fields are 0 when the file carries no table.
+  std::uint64_t values_offset = 0;
+  std::uint64_t values_bytes = 0;
+  std::uint64_t table_offset = 0;
+  std::uint64_t table_bytes = 0;
 };
 
 Result<SnapshotInfo> InspectSnapshot(const std::string& path);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "privelet/common/check.h"
+#include "privelet/common/residency.h"
 #include "privelet/common/scratch_pool.h"
 #include "privelet/common/thread_pool.h"
 #include "privelet/matrix/tile_buffer.h"
@@ -41,11 +42,17 @@ enum class Direction { kForward, kInverse };
 void TransformLinesNaive(const matrix::FrequencyMatrix& src,
                          matrix::FrequencyMatrix& dst, std::size_t axis,
                          const Transform1D& t, Direction dir,
-                         common::ThreadPool* pool,
-                         WorkspacePool& workspaces) {
+                         common::ThreadPool* pool, WorkspacePool& workspaces,
+                         const matrix::EngineOptions& options,
+                         common::ResidencyGovernor& governor) {
   const std::size_t lines = src.NumLines(axis);
   const std::size_t line_len =
       std::max(t.input_size(), t.coefficient_count());
+  // Out-of-core: a strided line maps one page per element — axis_dim pages
+  // before any end-of-line charge could fire — so the gather/scatter must
+  // charge the governor per step. TileBuffer with count == 1 copies the
+  // exact same elements as GatherLine/ScatterLine and carries that hook.
+  const bool paced = options.out_of_core();
   common::ParallelFor(
       pool, lines, /*grain=*/0, [&](std::size_t begin, std::size_t end) {
         auto ws = workspaces.Acquire();
@@ -53,14 +60,22 @@ void TransformLinesNaive(const matrix::FrequencyMatrix& src,
         double* out_line = ws->out.Prepare(line_len, 1);
         double* scratch = ws->Scratch(t.scratch_size());
         for (std::size_t line = begin; line < end; ++line) {
-          src.GatherLine(axis, line, in_line);
+          if (paced) {
+            ws->in.Gather(src, axis, line, 1, &governor);
+          } else {
+            src.GatherLine(axis, line, in_line);
+          }
           if (dir == Direction::kForward) {
             t.Forward(in_line, out_line, scratch);
           } else {
             t.Refine(in_line);
             t.Inverse(in_line, out_line, scratch);
           }
-          dst.ScatterLine(axis, line, out_line);
+          if (paced) {
+            ws->out.Scatter(dst, axis, line, 1, &governor);
+          } else {
+            dst.ScatterLine(axis, line, out_line);
+          }
         }
       });
 }
@@ -75,12 +90,24 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
                          const Transform1D& t, Direction dir,
                          common::ThreadPool* pool, WorkspacePool& workspaces,
                          const matrix::EngineOptions& options,
-                         const PanelNoiseFactory* noise_factory) {
+                         const PanelNoiseFactory* noise_factory,
+                         common::ResidencyGovernor& governor) {
   const std::size_t lines = src.NumLines(axis);
   const std::size_t tile = std::max<std::size_t>(1, options.tile_lines);
   const std::size_t panels = (lines + tile - 1) / tile;
   const std::size_t in_len = src.dim(axis);
   const std::size_t out_len = dst.dim(axis);
+  // Out-of-core pacing must happen *inside* the copy loops, not at panel
+  // boundaries: one panel touches up to a page per axis step in each
+  // matrix, which can dwarf the byte budget long before an end-of-panel
+  // charge would fire. The slab path charges per line below; the
+  // transpose path hands the governor to Gather/Scatter, which charge per
+  // axis step.
+  common::ResidencyGovernor* paced =
+      options.out_of_core() ? &governor : nullptr;
+  // Slab lines are contiguous, so the bytes a line touches are the bytes
+  // it processes.
+  const std::size_t slab_line_bytes = (in_len + out_len) * sizeof(double);
 
   if (src.Stride(axis) == 1) {
     // Slab path: line b along this axis occupies the contiguous elements
@@ -105,21 +132,31 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
               for (std::size_t b = 0; b < count; ++b) {
                 t.Forward(src_slab + b * in_len, dst_slab + b * out_len,
                           scratch);
+                governor.OnBytesProcessed(slab_line_bytes);
               }
             } else if (!stage) {
               for (std::size_t b = 0; b < count; ++b) {
                 t.Inverse(src_slab + b * in_len, dst_slab + b * out_len,
                           scratch);
+                governor.OnBytesProcessed(slab_line_bytes);
               }
             } else {
-              double* buf = ws->in.Prepare(in_len, count);
-              std::copy(src_slab, src_slab + count * in_len, buf);
-              if (noise != nullptr) {
-                noise(first * in_len, (first + count) * in_len, buf);
-              }
+              // Stage one line at a time: the fused-noise sweep is
+              // position-based (each draw depends only on the flat
+              // coefficient index), so per-line staging perturbs exactly
+              // the same values as whole-panel staging while keeping both
+              // the heap workspace and the paced working set at one line.
+              double* buf = ws->in.Prepare(in_len, 1);
               for (std::size_t b = 0; b < count; ++b) {
-                t.Refine(buf + b * in_len);
-                t.Inverse(buf + b * in_len, dst_slab + b * out_len, scratch);
+                const double* src_line = src_slab + b * in_len;
+                std::copy(src_line, src_line + in_len, buf);
+                if (noise != nullptr) {
+                  const std::size_t flat = (first + b) * in_len;
+                  noise(flat, flat + in_len, buf);
+                }
+                t.Refine(buf);
+                t.Inverse(buf, dst_slab + b * out_len, scratch);
+                governor.OnBytesProcessed(slab_line_bytes);
               }
             }
           }
@@ -135,7 +172,7 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
         for (std::size_t p = pb; p < pe; ++p) {
           const std::size_t first = p * tile;
           const std::size_t count = std::min(tile, lines - first);
-          ws->in.Gather(src, axis, first, count);
+          ws->in.Gather(src, axis, first, count, paced);
           double* out_panel = ws->out.Prepare(out_len, count);
           double* scratch = ws->Scratch(t.lines_scratch_size(count));
           if (dir == Direction::kForward) {
@@ -146,7 +183,7 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
             }
             t.InverseLines(count, ws->in.panel(), out_panel, scratch);
           }
-          ws->out.Scatter(dst, axis, first, count);
+          ws->out.Scatter(dst, axis, first, count, paced);
         }
       });
 }
@@ -157,11 +194,22 @@ void RunAxisPass(const matrix::FrequencyMatrix& src,
                  common::ThreadPool* pool, WorkspacePool& workspaces,
                  const matrix::EngineOptions& options,
                  const PanelNoiseFactory* noise_factory) {
+  // Release-behind for the out-of-core engine: evict already-processed
+  // pages of both matrices each time a quota of bytes has streamed by, so
+  // the pass's resident set tracks options.max_memory_bytes, not the
+  // matrix sizes. ReleaseResidency is a no-op on vector-backed matrices
+  // and never alters values, so the pass's arithmetic (and thus the
+  // published bytes) is unchanged.
+  common::ResidencyGovernor governor(options.max_memory_bytes, [&src, &dst] {
+    src.ReleaseResidency();
+    dst.ReleaseResidency();
+  });
   if (options.engine == matrix::LineEngine::kNaive) {
-    TransformLinesNaive(src, dst, axis, t, dir, pool, workspaces);
+    TransformLinesNaive(src, dst, axis, t, dir, pool, workspaces, options,
+                        governor);
   } else {
     TransformLinesTiled(src, dst, axis, t, dir, pool, workspaces, options,
-                        noise_factory);
+                        noise_factory, governor);
   }
 }
 
@@ -234,7 +282,18 @@ Result<HnCoefficients> HnTransform::Forward(
     const Transform1D& t = *transforms_[axis];
     std::vector<std::size_t> next_dims = src->dims();
     next_dims[axis] = t.coefficient_count();
-    matrix::FrequencyMatrix next(std::move(next_dims));
+    // Out-of-core engine: each intermediate lives in an mmap scratch file
+    // so the pass can release residency behind itself (the previous
+    // intermediate's pages are freed wholesale when `current` is
+    // reassigned below).
+    matrix::FrequencyMatrix next;
+    if (options.out_of_core()) {
+      PRIVELET_ASSIGN_OR_RETURN(next, matrix::FrequencyMatrix::CreateScratch(
+                                          std::move(next_dims),
+                                          options.scratch_dir));
+    } else {
+      next = matrix::FrequencyMatrix(std::move(next_dims));
+    }
 
     RunAxisPass(*src, next, axis, t, Direction::kForward, pool, workspaces,
                 options, /*noise_factory=*/nullptr);
@@ -269,7 +328,14 @@ Result<matrix::FrequencyMatrix> HnTransform::Inverse(
     const Transform1D& t = *transforms_[axis];
     std::vector<std::size_t> next_dims = src->dims();
     next_dims[axis] = t.input_size();
-    matrix::FrequencyMatrix next(std::move(next_dims));
+    matrix::FrequencyMatrix next;
+    if (options.out_of_core()) {
+      PRIVELET_ASSIGN_OR_RETURN(next, matrix::FrequencyMatrix::CreateScratch(
+                                          std::move(next_dims),
+                                          options.scratch_dir));
+    } else {
+      next = matrix::FrequencyMatrix(std::move(next_dims));
+    }
 
     // Only the first pass (axis d-1, the contiguous axis, which touches
     // every coefficient exactly once) carries the noise hook.

@@ -25,6 +25,11 @@ echo "== inspect"
 grep -q "mechanism:    Privelet" "$TMP/inspect.txt"
 grep -q "prefix table: yes" "$TMP/inspect.txt"
 grep -q "CRC OK" "$TMP/inspect.txt"
+# Payload section geometry and the publish-mode note (the file cannot
+# record the mode: streamed and in-core snapshots are byte-identical).
+grep -q "^values:       offset " "$TMP/inspect.txt"
+grep -q "^table:        offset " "$TMP/inspect.txt"
+grep -q "publish mode: not recorded" "$TMP/inspect.txt"
 
 echo "== query (random workload, dumped, then replayed from file)"
 "$CLI" query "$TMP/release.pvls" --random 500 --workload-seed 3 \
@@ -39,6 +44,20 @@ echo "== publish (generator path, 4 threads) must produce identical bytes"
        --mechanism privelet --epsilon 0.5 --seed 11 --threads 4 \
        --output "$TMP/release2.pvls"
 cmp "$TMP/release.pvls" "$TMP/release2.pvls"
+
+echo "== publish (streamed, 64K budget) must produce identical bytes"
+"$CLI" publish --synthetic 4096 --tuples 20000 --data-seed 5 \
+       --mechanism privelet --epsilon 0.5 --seed 11 --threads 2 \
+       --max-memory 64K --scratch-dir "$TMP" \
+       --output "$TMP/release3.pvls" | tee "$TMP/publish3.txt"
+grep -q "publish mode: streamed" "$TMP/publish3.txt"
+cmp "$TMP/release.pvls" "$TMP/release3.pvls"
+# --scratch-dir without a memory budget makes no sense; rejected.
+if "$CLI" publish --synthetic 4096 --tuples 100 --scratch-dir "$TMP" \
+       --output "$TMP/bad.pvls" 2>/dev/null; then
+  echo "FAIL: --scratch-dir without --max-memory accepted" >&2
+  exit 1
+fi
 
 echo "== serve (multi-release batch front end over the ReleaseStore)"
 cat > "$TMP/requests.txt" <<EOF

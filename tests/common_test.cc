@@ -129,6 +129,13 @@ TEST(MathUtilTest, CheckedProduct) {
   EXPECT_EQ(CheckedProduct({7}), 7u);
 }
 
+TEST(MathUtilDeathTest, CheckedProductOverflowAborts) {
+  // Regression for the total-cell computations: a dimension list whose
+  // product wraps size_t must die, not silently truncate.
+  const std::size_t big = std::numeric_limits<std::size_t>::max() / 2 + 1;
+  EXPECT_DEATH((void)CheckedProduct({big, 2}), "dimension product overflow");
+}
+
 TEST(MathUtilTest, MeanAndVariance) {
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
   EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);

@@ -122,7 +122,7 @@ TEST(RollUpTest, LeafLevelIsIdentity) {
   const FrequencyMatrix m = RandomCube(schema, 6);
   auto rolled = RollUpNominalAxis(m, schema, 1, 3);
   ASSERT_TRUE(rolled.ok());
-  EXPECT_EQ(rolled->values(), m.values());
+  EXPECT_TRUE(matrix::ValuesEqual(rolled->values(), m.values()));
 }
 
 TEST(RollUpTest, Validates) {

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "privelet/data/attribute.h"
 #include "privelet/data/csv.h"
@@ -41,6 +42,17 @@ TEST(SchemaTest, DomainSizesAndTotal) {
   EXPECT_EQ(schema.num_attributes(), 2u);
   EXPECT_EQ(schema.DomainSizes(), (std::vector<std::size_t>{8, 4}));
   EXPECT_EQ(schema.TotalDomainSize(), 32u);
+}
+
+TEST(SchemaDeathTest, TotalDomainSizeOverflowAborts) {
+  // Regression: the total-cell computation must use checked
+  // multiplication rather than wrapping size_t.
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Ordinal(
+      "Huge", std::numeric_limits<std::size_t>::max() / 2 + 1));
+  attrs.push_back(Attribute::Ordinal("Small", 4));
+  const Schema schema(std::move(attrs));
+  EXPECT_DEATH((void)schema.TotalDomainSize(), "dimension product overflow");
 }
 
 TEST(SchemaTest, FindAttribute) {

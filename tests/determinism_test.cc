@@ -74,7 +74,7 @@ void ExpectPublishInvariantUnderThreads(mechanism::Mechanism& mech,
     mech.set_thread_pool(&pool);
     auto parallel = mech.Publish(schema, m, 0.8, 31);
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
-    EXPECT_EQ(serial->values(), parallel->values())
+    EXPECT_TRUE(matrix::ValuesEqual(serial->values(), parallel->values()))
         << mech.name() << " with " << threads << " threads";
     mech.set_thread_pool(nullptr);
   }
@@ -82,7 +82,7 @@ void ExpectPublishInvariantUnderThreads(mechanism::Mechanism& mech,
   // somehow pin the stream).
   auto other = mech.Publish(schema, m, 0.8, 32);
   ASSERT_TRUE(other.ok());
-  EXPECT_NE(serial->values(), other->values());
+  EXPECT_FALSE(matrix::ValuesEqual(serial->values(), other->values()));
 }
 
 TEST(PublishDeterminismTest, BasicAcrossThreadCounts) {
@@ -121,22 +121,23 @@ TEST(PublishDeterminismTest, TileSweepMatchesNaiveSerialRelease) {
   const matrix::FrequencyMatrix m = RandomMatrix(schema, 9);
 
   mech.set_engine_options(
-      {matrix::LineEngine::kNaive, matrix::kDefaultTileLines});
+      matrix::MakeEngineOptions(matrix::LineEngine::kNaive));
   auto reference = mech.Publish(schema, m, /*epsilon=*/0.8, /*seed=*/57);
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
 
   for (const std::size_t tile : kTileSizes) {
-    mech.set_engine_options({matrix::LineEngine::kTiled, tile});
+    mech.set_engine_options(
+        matrix::MakeEngineOptions(matrix::LineEngine::kTiled, tile));
     auto serial = mech.Publish(schema, m, 0.8, 57);
     ASSERT_TRUE(serial.ok());
-    EXPECT_EQ(reference->values(), serial->values())
+    EXPECT_TRUE(matrix::ValuesEqual(reference->values(), serial->values()))
         << "tile " << tile << ", serial";
     for (const std::size_t threads : kPoolSizes) {
       common::ThreadPool pool(threads);
       mech.set_thread_pool(&pool);
       auto parallel = mech.Publish(schema, m, 0.8, 57);
       ASSERT_TRUE(parallel.ok());
-      EXPECT_EQ(reference->values(), parallel->values())
+      EXPECT_TRUE(matrix::ValuesEqual(reference->values(), parallel->values()))
           << "tile " << tile << ", " << threads << " threads";
       mech.set_thread_pool(nullptr);
     }
@@ -158,11 +159,12 @@ TEST(HnTransformDeterminismTest, ForwardAndInverseAcrossThreadCounts) {
     common::ThreadPool pool(threads);
     auto fwd = transform->Forward(m, &pool);
     ASSERT_TRUE(fwd.ok());
-    EXPECT_EQ(serial_fwd->coeffs.values(), fwd->coeffs.values())
+    EXPECT_TRUE(
+        matrix::ValuesEqual(serial_fwd->coeffs.values(), fwd->coeffs.values()))
         << "forward, " << threads << " threads";
     auto inv = transform->Inverse(*fwd, &pool);
     ASSERT_TRUE(inv.ok());
-    EXPECT_EQ(serial_inv->values(), inv->values())
+    EXPECT_TRUE(matrix::ValuesEqual(serial_inv->values(), inv->values()))
         << "inverse, " << threads << " threads";
   }
 }
@@ -226,8 +228,8 @@ TEST(PublishDeterminismTest, SnapshotFilesInvariantAcrossThreadsAndEngines) {
                        std::istreambuf_iterator<char>());
   };
 
-  const matrix::EngineOptions tiled{matrix::LineEngine::kTiled,
-                                    matrix::kDefaultTileLines};
+  const matrix::EngineOptions tiled =
+      matrix::MakeEngineOptions(matrix::LineEngine::kTiled);
   const std::string ref_path = save(nullptr, tiled, "det_ref.pvls");
   const std::string ref_bytes = file_bytes(ref_path);
   ASSERT_FALSE(ref_bytes.empty());
@@ -249,16 +251,86 @@ TEST(PublishDeterminismTest, SnapshotFilesInvariantAcrossThreadsAndEngines) {
   ASSERT_TRUE(reference.ok());
   const std::vector<double> expected = reference->AnswerAll(*workload);
   for (const matrix::EngineOptions& options :
-       {matrix::EngineOptions{matrix::LineEngine::kNaive,
-                              matrix::kDefaultTileLines},
-        matrix::EngineOptions{matrix::LineEngine::kTiled, 1},
-        matrix::EngineOptions{matrix::LineEngine::kTiled, 8}}) {
+       {matrix::MakeEngineOptions(matrix::LineEngine::kNaive),
+        matrix::MakeEngineOptions(matrix::LineEngine::kTiled, 1),
+        matrix::MakeEngineOptions(matrix::LineEngine::kTiled, 8)}) {
     common::ThreadPool pool(2);
     const std::string path = save(&pool, options, "det_engine.pvls");
     auto loaded = storage::LoadSession(path, &pool);
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-    EXPECT_EQ(reference->published().values(), loaded->published().values());
+    EXPECT_TRUE(matrix::ValuesEqual(reference->published().values(),
+                                    loaded->published().values()));
     EXPECT_EQ(expected, loaded->AnswerAll(*workload));
+  }
+}
+
+// The out-of-core contract: a streamed publish (panels staged through
+// mmap scratch files under a memory budget far below the release size)
+// must produce the byte-identical PVLS file of the in-core publish with
+// the same engine options — across engines, tile sizes, and thread
+// counts — and the returned session must answer the same workload
+// bit-identically. The budget is a pure operational knob, like the pool.
+TEST(PublishDeterminismTest, StreamedPublishMatchesInCoreByteForByte) {
+  const data::Schema schema = MultiShardSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 21);
+  mechanism::PriveletPlusMechanism mech({"Nom"});
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 200;
+  auto workload = query::GenerateWorkload(schema, wopts);
+  ASSERT_TRUE(workload.ok());
+
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+
+  // 16384 cells = 128 KiB of doubles (plus a 256 KiB table): a 64 KiB
+  // budget forces genuine out-of-core staging in every stage.
+  constexpr std::size_t kBudget = std::size_t{1} << 16;
+  constexpr std::size_t kThreadCounts[] = {0, 2, 8};  // 0 = serial
+
+  for (const matrix::EngineOptions& base :
+       {matrix::MakeEngineOptions(matrix::LineEngine::kTiled),
+        matrix::MakeEngineOptions(matrix::LineEngine::kNaive),
+        matrix::MakeEngineOptions(matrix::LineEngine::kTiled, 8)}) {
+    for (const std::size_t threads : kThreadCounts) {
+      std::unique_ptr<common::ThreadPool> pool;
+      if (threads > 0) pool = std::make_unique<common::ThreadPool>(threads);
+      const std::string tag =
+          (base.engine == matrix::LineEngine::kTiled ? "tiled" : "naive") +
+          std::string("/tile ") + std::to_string(base.tile_lines) + "/" +
+          std::to_string(threads) + " threads";
+
+      mech.set_thread_pool(pool.get());
+      mech.set_engine_options(base);
+      auto in_core = query::PublishingSession::Publish(
+          schema, mech, m, /*epsilon=*/0.8, /*seed=*/57, pool.get(), base);
+      ASSERT_TRUE(in_core.ok()) << in_core.status().ToString();
+      EXPECT_EQ(query::PublishMode::kInCore,
+                in_core->metadata().publish_mode);
+      const std::string in_path = testing::TempDir() + "/det_incore.pvls";
+      ASSERT_TRUE(storage::SaveSession(in_path, *in_core).ok());
+
+      matrix::EngineOptions streamed_options = base;
+      streamed_options.max_memory_bytes = kBudget;
+      mech.set_engine_options(streamed_options);
+      const std::string out_path = testing::TempDir() + "/det_streamed.pvls";
+      auto streamed = storage::PublishToFile(out_path, schema, mech, m, 0.8,
+                                             57, pool.get(), streamed_options);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString() << " " << tag;
+      EXPECT_EQ(query::PublishMode::kStreamed,
+                streamed->metadata().publish_mode);
+      mech.set_thread_pool(nullptr);
+
+      EXPECT_EQ(file_bytes(in_path), file_bytes(out_path)) << tag;
+      EXPECT_TRUE(matrix::ValuesEqual(in_core->published().values(),
+                                      streamed->published().values()))
+          << tag;
+      EXPECT_EQ(in_core->AnswerAll(*workload), streamed->AnswerAll(*workload))
+          << tag;
+    }
   }
 }
 
@@ -279,11 +351,9 @@ TEST(PublishDeterminismTest, MappedServingMatchesCopyLoadAcrossEnginesAndThreads
 
   std::vector<double> expected;  // pinned by the first configuration
   for (const matrix::EngineOptions& options :
-       {matrix::EngineOptions{matrix::LineEngine::kTiled,
-                              matrix::kDefaultTileLines},
-        matrix::EngineOptions{matrix::LineEngine::kNaive,
-                              matrix::kDefaultTileLines},
-        matrix::EngineOptions{matrix::LineEngine::kTiled, 8}}) {
+       {matrix::MakeEngineOptions(matrix::LineEngine::kTiled),
+        matrix::MakeEngineOptions(matrix::LineEngine::kNaive),
+        matrix::MakeEngineOptions(matrix::LineEngine::kTiled, 8)}) {
     mech.set_engine_options(options);
     auto session = query::PublishingSession::Publish(
         schema, mech, m, /*epsilon=*/0.8, /*seed=*/57, nullptr, options);

@@ -75,8 +75,8 @@ TEST(HayTest, DeterministicInSeed) {
   auto b = hay.Publish(schema, m, 0.5, 21);
   auto c = hay.Publish(schema, m, 0.5, 22);
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
-  EXPECT_EQ(a->values(), b->values());
-  EXPECT_NE(a->values(), c->values());
+  EXPECT_TRUE(matrix::ValuesEqual(a->values(), b->values()));
+  EXPECT_FALSE(matrix::ValuesEqual(a->values(), c->values()));
 }
 
 TEST(HayTest, NoiseIsUnbiasedAcrossSeeds) {

@@ -127,7 +127,7 @@ TEST(HnTransformTest, AllIdentityDegeneratesToCopy) {
   }
   auto coeffs = transform->Forward(m);
   ASSERT_TRUE(coeffs.ok());
-  EXPECT_EQ(coeffs->coeffs.values(), m.values());
+  EXPECT_TRUE(matrix::ValuesEqual(coeffs->coeffs.values(), m.values()));
   EXPECT_DOUBLE_EQ(coeffs->WeightAt(0), 1.0);
   EXPECT_DOUBLE_EQ(transform->GeneralizedSensitivity(), 1.0);
   EXPECT_DOUBLE_EQ(transform->VarianceBoundFactor(),

@@ -190,7 +190,7 @@ TEST(IntegrationTest, CsvRoundTripFeedsPipeline) {
 
   const auto m1 = matrix::FrequencyMatrix::FromTable(*table);
   const auto m2 = matrix::FrequencyMatrix::FromTable(*reloaded);
-  EXPECT_EQ(m1.values(), m2.values());
+  EXPECT_TRUE(matrix::ValuesEqual(m1.values(), m2.values()));
 }
 
 }  // namespace

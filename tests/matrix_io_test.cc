@@ -64,7 +64,7 @@ TEST(MatrixIoTest, RoundTrip) {
   auto loaded = matrix::ReadMatrix(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(m.dims(), loaded->dims());
-  EXPECT_EQ(m.values(), loaded->values());
+  EXPECT_TRUE(matrix::ValuesEqual(m.values(), loaded->values()));
 }
 
 TEST(MatrixIoTest, MissingFileIsAnIOError) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "privelet/data/attribute.h"
@@ -19,6 +21,50 @@ TEST(FrequencyMatrixTest, ConstructionZeroFills) {
   EXPECT_EQ(m.num_dims(), 2u);
   EXPECT_EQ(m.size(), 12u);
   for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0);
+}
+
+TEST(FrequencyMatrixDeathTest, DimensionProductOverflowAborts) {
+  // Regression: the total-cell computation must use checked
+  // multiplication instead of wrapping and allocating a tiny buffer.
+  const std::size_t big = std::numeric_limits<std::size_t>::max() / 2 + 1;
+  EXPECT_DEATH(FrequencyMatrix({big, 2}), "dimension product overflow");
+}
+
+TEST(FrequencyMatrixTest, ScratchBackedMatrixRoundTrips) {
+  auto scratch = FrequencyMatrix::CreateScratch({16, 8});
+  ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+  EXPECT_TRUE(scratch->is_scratch());
+  ASSERT_EQ(scratch->size(), 128u);
+  for (std::size_t i = 0; i < scratch->size(); ++i) {
+    ASSERT_EQ((*scratch)[i], 0.0) << "scratch not zero-filled at " << i;
+    (*scratch)[i] = 0.5 * static_cast<double>(i);
+  }
+  // Dropping resident pages must not lose data (file-backed scratch).
+  scratch->ReleaseResidency();
+  for (std::size_t i = 0; i < scratch->size(); ++i) {
+    ASSERT_EQ((*scratch)[i], 0.5 * static_cast<double>(i));
+  }
+}
+
+TEST(FrequencyMatrixTest, ScratchCopiesLandOwned) {
+  auto scratch = FrequencyMatrix::CreateScratch({4, 4});
+  ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+  for (std::size_t i = 0; i < scratch->size(); ++i) {
+    (*scratch)[i] = static_cast<double>(i);
+  }
+  const FrequencyMatrix copy(*scratch);
+  EXPECT_FALSE(copy.is_scratch());
+  EXPECT_TRUE(ValuesEqual(copy.values(), scratch->values()));
+  // Moves transfer the scratch backing as-is.
+  const FrequencyMatrix moved(std::move(*scratch));
+  EXPECT_TRUE(moved.is_scratch());
+  EXPECT_TRUE(ValuesEqual(copy.values(), moved.values()));
+}
+
+TEST(FrequencyMatrixTest, ScratchInMissingDirectoryFails) {
+  auto scratch = FrequencyMatrix::CreateScratch(
+      {4, 4}, testing::TempDir() + "/no_such_scratch_dir/deeper");
+  ASSERT_FALSE(scratch.ok());
 }
 
 TEST(FrequencyMatrixTest, FlatIndexIsRowMajor) {
@@ -47,7 +93,8 @@ TEST(FrequencyMatrixTest, GatherScatterRoundTrip) {
       m.GatherLine(axis, l, line.data());
       copy.ScatterLine(axis, l, line.data());
     }
-    EXPECT_EQ(copy.values(), m.values()) << "axis " << axis;
+    EXPECT_TRUE(matrix::ValuesEqual(copy.values(), m.values()))
+        << "axis " << axis;
   }
 }
 

@@ -62,8 +62,8 @@ TEST(BasicMechanismTest, PreservesShapeAndIsDeterministic) {
   auto c = basic.Publish(schema, m, 1.0, 100);
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
   EXPECT_EQ(a->dims(), m.dims());
-  EXPECT_EQ(a->values(), b->values());
-  EXPECT_NE(a->values(), c->values());
+  EXPECT_TRUE(matrix::ValuesEqual(a->values(), b->values()));
+  EXPECT_FALSE(matrix::ValuesEqual(a->values(), c->values()));
 }
 
 TEST(BasicMechanismTest, PerCellNoiseVarianceMatchesCalibration) {
@@ -112,8 +112,8 @@ TEST(PriveletTest, DeterministicInSeed) {
   auto b = privelet.Publish(schema, m, 0.5, 11);
   auto c = privelet.Publish(schema, m, 0.5, 12);
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
-  EXPECT_EQ(a->values(), b->values());
-  EXPECT_NE(a->values(), c->values());
+  EXPECT_TRUE(matrix::ValuesEqual(a->values(), b->values()));
+  EXPECT_FALSE(matrix::ValuesEqual(a->values(), c->values()));
 }
 
 TEST(PriveletTest, LaplaceMagnitudeIsTwoRhoOverEpsilon) {

@@ -99,7 +99,7 @@ TEST_F(MatrixIoTest, RoundTrip) {
   auto loaded = matrix::ReadMatrix(path_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->dims(), m.dims());
-  EXPECT_EQ(loaded->values(), m.values());
+  EXPECT_TRUE(matrix::ValuesEqual(loaded->values(), m.values()));
 }
 
 TEST_F(MatrixIoTest, RejectsMissingFile) {

@@ -124,11 +124,13 @@ TEST(PropertyTest, HnRoundTripRecoversDataSerialAndPooled) {
     // The pooled pass must agree with the serial pass bit for bit.
     auto pooled_coeffs = transform->Forward(m, &pool);
     ASSERT_TRUE(pooled_coeffs.ok());
-    ASSERT_EQ(pooled_coeffs->coeffs.values(), coeffs->coeffs.values())
+    ASSERT_TRUE(matrix::ValuesEqual(pooled_coeffs->coeffs.values(),
+                                    coeffs->coeffs.values()))
         << "iter " << iter;
     auto pooled_back = transform->Inverse(*pooled_coeffs, &pool);
     ASSERT_TRUE(pooled_back.ok());
-    ASSERT_EQ(pooled_back->values(), back->values()) << "iter " << iter;
+    ASSERT_TRUE(matrix::ValuesEqual(pooled_back->values(), back->values()))
+        << "iter " << iter;
   }
 }
 

@@ -92,7 +92,8 @@ TEST(PublishingSessionTest, PublishWrapsAMechanismRelease) {
   // same seed, and answers come from it.
   auto direct = privelet.Publish(schema, m, 1.0, 17);
   ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(session->published().values(), direct->values());
+  EXPECT_TRUE(
+      matrix::ValuesEqual(session->published().values(), direct->values()));
   const auto queries = MakeQueries(schema, 10, 5);
   const auto answers = session->AnswerAll(queries);
   QueryEvaluator reference(schema, *direct);

@@ -118,7 +118,8 @@ TEST(SnapshotTest, FileRoundTripAnswers1kWorkloadBitIdentically) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
   EXPECT_EQ(expected, loaded->AnswerAll(workload));
-  EXPECT_EQ(original.published().values(), loaded->published().values());
+  EXPECT_TRUE(matrix::ValuesEqual(original.published().values(),
+                                  loaded->published().values()));
   EXPECT_EQ("Privelet+{Occ}", loaded->metadata().mechanism);
   EXPECT_EQ(0.9, loaded->metadata().epsilon);
   EXPECT_EQ(std::uint64_t{41}, loaded->metadata().seed);
@@ -167,7 +168,8 @@ TEST(SnapshotTest, SnapshotWithoutTableRebuildsBitIdentically) {
 TEST(SnapshotTest, ReadSnapshotPreservesSchemaAndEngineOptions) {
   const data::Schema schema = TestSchema();
   mechanism::PriveletPlusMechanism mech({"Occ"});
-  matrix::EngineOptions options{matrix::LineEngine::kNaive, 17};
+  const matrix::EngineOptions options =
+      matrix::MakeEngineOptions(matrix::LineEngine::kNaive, 17);
   auto session = query::PublishingSession::Publish(
       schema, mech, RandomMatrix(schema, 3), 0.9, 41, nullptr, options);
   ASSERT_TRUE(session.ok());
@@ -330,8 +332,8 @@ TEST(SnapshotTest, HandcraftedMinimalSnapshotParses) {
   EXPECT_EQ(0.5, snapshot->epsilon);
   EXPECT_EQ(std::uint64_t{7}, snapshot->seed);
   EXPECT_EQ(std::vector<std::size_t>{4}, snapshot->published.dims());
-  EXPECT_EQ((std::vector<double>{1.0, 2.0, 3.0, 4.0}),
-            snapshot->published.values());
+  EXPECT_TRUE(matrix::ValuesEqual(std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                                  snapshot->published.values()));
   EXPECT_FALSE(snapshot->prefix.has_value());
 }
 
@@ -390,8 +392,8 @@ TEST(SnapshotTest, HandcraftedV2SnapshotParsesAndMaps) {
   auto snapshot = storage::ReadSnapshot(path);
   ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
   EXPECT_EQ("Test", snapshot->mechanism);
-  EXPECT_EQ((std::vector<double>{1.0, 2.0, 3.0, 4.0}),
-            snapshot->published.values());
+  EXPECT_TRUE(matrix::ValuesEqual(std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                                  snapshot->published.values()));
   ASSERT_TRUE(snapshot->prefix.has_value());
   EXPECT_EQ((std::vector<long double>{1.0L, 3.0L, 6.0L, 10.0L}),
             std::vector<long double>(snapshot->prefix->raw_sums().begin(),

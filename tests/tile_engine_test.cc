@@ -31,11 +31,11 @@ namespace {
 constexpr std::size_t kTileSizes[] = {1, 8, 64};
 
 matrix::EngineOptions Tiled(std::size_t tile) {
-  return {matrix::LineEngine::kTiled, tile};
+  return matrix::MakeEngineOptions(matrix::LineEngine::kTiled, tile);
 }
 
 matrix::EngineOptions Naive() {
-  return {matrix::LineEngine::kNaive, matrix::kDefaultTileLines};
+  return matrix::MakeEngineOptions(matrix::LineEngine::kNaive);
 }
 
 matrix::FrequencyMatrix RandomMatrix(std::vector<std::size_t> dims,
@@ -117,11 +117,13 @@ void ExpectEnginesAgree(const data::Schema& schema,
   for (const std::size_t tile : kTileSizes) {
     auto fwd = transform->Forward(m, nullptr, Tiled(tile));
     ASSERT_TRUE(fwd.ok());
-    EXPECT_EQ(naive_fwd->coeffs.values(), fwd->coeffs.values())
+    EXPECT_TRUE(
+        matrix::ValuesEqual(naive_fwd->coeffs.values(), fwd->coeffs.values()))
         << "forward, tile " << tile;
     auto inv = transform->Inverse(*fwd, nullptr, Tiled(tile));
     ASSERT_TRUE(inv.ok());
-    EXPECT_EQ(naive_inv->values(), inv->values()) << "inverse, tile " << tile;
+    EXPECT_TRUE(matrix::ValuesEqual(naive_inv->values(), inv->values()))
+        << "inverse, tile " << tile;
   }
 
   // The round trip reconstructs the data (noise-free coefficients).
@@ -156,7 +158,8 @@ void ExpectPublishBitIdenticalAcrossEngines(
     mech.set_engine_options(Tiled(tile));
     auto release = mech.Publish(schema, m, 0.9, 41);
     ASSERT_TRUE(release.ok());
-    EXPECT_EQ(reference->values(), release->values()) << "tile " << tile;
+    EXPECT_TRUE(matrix::ValuesEqual(reference->values(), release->values()))
+        << "tile " << tile;
   }
 }
 
@@ -227,7 +230,8 @@ TEST(TileEngineTest, TileBufferRoundTripsEveryAxis) {
         }
         buffer.Scatter(copy, axis, first, count);
       }
-      EXPECT_EQ(m.values(), copy.values()) << "axis " << axis;
+      EXPECT_TRUE(matrix::ValuesEqual(m.values(), copy.values()))
+          << "axis " << axis;
     }
   }
 }
@@ -265,7 +269,8 @@ TEST(TileEngineTest, TiledPublishDeterministicUnderThreads) {
     mech.set_thread_pool(&pool);
     auto parallel = mech.Publish(schema, m, 1.1, 77);
     ASSERT_TRUE(parallel.ok());
-    EXPECT_EQ(serial->values(), parallel->values()) << threads << " threads";
+    EXPECT_TRUE(matrix::ValuesEqual(serial->values(), parallel->values()))
+        << threads << " threads";
     mech.set_thread_pool(nullptr);
   }
 }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json reports against committed baselines.
+
+The perf-smoke benches drop machine-readable reports (bench/bench_util.h's
+BenchReport) next to their working directory. This script compares a fresh
+set of reports against the baselines committed under bench/baselines/ and
+fails when a guarded metric regresses by more than the allowed tolerance,
+so perf regressions break CI instead of silently shipping.
+
+Only *scale-free* metrics are guarded (ratios such as rss_over_budget or
+speedup_vs_naive, or ratios derived between two rows of one report).
+Absolute wall-clock numbers vary with the host and would make the gate
+flaky; the manifest deliberately has no way to guard them directly.
+
+Usage:
+    python3 tools/compare_bench.py \
+        --fresh-dir build/bench [--baseline-dir bench/baselines] \
+        [--manifest bench/baselines/manifest.json] [--tolerance 0.25]
+
+Exit status: 0 when every guarded metric is within tolerance, 1 on any
+regression or missing report/row/metric (a silently absent report must not
+read as a pass).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_report(directory: Path, bench: str):
+    path = directory / f"BENCH_{bench}.json"
+    if not path.is_file():
+        return None, f"missing report {path}"
+    try:
+        rows = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        return None, f"unparseable report {path}: {err}"
+    if not isinstance(rows, list):
+        return None, f"report {path} is not a row array"
+    return rows, None
+
+
+def match_row(rows, select):
+    """First row whose values equal every key in `select`."""
+    for row in rows:
+        if all(row.get(k) == v for k, v in select.items()):
+            return row
+    return None
+
+
+def extract(rows, spec, bench):
+    """Resolve one metric value from a report's rows.
+
+    The metric is row[key] for the row matched by `select`; with
+    `divide_by` present it becomes a ratio against another row of the
+    same report, which keeps the guarded value scale-free even when the
+    underlying columns are absolute.
+    """
+    key = spec["key"]
+    row = match_row(rows, spec.get("select", {}))
+    if row is None:
+        return None, f"{bench}: no row matches select={spec.get('select', {})}"
+    if key not in row:
+        return None, f"{bench}: row has no metric '{key}'"
+    value = float(row[key])
+    divide_by = spec.get("divide_by")
+    if divide_by is not None:
+        denom_row = match_row(rows, divide_by.get("select", {}))
+        if denom_row is None:
+            return None, (f"{bench}: no denominator row matches "
+                          f"select={divide_by.get('select', {})}")
+        denom_key = divide_by.get("key", key)
+        denom = float(denom_row.get(denom_key, 0.0))
+        if denom == 0.0:
+            return None, f"{bench}: denominator metric '{denom_key}' is zero"
+        value /= denom
+    return value, None
+
+
+def check_metric(spec, fresh_value, baseline_value, tolerance):
+    """Returns (ok, limit). direction 'lower' means lower is better."""
+    direction = spec.get("direction", "lower")
+    if direction == "lower":
+        limit = baseline_value * (1.0 + tolerance)
+        return fresh_value <= limit, limit
+    limit = baseline_value * (1.0 - tolerance)
+    return fresh_value >= limit, limit
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on >tolerance regressions of guarded bench metrics")
+    parser.add_argument("--fresh-dir", type=Path, required=True,
+                        help="directory holding the just-produced BENCH_*.json")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path("bench/baselines"),
+                        help="directory holding the committed baselines")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="manifest path (default <baseline-dir>/manifest.json)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the manifest's default tolerance")
+    args = parser.parse_args()
+
+    manifest_path = args.manifest or args.baseline_dir / "manifest.json"
+    if not manifest_path.is_file():
+        print(f"error: missing manifest {manifest_path}", file=sys.stderr)
+        return 1
+    manifest = json.loads(manifest_path.read_text())
+    default_tol = (args.tolerance if args.tolerance is not None else
+                   manifest.get("default_tolerance", DEFAULT_TOLERANCE))
+
+    failures = []
+    checked = 0
+    for guard in manifest.get("metrics", []):
+        bench = guard["bench"]
+        tolerance = (args.tolerance if args.tolerance is not None else
+                     guard.get("tolerance", default_tol))
+        fresh_rows, err = load_report(args.fresh_dir, bench)
+        if err:
+            failures.append(err)
+            continue
+        baseline_rows, err = load_report(args.baseline_dir, bench)
+        if err:
+            failures.append(err)
+            continue
+        fresh, err = extract(fresh_rows, guard, bench)
+        if err:
+            failures.append(f"fresh {err}")
+            continue
+        baseline, err = extract(baseline_rows, guard, bench)
+        if err:
+            failures.append(f"baseline {err}")
+            continue
+        ok, limit = check_metric(guard, fresh, baseline, tolerance)
+        label = guard.get("label") or f"{bench}:{guard['key']}"
+        word = "ok  " if ok else "FAIL"
+        print(f"{word} {label}: fresh {fresh:.4g} vs baseline {baseline:.4g} "
+              f"(limit {limit:.4g}, tolerance {tolerance:.0%})")
+        checked += 1
+        if not ok:
+            failures.append(
+                f"{label} regressed: {fresh:.4g} vs baseline {baseline:.4g} "
+                f"(allowed {limit:.4g})")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("error: manifest guards no metrics", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} guarded metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

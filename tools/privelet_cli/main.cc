@@ -15,6 +15,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -56,6 +57,7 @@ usage:
                        [--mechanism basic|privelet|privelet+|hay] [--sa A,B]
                        [--epsilon E] [--seed S] [--threads N]
                        [--engine tiled|naive] [--tile-lines B] [--no-table]
+                       [--max-memory BYTES[K|M|G]] [--scratch-dir DIR]
                        --output FILE.pvls
   privelet_cli inspect FILE.pvls
   privelet_cli query   FILE.pvls (--workload FILE | --random N
@@ -70,10 +72,15 @@ the workload in one pooled batch: `ok <n>` then n answers, or
 `error: <message>`. --max-resident K keeps at most K releases resident
 (LRU).
 
+--max-memory B publishes out of core: panels are staged through unlinked
+mmap scratch files (--scratch-dir, default $TMPDIR) and streamed into the
+snapshot so peak memory is paced by B instead of the release size. The
+snapshot bytes are identical to an in-core publish of the same release.
+
 defaults: --tuples 100000, --data-seed 42, --mechanism privelet,
           --epsilon 1.0, --seed 7, --threads <hardware> (0 = serial),
           --engine tiled, --workload-seed 7, --max-resident 0 (unbounded),
-          --output - (stdout for query/serve)
+          --max-memory 0 (in-core), --output - (stdout for query/serve)
 )";
 
 struct Args {
@@ -177,6 +184,43 @@ Result<double> GetDouble(const Args& args, const std::string& name,
   return value;
 }
 
+// "64M"-style byte sizes for --max-memory: strict digits with an
+// optional K/M/G binary suffix (case-insensitive).
+Result<std::size_t> GetByteSize(const Args& args, const std::string& name,
+                                std::size_t dflt) {
+  if (!args.Has(name)) return dflt;
+  std::string text = args.Get(name, "");
+  std::size_t multiplier = 1;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'K': case 'k': multiplier = std::size_t{1} << 10; break;
+      case 'M': case 'm': multiplier = std::size_t{1} << 20; break;
+      case 'G': case 'g': multiplier = std::size_t{1} << 30; break;
+      default: break;
+    }
+    if (multiplier != 1) text.pop_back();
+  }
+  const Status bad = Status::InvalidArgument(
+      "--" + name + ": '" + args.Get(name, "") +
+      "' is not a byte size (digits with optional K/M/G suffix)");
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return bad;
+  }
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (...) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size()) return bad;
+  if (value > std::numeric_limits<std::size_t>::max() / multiplier) {
+    return Status::InvalidArgument("--" + name + ": byte size overflows");
+  }
+  return value * multiplier;
+}
+
 Result<matrix::EngineOptions> GetEngineOptions(const Args& args) {
   matrix::EngineOptions options;
   const std::string engine = args.Get("engine", "tiled");
@@ -190,6 +234,12 @@ Result<matrix::EngineOptions> GetEngineOptions(const Args& args) {
       GetCount(args, "tile-lines", matrix::kDefaultTileLines));
   if (options.tile_lines == 0) {
     return Status::InvalidArgument("--tile-lines must be >= 1");
+  }
+  PRIVELET_ASSIGN_OR_RETURN(options.max_memory_bytes,
+                            GetByteSize(args, "max-memory", 0));
+  options.scratch_dir = args.Get("scratch-dir", "");
+  if (!options.out_of_core() && !options.scratch_dir.empty()) {
+    return Status::InvalidArgument("--scratch-dir requires --max-memory");
   }
   return options;
 }
@@ -314,7 +364,7 @@ int RunPublish(const Args& args) {
   Status flags = RejectUnknownFlags(
       args, {"csv", "schema", "synthetic", "census", "tuples", "data-seed",
              "mechanism", "sa", "epsilon", "seed", "threads", "engine",
-             "tile-lines", "no-table", "output"});
+             "tile-lines", "no-table", "max-memory", "scratch-dir", "output"});
   if (!flags.ok()) return Fail(flags);
   if (!args.Has("output")) {
     return Fail(Status::InvalidArgument("publish needs --output FILE.pvls"));
@@ -341,32 +391,52 @@ int RunPublish(const Args& args) {
   auto pool = GetPool(args);
   if (!pool.ok()) return Fail(pool.status());
 
+  const bool streamed = options->out_of_core();
+  if (streamed && args.Has("no-table")) {
+    return Fail(Status::InvalidArgument(
+        "--no-table cannot be combined with --max-memory (the streamed "
+        "publish always persists the serving table)"));
+  }
+
   const matrix::FrequencyMatrix m = matrix::FrequencyMatrix::FromTable(*table);
   (*mech)->set_thread_pool(pool->get());
   (*mech)->set_engine_options(*options);
 
-  Stopwatch publish_watch;
-  auto session = query::PublishingSession::Publish(
-      table->schema(), **mech, m, *epsilon, *seed, pool->get(), *options);
-  if (!session.ok()) return Fail(session.status());
-  const double publish_seconds = publish_watch.ElapsedSeconds();
-
   const std::string output = args.Get("output", "");
-  Stopwatch save_watch;
-  Status st;
-  if (args.Has("no-table")) {
-    storage::ReleaseSnapshotView view;
-    view.schema = &session->schema();
-    view.mechanism = session->metadata().mechanism;
-    view.epsilon = session->metadata().epsilon;
-    view.seed = session->metadata().seed;
-    view.engine_options = session->engine_options();
-    view.published = &session->published();
-    st = storage::WriteSnapshot(output, view);
+  Stopwatch publish_watch;
+  double publish_seconds = 0.0;
+  double save_seconds = 0.0;
+  if (streamed) {
+    // One fused pass: the publish streams panels into the snapshot as
+    // they materialize; there is no separate whole-release save step.
+    auto session =
+        storage::PublishToFile(output, table->schema(), **mech, m, *epsilon,
+                               *seed, pool->get(), *options);
+    if (!session.ok()) return Fail(session.status());
+    publish_seconds = publish_watch.ElapsedSeconds();
   } else {
-    st = storage::SaveSession(output, *session);
+    auto session = query::PublishingSession::Publish(
+        table->schema(), **mech, m, *epsilon, *seed, pool->get(), *options);
+    if (!session.ok()) return Fail(session.status());
+    publish_seconds = publish_watch.ElapsedSeconds();
+
+    Stopwatch save_watch;
+    Status st;
+    if (args.Has("no-table")) {
+      storage::ReleaseSnapshotView view;
+      view.schema = &session->schema();
+      view.mechanism = session->metadata().mechanism;
+      view.epsilon = session->metadata().epsilon;
+      view.seed = session->metadata().seed;
+      view.engine_options = session->engine_options();
+      view.published = &session->published();
+      st = storage::WriteSnapshot(output, view);
+    } else {
+      st = storage::SaveSession(output, *session);
+    }
+    if (!st.ok()) return Fail(st);
+    save_seconds = save_watch.ElapsedSeconds();
   }
-  if (!st.ok()) return Fail(st);
 
   std::error_code ec;
   const std::uintmax_t bytes = std::filesystem::file_size(output, ec);
@@ -377,7 +447,13 @@ int RunPublish(const Args& args) {
       *epsilon, static_cast<std::size_t>(*seed), output.c_str(),
       ec ? static_cast<std::uintmax_t>(0) : bytes,
       args.Has("no-table") ? " (no prefix table)" : "", publish_seconds,
-      save_watch.ElapsedSeconds());
+      save_seconds);
+  if (streamed) {
+    std::printf("publish mode: streamed (max-memory %zu bytes)\n",
+                options->max_memory_bytes);
+  } else {
+    std::printf("publish mode: in-core\n");
+  }
   return 0;
 }
 
@@ -406,6 +482,20 @@ int RunInspect(const Args& args) {
               info->engine_options.tile_lines);
   std::printf("prefix table: %s\n", info->has_prefix_table ? "yes" : "no");
   std::printf("cells:        %zu\n", info->num_cells);
+  std::printf("values:       offset %ju, %ju bytes\n",
+              static_cast<std::uintmax_t>(info->values_offset),
+              static_cast<std::uintmax_t>(info->values_bytes));
+  if (info->has_prefix_table) {
+    std::printf("table:        offset %ju, %ju bytes\n",
+                static_cast<std::uintmax_t>(info->table_offset),
+                static_cast<std::uintmax_t>(info->table_bytes));
+  }
+  // Streamed (out-of-core) and in-core publishes of the same release
+  // produce byte-identical snapshots, so the file cannot (and need not)
+  // record which path wrote it — only the publishing process knows.
+  std::printf(
+      "publish mode: not recorded (streamed and in-core snapshots are "
+      "byte-identical)\n");
   for (std::size_t a = 0; a < info->schema.num_attributes(); ++a) {
     const data::Attribute& attr = info->schema.attribute(a);
     if (attr.is_ordinal()) {
