@@ -10,10 +10,21 @@
 // (Release builds only) exits non-zero if the mapped open stops beating
 // the copy load — the mapped path does no O(m) table decode, so losing
 // to a full-file read + decode means the zero-copy plumbing regressed.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#endif
 
 #include "bench_util.h"
 #include "privelet/common/stopwatch.h"
@@ -26,6 +37,8 @@
 #include "privelet/query/release_store.h"
 #include "privelet/query/workload.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/serving/protocol.h"
+#include "privelet/serving/server.h"
 #include "privelet/storage/session_io.h"
 
 namespace privelet::bench {
@@ -71,6 +84,110 @@ LoadTiming Measure(const Open& open,
   return best;
 }
 
+#if defined(__linux__)
+
+/// Exact quantile from a sorted sample set (the loadgen keeps every
+/// request's latency, so no histogram approximation is involved).
+double SortedQuantileUs(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_us.size())));
+  return sorted_us[std::min(sorted_us.size(), std::max<std::size_t>(rank, 1)) -
+                   1];
+}
+
+struct E2eResult {
+  double wall_s = 0.0;
+  std::size_t queries = 0;
+  std::vector<double> latencies_us;  // one sample per request, sorted
+  bool ok = false;
+};
+
+/// Multi-client loadgen against an in-process daemon: `clients` threads
+/// each send `rounds` pipeline-depth-1 binary BATCH requests of
+/// `batch` queries and verify every answer against `expected`.
+E2eResult RunLoadgen(serving::Server* server, const std::string& wire,
+                     const std::vector<double>& expected, std::size_t clients,
+                     std::size_t rounds) {
+  E2eResult result;
+  std::vector<std::vector<double>> samples(clients);
+  std::vector<bool> thread_ok(clients, false);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd < 0) return;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(server->port());
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::close(fd);
+        return;
+      }
+      const auto send_all = [fd](std::string_view data) {
+        while (!data.empty()) {
+          const ssize_t n =
+              ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+          }
+          data.remove_prefix(static_cast<std::size_t>(n));
+        }
+        return true;
+      };
+      std::string buffer;
+      const auto read_frame = [&](std::string* payload) {
+        char chunk[64 * 1024];
+        while (true) {
+          auto total = serving::PeekFrame(buffer);
+          if (!total.ok()) return false;
+          if (*total > 0) {
+            *payload = buffer.substr(4, *total - 4);
+            buffer.erase(0, *total);
+            return true;
+          }
+          const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) return false;
+          buffer.append(chunk, static_cast<std::size_t>(n));
+        }
+      };
+
+      bool all_ok = send_all(std::string_view(serving::kBinaryMagic, 4));
+      samples[c].reserve(rounds);
+      for (std::size_t r = 0; all_ok && r < rounds; ++r) {
+        Stopwatch request_watch;
+        std::string payload;
+        all_ok = send_all(wire) && read_frame(&payload);
+        if (!all_ok) break;
+        samples[c].push_back(request_watch.ElapsedSeconds() * 1e6);
+        auto response = serving::DecodeResponse(payload);
+        all_ok = response.ok() && response->ok &&
+                 response->answers == expected;
+      }
+      ::close(fd);
+      thread_ok[c] = all_ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_s = wall.ElapsedSeconds();
+  result.ok = true;
+  for (std::size_t c = 0; c < clients; ++c) {
+    result.ok = result.ok && thread_ok[c];
+    result.latencies_us.insert(result.latencies_us.end(),
+                               samples[c].begin(), samples[c].end());
+  }
+  result.queries = result.latencies_us.size() * expected.size();
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  return result;
+}
+
+#endif  // defined(__linux__)
+
 int Run(bool smoke) {
   const int reps = smoke ? 3 : 5;
   const std::size_t side = smoke ? 512 : 1024;
@@ -91,7 +208,10 @@ int Run(bool smoke) {
                                                      /*epsilon=*/1.0,
                                                      /*seed=*/7, &pool);
   PRIVELET_CHECK(published.ok(), "publish failed");
-  const std::string path = "serving_throughput.pvls";
+  // Pid-suffixed so two bench invocations sharing a build directory
+  // cannot clobber each other's snapshot mid-read.
+  const std::string path =
+      "serving_throughput." + std::to_string(::getpid()) + ".pvls";
   PRIVELET_CHECK(storage::SaveSession(path, *published).ok(), "save failed");
 
   query::WorkloadOptions wopts;
@@ -132,6 +252,42 @@ int Run(bool smoke) {
   PRIVELET_CHECK(store_answers.ok() && *store_answers == mmap_answers,
                  "store answers differ");
 
+#if defined(__linux__)
+  // End-to-end loadgen: concurrent TCP clients through the daemon's
+  // event loop, so the report captures network tail latency, not just
+  // the in-process answer path.
+  const std::size_t e2e_clients = smoke ? 2 : 4;
+  const std::size_t e2e_rounds = smoke ? 150 : 500;
+  const std::size_t e2e_batch = std::min<std::size_t>(64, workload->size());
+  std::vector<serving::QuerySpec> specs;
+  for (std::size_t i = 0; i < e2e_batch; ++i) {
+    serving::QuerySpec spec;
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      const auto& range = (*workload)[i].range(a);
+      if (!range.has_value()) continue;
+      spec.predicates.push_back({/*kind=*/0,
+                                 static_cast<std::uint16_t>(a),
+                                 range->lo, range->hi});
+    }
+    specs.push_back(std::move(spec));
+  }
+  std::string wire;
+  serving::EncodeQueryRequest(&wire, "r", specs);
+  const std::vector<double> e2e_expected(mmap_answers.begin(),
+                                         mmap_answers.begin() + e2e_batch);
+
+  serving::Server server(&store, serving::ServerOptions{});
+  PRIVELET_CHECK(server.Start().ok(), "daemon start failed");
+  std::thread server_thread([&server] { (void)server.Run(); });
+  const E2eResult e2e =
+      RunLoadgen(&server, wire, e2e_expected, e2e_clients, e2e_rounds);
+  server.Shutdown();
+  server_thread.join();
+  PRIVELET_CHECK(e2e.ok, "loadgen saw a failed or mismatched response");
+  PRIVELET_CHECK(e2e.latencies_us.size() == e2e_clients * e2e_rounds,
+                 "loadgen lost requests");
+#endif
+
   const auto qps = [&](double seconds) {
     return seconds > 0.0 ? static_cast<double>(num_queries) / seconds : 0.0;
   };
@@ -143,6 +299,17 @@ int Run(bool smoke) {
   std::printf("  %-12s %12.3f %14.0f\n", "mmap", mmap.load_s * 1e3,
               qps(mmap.answer_s));
   std::printf("  %-12s %12s %14.0f\n", "store-hit", "-", qps(store_answer_s));
+#if defined(__linux__)
+  const double e2e_qps =
+      e2e.wall_s > 0.0 ? static_cast<double>(e2e.queries) / e2e.wall_s : 0.0;
+  const double p50_us = SortedQuantileUs(e2e.latencies_us, 0.50);
+  const double p99_us = SortedQuantileUs(e2e.latencies_us, 0.99);
+  const double p999_us = SortedQuantileUs(e2e.latencies_us, 0.999);
+  std::printf(
+      "  e2e daemon: %zu clients x %zu reqs x %zu queries — %0.f queries/s, "
+      "request p50 %.1f us, p99 %.1f us, p999 %.1f us\n",
+      e2e_clients, e2e_rounds, e2e_batch, e2e_qps, p50_us, p99_us, p999_us);
+#endif
 
   // One process-wide VmHWM; identical across the rows of a run, there to
   // correlate serving footprint with the publish-side memory numbers.
@@ -166,18 +333,52 @@ int Run(bool smoke) {
                  {"load_ms", 0.0},
                  {"queries_per_s", qps(store_answer_s)},
                  {"peak_rss", peak_rss}});
-
-  std::remove(path.c_str());
+#if defined(__linux__)
+  // The e2e row deliberately has no "mmap" key so the pre-existing
+  // guarded selects cannot match it.
+  report.AddRow({{"e2e", 1.0},
+                 {"clients", static_cast<double>(e2e_clients)},
+                 {"batch", static_cast<double>(e2e_batch)},
+                 {"queries", static_cast<double>(e2e.queries)},
+                 {"p50_us", p50_us},
+                 {"p99_us", p99_us},
+                 {"p999_us", p999_us},
+                 {"queries_per_s", e2e_qps},
+                 {"peak_rss", peak_rss}});
+#endif
 
 #ifdef NDEBUG
-  if (smoke && mmap.load_s > kSmokeMarginFactor * copy.load_s) {
-    std::fprintf(stderr,
-                 "FAIL: mapped open (%.3f ms) did not beat the copy load "
-                 "(%.3f ms) — the zero-copy path regressed\n",
-                 mmap.load_s * 1e3, copy.load_s * 1e3);
-    return 1;
+  if (smoke) {
+    // A one-shot wall-clock comparison can flip under shared-runner
+    // contention even at best-of-reps (the two measurement windows see
+    // different background load), so a trip re-measures both paths
+    // back-to-back before failing: transient noise clears on the
+    // retry, a real regression (the mapped open doing copy-level
+    // work) does not.
+    double copy_load_s = copy.load_s;
+    double mmap_load_s = mmap.load_s;
+    for (int retry = 0;
+         mmap_load_s > kSmokeMarginFactor * copy_load_s && retry < 2;
+         ++retry) {
+      std::vector<double> recheck;
+      copy_load_s = Measure([&] { return storage::LoadSession(path, &pool); },
+                            *workload, reps, &recheck)
+                        .load_s;
+      mmap_load_s = Measure([&] { return storage::MapSession(path, &pool); },
+                            *workload, reps, &recheck)
+                        .load_s;
+    }
+    if (mmap_load_s > kSmokeMarginFactor * copy_load_s) {
+      std::fprintf(stderr,
+                   "FAIL: mapped open (%.3f ms) did not beat the copy load "
+                   "(%.3f ms) — the zero-copy path regressed\n",
+                   mmap_load_s * 1e3, copy_load_s * 1e3);
+      std::remove(path.c_str());
+      return 1;
+    }
   }
 #endif
+  std::remove(path.c_str());
   return 0;
 }
 

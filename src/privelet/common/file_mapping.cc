@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "privelet/common/check.h"
+#include "privelet/common/io_util.h"
 
 #if !defined(_WIN32)
 #include <cerrno>
@@ -20,16 +21,6 @@ namespace privelet::common {
 namespace {
 
 #if !defined(_WIN32)
-std::string ErrnoMessage() {
-  char buf[128];
-  // GNU strerror_r may return a static string instead of filling buf.
-#if defined(__GLIBC__) && defined(_GNU_SOURCE)
-  return strerror_r(errno, buf, sizeof(buf));
-#else
-  return strerror_r(errno, buf, sizeof(buf)) == 0 ? buf : "unknown error";
-#endif
-}
-
 std::string ResolveScratchDir(const std::string& dir) {
   if (!dir.empty()) return dir;
   const char* tmpdir = std::getenv("TMPDIR");
@@ -44,25 +35,25 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
 #if defined(_WIN32)
   return Status::IOError("memory mapping is not supported on this platform");
 #else
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::IOError("cannot open '" + path + "': " + ErrnoMessage());
   }
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
     const std::string msg = ErrnoMessage();
-    ::close(fd);
+    CloseFd(fd);
     return Status::IOError("cannot stat '" + path + "': " + msg);
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size == 0) {
-    ::close(fd);
+    CloseFd(fd);
     return MappedFile();
   }
   void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   // The mapping holds its own reference to the file; the descriptor is
   // not needed past this point either way.
-  ::close(fd);
+  CloseFd(fd);
   if (addr == MAP_FAILED) {
     return Status::IOError("cannot map '" + path + "': " + ErrnoMessage());
   }
@@ -93,20 +84,24 @@ Result<MappedFile> MappedFile::CreateScratch(std::size_t size,
   // is reclaimed no matter how the process exits.
   ::unlink(name.data());
   if (size == 0) {
-    ::close(fd);
+    CloseFd(fd);
     MappedFile empty;
     empty.writable_ = true;
     return empty;
   }
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+  int rc;
+  do {
+    rc = ::ftruncate(fd, static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     const std::string msg = ErrnoMessage();
-    ::close(fd);
+    CloseFd(fd);
     return Status::IOError("cannot size scratch file to " +
                            std::to_string(size) + " bytes: " + msg);
   }
   void* addr =
       ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);
+  CloseFd(fd);
   if (addr == MAP_FAILED) {
     return Status::IOError("cannot map scratch file (" + std::to_string(size) +
                            " bytes): " + ErrnoMessage());

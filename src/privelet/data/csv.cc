@@ -1,12 +1,48 @@
 #include "privelet/data/csv.h"
 
-#include <cerrno>
-#include <cstring>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 namespace privelet::data {
+
+namespace {
+
+// Windows tools and HTTP bodies end lines with \r\n; getline leaves the
+// \r on the last field, so strip it once per line.
+void StripTrailingCR(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+// Strict uint32 parsing. strtoul accepts "-1" and wraps it to
+// 4294967295, and a 64-bit unsigned long lets values above UINT32_MAX
+// through a silent truncation — both must be rejected, naming the value.
+Status ParseCell(const std::string& field, std::size_t line_number,
+                 std::uint32_t* out) {
+  const auto fail = [&](const char* why) {
+    std::string message = "line " + std::to_string(line_number) + ": ";
+    message += why;
+    message += " '";
+    message += field;
+    message += "'";
+    return Status::InvalidArgument(std::move(message));
+  };
+  std::uint32_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return fail("value exceeds UINT32_MAX:");
+  }
+  if (ec != std::errc{} || ptr != end || field.empty()) {
+    return fail("non-integer field");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+}  // namespace
 
 Status WriteCsv(const std::string& path, const Table& table) {
   std::ofstream out(path);
@@ -40,6 +76,7 @@ Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
   if (!std::getline(in, line)) {
     return Status::IOError("'" + path + "' is empty (missing header)");
   }
+  StripTrailingCR(&line);
   // Check the header against the schema.
   {
     std::stringstream header(line);
@@ -62,6 +99,7 @@ Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    StripTrailingCR(&line);
     if (line.empty()) continue;
     std::stringstream fields(line);
     std::string field;
@@ -71,14 +109,8 @@ Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
         return Status::InvalidArgument(
             "too many fields at line " + std::to_string(line_number));
       }
-      errno = 0;
-      char* end = nullptr;
-      const unsigned long value = std::strtoul(field.c_str(), &end, 10);
-      if (errno != 0 || end == field.c_str() || *end != '\0') {
-        return Status::InvalidArgument(
-            "non-integer field at line " + std::to_string(line_number));
-      }
-      row[col++] = static_cast<std::uint32_t>(value);
+      PRIVELET_RETURN_IF_ERROR(ParseCell(field, line_number, &row[col]));
+      ++col;
     }
     if (col != row.size()) {
       return Status::InvalidArgument(

@@ -24,6 +24,25 @@ Status ReleaseStore::Register(std::string id, std::string path) {
   return Status::OK();
 }
 
+Status ReleaseStore::Rebind(std::string id, std::string path) {
+  if (id.empty()) {
+    return Status::InvalidArgument("release id must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::move(id)];
+  entry.path = std::move(path);
+  ++entry.generation;
+  if (entry.session != nullptr) {
+    entry.session.reset();
+    ++stats_.evictions;
+  }
+  // Detach any in-flight load of the old path: its waiters still get the
+  // old session, but the loader will see the generation change and not
+  // install it; the next Acquire starts a fresh load of the new path.
+  entry.inflight.reset();
+  return Status::OK();
+}
+
 std::vector<std::string> ReleaseStore::ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
@@ -67,8 +86,10 @@ Result<std::shared_ptr<const PublishingSession>> ReleaseStore::Acquire(
   // entry cannot be erased (there is no unregister), so holding the
   // pointer across the unlocked load is safe.
   auto promise = std::make_shared<std::promise<SessionResult>>();
-  entry.inflight = std::make_shared<std::shared_future<SessionResult>>(
+  auto inflight = std::make_shared<std::shared_future<SessionResult>>(
       promise->get_future().share());
+  entry.inflight = inflight;
+  const std::uint64_t generation = entry.generation;
   const std::string path = entry.path;
   lock.unlock();
 
@@ -80,12 +101,18 @@ Result<std::shared_ptr<const PublishingSession>> ReleaseStore::Acquire(
           : SessionResult(opened.status());
 
   lock.lock();
-  entry.inflight.reset();
+  // A Rebind may have replaced the binding (and possibly a newer loader)
+  // while we loaded: only clear our own inflight marker, and only install
+  // the session if the binding we loaded from is still current. Waiters
+  // on our future still receive what they asked for.
+  if (entry.inflight == inflight) entry.inflight.reset();
   if (result.ok()) {
     ++stats_.loads;
-    entry.session = *result;
-    entry.last_used = ++tick_;
-    EnforceBoundLocked(&entry);
+    if (entry.generation == generation) {
+      entry.session = *result;
+      entry.last_used = ++tick_;
+      EnforceBoundLocked(&entry);
+    }
   }
   lock.unlock();
   promise->set_value(result);

@@ -64,6 +64,14 @@ class ReleaseStore {
   /// first Acquire). Duplicate ids are rejected.
   Status Register(std::string id, std::string path);
 
+  /// Points `id` at `path`, registering it if unknown — the hot-swap
+  /// behind the daemon's RELOAD verb. Any resident session for `id` is
+  /// dropped (borrowed shared_ptrs stay valid; in-flight borrowers finish
+  /// on the old release) and the next Acquire loads the new file. A load
+  /// of the old path still in flight when Rebind runs is discarded on
+  /// completion instead of being installed.
+  Status Rebind(std::string id, std::string path);
+
   /// All registered ids, sorted.
   std::vector<std::string> ids() const;
 
@@ -102,6 +110,9 @@ class ReleaseStore {
     /// In-flight load, shared by every concurrent Acquire of this id.
     std::shared_ptr<std::shared_future<SessionResult>> inflight;
     std::uint64_t last_used = 0;
+    /// Bumped by Rebind; a loader only installs its session when the
+    /// generation it captured is still current.
+    std::uint64_t generation = 0;
   };
 
   /// Evicts least-recently-used resident sessions (excluding `keep`)

@@ -1,0 +1,79 @@
+#include "privelet/serving/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace privelet::serving {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const int octave = std::bit_width(value) - 1;  // >= kSubBits
+  const std::size_t group = static_cast<std::size_t>(octave - kSubBits + 1);
+  const std::size_t sub = static_cast<std::size_t>(
+      (value >> (octave - kSubBits)) - kSubCount);
+  return (group << kSubBits) | sub;
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
+  const std::size_t group = index >> kSubBits;
+  const std::uint64_t sub = index & (kSubCount - 1);
+  if (group == 0) return sub;
+  // Top group's bound wraps to 2^64; the unsigned wrap-minus-one yields
+  // UINT64_MAX, which is the correct clamp.
+  return ((sub + kSubCount + 1) << (group - 1)) - 1;
+}
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::string LatencyHistogram::SummaryMicros() const {
+  const auto micros = [](std::uint64_t nanos) {
+    return static_cast<double>(nanos) * 1e-3;
+  };
+  const double mean =
+      count_ == 0 ? 0.0
+                  : static_cast<double>(sum_) / static_cast<double>(count_);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean_us=%.1f p50_us=%.1f p99_us=%.1f "
+                "p999_us=%.1f max_us=%.1f",
+                static_cast<unsigned long long>(count_), mean * 1e-3,
+                micros(Quantile(0.50)), micros(Quantile(0.99)),
+                micros(Quantile(0.999)), micros(max_));
+  return buf;
+}
+
+}  // namespace privelet::serving

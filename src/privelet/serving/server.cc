@@ -1,0 +1,781 @@
+#include "privelet/serving/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "privelet/common/io_util.h"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace privelet::serving {
+
+namespace {
+
+#if defined(__linux__)
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Strict digit parsing: "-1" must never wrap into a huge batch size.
+Result<std::uint64_t> ParseCount(std::string_view token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 10);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      token.empty()) {
+    return Status::InvalidArgument("'" + std::string(token) +
+                                   "' is not a count");
+  }
+  return value;
+}
+
+std::string_view NextToken(std::string_view* line) {
+  const std::size_t begin = line->find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) {
+    *line = {};
+    return {};
+  }
+  std::size_t end = line->find_first_of(" \t\r", begin);
+  if (end == std::string_view::npos) end = line->size();
+  const std::string_view token = line->substr(begin, end - begin);
+  line->remove_prefix(end);
+  return token;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+Server::Server(query::ReleaseStore* store, ServerOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+Server::~Server() {
+#if defined(__linux__)
+  for (auto& [fd, conn] : connections_) common::CloseFd(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) common::CloseFd(listen_fd_);
+  if (epoll_fd_ >= 0) common::CloseFd(epoll_fd_);
+  if (wake_read_fd_ >= 0) common::CloseFd(wake_read_fd_);
+  if (wake_write_fd_ >= 0) common::CloseFd(wake_write_fd_);
+#endif
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::Shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+#if defined(__linux__)
+  // One byte into the wake pipe; safe from a signal handler. A full pipe
+  // (EAGAIN) means a wakeup is already pending.
+  const int fd = wake_write_fd_;
+  if (fd >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+  }
+#endif
+}
+
+#if !defined(__linux__)
+
+Status Server::Start() {
+  return Status::IOError("the serving daemon requires Linux (epoll)");
+}
+Status Server::Run() {
+  return Status::IOError("the serving daemon requires Linux (epoll)");
+}
+
+#else  // defined(__linux__)
+
+Status Server::Start() {
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+    return Status::IOError("cannot create wake pipe: " +
+                           common::ErrnoMessage());
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError("epoll_create1 failed: " + common::ErrnoMessage());
+  }
+
+  PRIVELET_RETURN_IF_ERROR(SetupListener());
+
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::IOError("epoll_ctl(listener) failed: " +
+                           common::ErrnoMessage());
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_read_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) != 0) {
+    return Status::IOError("epoll_ctl(wake pipe) failed: " +
+                           common::ErrnoMessage());
+  }
+  uptime_.Restart();
+  return Status::OK();
+}
+
+Status Server::SetupListener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket failed: " + common::ErrnoMessage());
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("'" + options_.host +
+                                   "' is not an IPv4 address");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError("cannot bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           common::ErrnoMessage());
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return Status::IOError("listen failed: " + common::ErrnoMessage());
+  }
+  struct sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) != 0) {
+    return Status::IOError("getsockname failed: " + common::ErrnoMessage());
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Status Server::Run() {
+  if (epoll_fd_ < 0 || listen_fd_ < 0) {
+    return Status::FailedPrecondition("Run() before Start()");
+  }
+  const Status status = RunLoop();
+  // Drain: one non-blocking flush attempt per connection, then close.
+  for (auto& [fd, conn] : connections_) {
+    FlushConnection(*conn);
+    common::CloseFd(fd);
+  }
+  connections_.clear();
+  return status;
+}
+
+Status Server::RunLoop() {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int timeout_ms = ready_.empty() ? -1 : 0;
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("epoll_wait failed: " + common::ErrnoMessage());
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (fd == wake_read_fd_) {
+        char drain[64];
+        while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this cycle
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) FlushConnection(conn);
+      if (conn.fd < 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) OnReadable(conn);
+      if (conn.fd < 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      UpdateInterest(conn);
+    }
+    // Connections whose pipelined input outlasted their per-cycle budget.
+    std::vector<int> still_ready;
+    still_ready.swap(ready_);
+    for (const int fd : still_ready) {
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      ProcessConnection(conn);
+      if (conn.fd < 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      UpdateInterest(conn);
+    }
+  }
+  return Status::OK();
+}
+
+void Server::AcceptPending() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: drained. Transient per-connection failures
+      // (ECONNABORTED, EMFILE pressure) just stop this accept burst.
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      common::CloseFd(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_dropped;
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      common::CloseFd(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void Server::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  common::CloseFd(fd);  // also deregisters from epoll
+  connections_.erase(it);
+}
+
+void Server::OnReadable(Connection& conn) {
+  char buf[64 * 1024];
+  while (conn.reading) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.fd = -1;  // hard error; caller closes
+      return;
+    }
+    if (n == 0) {
+      // Peer finished sending: answer what is buffered, then close.
+      conn.want_close = true;
+      break;
+    }
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    if (conn.in.size() - conn.in_head > options_.max_request_bytes) break;
+  }
+  ProcessConnection(conn);
+}
+
+void Server::ProcessConnection(Connection& conn) {
+  if (conn.mode == Mode::kUnknown) {
+    const std::size_t avail = conn.in.size() - conn.in_head;
+    if (avail > 0) {
+      const std::size_t check = std::min<std::size_t>(avail, 4);
+      if (std::memcmp(conn.in.data() + conn.in_head, kBinaryMagic, check) ==
+          0) {
+        if (avail < 4) {
+          // A prefix of the magic: wait for the rest (or EOF).
+          if (!conn.want_close) return;
+          conn.mode = Mode::kText;  // EOF mid-magic: treat as text garbage
+        } else {
+          conn.mode = Mode::kBinary;
+          conn.in_head += 4;
+        }
+      } else {
+        conn.mode = Mode::kText;
+      }
+    }
+  }
+
+  bool more = false;
+  if (conn.mode != Mode::kUnknown) {
+    std::size_t budget = options_.max_pipeline;
+    more = conn.mode == Mode::kText ? ProcessText(conn, &budget)
+                                    : ProcessBinary(conn, &budget);
+  }
+
+  // Compact the consumed prefix of the input buffer.
+  if (conn.in_head == conn.in.size()) {
+    conn.in.clear();
+    conn.in_head = 0;
+  } else if (conn.in_head > (std::size_t{64} << 10)) {
+    conn.in.erase(0, conn.in_head);
+    conn.in_head = 0;
+  }
+
+  // Oversized single request (no line/frame boundary within the cap):
+  // the stream cannot resynchronize — report and close.
+  if (!conn.want_close &&
+      conn.in.size() - conn.in_head > options_.max_request_bytes) {
+    const Status err = Status::InvalidArgument(
+        "request exceeds " + std::to_string(options_.max_request_bytes) +
+        " bytes");
+    if (conn.mode == Mode::kBinary) {
+      EncodeErrorResponse(&conn.out, err);
+    } else {
+      AppendTextError(conn, err);
+    }
+    conn.in.clear();
+    conn.in_head = 0;
+    conn.want_close = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_dropped;
+  }
+
+  FlushConnection(conn);
+  if (conn.fd < 0) return;
+
+  // Slow-client cap: a connection buffering more than the limit is gone.
+  if (OutPending(conn) > options_.max_buffered_bytes) {
+    conn.fd = -1;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_dropped;
+    return;
+  }
+  // Backpressure: pause reads while the output backlog is high.
+  conn.reading = OutPending(conn) <= options_.max_buffered_bytes / 2 &&
+                 !conn.want_close;
+  if (more && !conn.want_close) ready_.push_back(conn.fd);
+  if (conn.want_close && OutPending(conn) == 0) conn.fd = -1;
+}
+
+bool Server::ProcessText(Connection& conn, std::size_t* budget) {
+  while (*budget > 0) {
+    if (OutPending(conn) > options_.max_buffered_bytes / 2) break;
+    const std::size_t nl = conn.in.find('\n', conn.in_head);
+    if (nl == std::string::npos) return false;
+    std::string line = conn.in.substr(conn.in_head, nl - conn.in_head);
+    conn.in_head = nl + 1;
+    // CRLF clients (nc -C, telnet, Windows edits) terminate with \r\n.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    if (conn.batch_expected > 0) {
+      conn.batch_lines.push_back(std::move(line));
+      if (conn.batch_lines.size() == conn.batch_expected) {
+        FinishTextBatch(conn);
+        --*budget;
+      }
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    HandleTextLine(conn, line);
+    --*budget;
+    if (conn.want_close) break;
+  }
+  return conn.in.find('\n', conn.in_head) != std::string::npos;
+}
+
+bool Server::ProcessBinary(Connection& conn, std::size_t* budget) {
+  while (*budget > 0) {
+    if (OutPending(conn) > options_.max_buffered_bytes / 2) break;
+    const auto frame = PeekFrame(
+        std::string_view(conn.in).substr(conn.in_head));
+    if (!frame.ok()) {
+      EncodeErrorResponse(&conn.out, frame.status());
+      conn.in.clear();
+      conn.in_head = 0;
+      conn.want_close = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failures;
+      return false;
+    }
+    if (*frame == 0) return false;
+    const std::string_view payload =
+        std::string_view(conn.in).substr(conn.in_head + 4, *frame - 4);
+    auto request = DecodeRequest(payload);
+    conn.in_head += *frame;
+    if (!request.ok()) {
+      // The frame boundary held, so the stream is still in sync: report
+      // and continue.
+      EncodeErrorResponse(&conn.out, request.status());
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+      ++stats_.failures;
+    } else {
+      HandleBinaryRequest(conn, *request);
+    }
+    --*budget;
+  }
+  const auto next = PeekFrame(std::string_view(conn.in).substr(conn.in_head));
+  return next.ok() && *next > 0;
+}
+
+void Server::HandleTextLine(Connection& conn, std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  std::string_view rest = line;
+  std::string verb(NextToken(&rest));
+  std::transform(verb.begin(), verb.end(), verb.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+
+  const auto fail = [&](const Status& status) {
+    AppendTextError(conn, status);
+  };
+
+  if (verb == "QUERY") {
+    const std::string id(NextToken(&rest));
+    const std::size_t preds = rest.find_first_not_of(" \t\r");
+    if (id.empty() || preds == std::string_view::npos) {
+      fail(Status::InvalidArgument(
+          "usage: QUERY <release-id> <predicates> (predicates: '*', "
+          "name=lo:hi, name@node)"));
+      return;
+    }
+    const std::string pred_line(rest.substr(preds));
+    auto answers = AnswerTextQueries(id, std::span(&pred_line, 1));
+    if (!answers.ok()) {
+      fail(answers.status());
+      return;
+    }
+    AppendTextHeader(conn, answers->size());
+    AppendTextAnswers(conn, *answers);
+    return;
+  }
+  if (verb == "BATCH") {
+    const std::string id(NextToken(&rest));
+    const std::string_view count_token = NextToken(&rest);
+    auto count = ParseCount(count_token);
+    if (id.empty() || !count.ok() || !NextToken(&rest).empty()) {
+      fail(Status::InvalidArgument("usage: BATCH <release-id> <n>"));
+      return;
+    }
+    if (*count == 0 || *count > kMaxQueriesPerRequest) {
+      fail(Status::InvalidArgument(
+          "batch size must be in [1, " +
+          std::to_string(kMaxQueriesPerRequest) + "]"));
+      return;
+    }
+    conn.batch_id = id;
+    conn.batch_expected = static_cast<std::size_t>(*count);
+    conn.batch_lines.clear();
+    return;  // the response follows the n-th predicate line
+  }
+  if (verb == "RELOAD") {
+    const std::string id(NextToken(&rest));
+    const std::string path(NextToken(&rest));
+    if (id.empty() || path.empty() || !NextToken(&rest).empty()) {
+      fail(Status::InvalidArgument(
+          "usage: RELOAD <release-id> <snapshot-path>"));
+      return;
+    }
+    auto message = DoReload(id, path);
+    if (!message.ok()) {
+      fail(message.status());
+      return;
+    }
+    AppendTextHeader(conn, 1);
+    conn.out += *message;
+    conn.out += '\n';
+    return;
+  }
+  if (verb == "STATS") {
+    const std::string text = RenderStatsText();
+    const std::size_t lines = static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+    AppendTextHeader(conn, lines);
+    conn.out += text;
+    return;
+  }
+  if (verb == "IDS") {
+    const std::string text = RenderIdsText();
+    const std::size_t lines = static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+    AppendTextHeader(conn, lines);
+    conn.out += text;
+    return;
+  }
+  if (verb == "PING") {
+    AppendTextHeader(conn, 1);
+    conn.out += "pong\n";
+    return;
+  }
+  if (verb == "QUIT") {
+    conn.want_close = true;
+    return;
+  }
+  fail(Status::InvalidArgument(
+      "unknown verb '" + verb +
+      "' (QUERY|BATCH|RELOAD|STATS|IDS|PING|QUIT)"));
+}
+
+void Server::FinishTextBatch(Connection& conn) {
+  const std::string id = std::move(conn.batch_id);
+  std::vector<std::string> lines = std::move(conn.batch_lines);
+  conn.batch_id.clear();
+  conn.batch_expected = 0;
+  conn.batch_lines.clear();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  auto answers = AnswerTextQueries(id, lines);
+  if (!answers.ok()) {
+    AppendTextError(conn, answers.status());
+    return;
+  }
+  AppendTextHeader(conn, answers->size());
+  AppendTextAnswers(conn, *answers);
+}
+
+void Server::HandleBinaryRequest(Connection& conn,
+                                 const BinaryRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  switch (request.verb) {
+    case Verb::kQuery: {
+      auto answers = AnswerSpecQueries(request.id, request.queries);
+      if (!answers.ok()) {
+        EncodeErrorResponse(&conn.out, answers.status());
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.failures;
+        return;
+      }
+      EncodeOkAnswers(&conn.out, *answers);
+      return;
+    }
+    case Verb::kReload: {
+      auto message = DoReload(request.id, request.path);
+      if (!message.ok()) {
+        EncodeErrorResponse(&conn.out, message.status());
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.failures;
+        return;
+      }
+      EncodeOkText(&conn.out, *message);
+      return;
+    }
+    case Verb::kStats:
+      EncodeOkText(&conn.out, RenderStatsText());
+      return;
+    case Verb::kIds:
+      EncodeOkText(&conn.out, RenderIdsText());
+      return;
+    case Verb::kPing:
+      EncodeOkText(&conn.out, "pong");
+      return;
+  }
+  EncodeErrorResponse(&conn.out, Status::Internal("unhandled verb"));
+}
+
+template <typename BuildQueries>
+Result<std::vector<double>> Server::AnswerTimed(const std::string& id,
+                                                const BuildQueries& build) {
+  // Failures are counted where the error response is rendered
+  // (AppendTextError / the binary encode sites), exactly once per
+  // request; error returns here just propagate.
+  const std::uint64_t start = NowNanos();
+  PRIVELET_ASSIGN_OR_RETURN(auto session, store_->Acquire(id));
+  PRIVELET_ASSIGN_OR_RETURN(std::vector<query::RangeQuery> queries,
+                            build(session->schema()));
+  std::vector<double> answers = session->AnswerAll(queries);
+  const std::uint64_t elapsed = NowNanos() - start;
+  all_latency_.Record(elapsed);
+  release_latency_[id].Record(elapsed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.queries += answers.size();
+  return answers;
+}
+
+Result<std::vector<double>> Server::AnswerTextQueries(
+    const std::string& id, std::span<const std::string> lines) {
+  return AnswerTimed(
+      id,
+      [&](const data::Schema& schema)
+          -> Result<std::vector<query::RangeQuery>> {
+        std::vector<query::RangeQuery> queries;
+        queries.reserve(lines.size());
+        for (const std::string& line : lines) {
+          PRIVELET_ASSIGN_OR_RETURN(query::RangeQuery query,
+                                    ParseQueryLine(schema, line));
+          queries.push_back(std::move(query));
+        }
+        return queries;
+      });
+}
+
+Result<std::vector<double>> Server::AnswerSpecQueries(
+    const std::string& id, std::span<const QuerySpec> specs) {
+  if (specs.size() > kMaxQueriesPerRequest) {
+    return Status::InvalidArgument("batch exceeds the query limit");
+  }
+  return AnswerTimed(
+      id,
+      [&](const data::Schema& schema)
+          -> Result<std::vector<query::RangeQuery>> {
+        std::vector<query::RangeQuery> queries;
+        queries.reserve(specs.size());
+        for (const QuerySpec& spec : specs) {
+          PRIVELET_ASSIGN_OR_RETURN(query::RangeQuery query,
+                                    BuildQuery(schema, spec));
+          queries.push_back(std::move(query));
+        }
+        return queries;
+      });
+}
+
+Result<std::string> Server::DoReload(const std::string& id,
+                                     const std::string& path) {
+  PRIVELET_RETURN_IF_ERROR(store_->Rebind(id, path));
+  // Load eagerly so a bad path is the RELOAD's error, not the next
+  // query's; in-flight borrowers of the old session are untouched.
+  PRIVELET_RETURN_IF_ERROR(store_->Acquire(id).status());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reloads;
+  }
+  return "reloaded " + id;
+}
+
+std::string Server::RenderStatsText() {
+  ServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  const query::ReleaseStore::Stats store_stats = store_->stats();
+  std::string out;
+  char buf[256];
+  const auto line = [&](const char* key, std::uint64_t value) {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", key,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  };
+  std::snprintf(buf, sizeof(buf), "uptime_s %.3f\n",
+                uptime_.ElapsedSeconds());
+  out += buf;
+  line("connections_open", connections_.size());
+  line("connections_accepted", snapshot.connections_accepted);
+  line("connections_dropped", snapshot.connections_dropped);
+  line("requests", snapshot.requests);
+  line("failures", snapshot.failures);
+  line("queries", snapshot.queries);
+  line("reloads", snapshot.reloads);
+  line("store_loads", store_stats.loads);
+  line("store_hits", store_stats.hits);
+  line("store_evictions", store_stats.evictions);
+  line("store_resident", store_->resident_count());
+  out += "latency _all " + all_latency_.SummaryMicros() + "\n";
+  for (const auto& [id, histogram] : release_latency_) {
+    out += "latency " + id + " " + histogram.SummaryMicros() + "\n";
+  }
+  return out;
+}
+
+std::string Server::RenderIdsText() {
+  std::string out;
+  for (const std::string& id : store_->ids()) {
+    out += id;
+    out += '\n';
+  }
+  return out;
+}
+
+void Server::AppendTextHeader(Connection& conn, std::size_t payload_lines) {
+  conn.out += "ok ";
+  conn.out += std::to_string(payload_lines);
+  conn.out += '\n';
+}
+
+void Server::AppendTextAnswers(Connection& conn,
+                               std::span<const double> answers) {
+  char buf[64];
+  for (const double a : answers) {
+    // %.17g round-trips doubles exactly — text answers are bit-identical
+    // to `privelet_cli query` output for the same release.
+    const int len = std::snprintf(buf, sizeof(buf), "%.17g\n", a);
+    conn.out.append(buf, static_cast<std::size_t>(len));
+  }
+}
+
+void Server::AppendTextError(Connection& conn, const Status& status) {
+  conn.out += "error: ";
+  conn.out += status.ToString();
+  conn.out += '\n';
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.failures;
+}
+
+void Server::FlushConnection(Connection& conn) {
+  if (conn.fd < 0) return;
+  while (OutPending(conn) > 0) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_head, OutPending(conn),
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // EPIPE/ECONNRESET: the peer is gone — an ordinary connection end,
+      // not a server failure.
+      conn.fd = -1;
+      return;
+    }
+    conn.out_head += static_cast<std::size_t>(n);
+  }
+  if (OutPending(conn) == 0) {
+    conn.out.clear();
+    conn.out_head = 0;
+    if (conn.want_close) conn.fd = -1;
+  }
+  conn.writing = OutPending(conn) > 0;
+}
+
+void Server::UpdateInterest(Connection& conn) {
+  if (conn.fd < 0) return;
+  struct epoll_event ev{};
+  ev.data.fd = conn.fd;
+  ev.events = 0;
+  if (conn.reading) ev.events |= EPOLLIN;
+  if (conn.writing || OutPending(conn) > 0) ev.events |= EPOLLOUT;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace privelet::serving

@@ -1,0 +1,175 @@
+// The network serving daemon: an epoll-based concurrent TCP front end
+// over query::ReleaseStore, speaking the protocol in protocol.h (text and
+// length-prefixed binary framings on one port). This is the ROADMAP's
+// "real server" over the zero-copy serving tip — `privelet_cli daemon`
+// is a thin wrapper around this class.
+//
+// Threading model: one event-loop thread (the caller of Run()) owns every
+// connection and executes requests inline — a request's AnswerAll still
+// fans its batch across the store's worker pool, so large batches use the
+// machine while the loop stays single-writer over connection state.
+// Pipelining is free: clients may send many requests back to back; the
+// loop answers them in order, up to `max_pipeline` per connection per
+// cycle before other connections get a turn.
+//
+// Admission control / backpressure: a connection's unparsed input is
+// capped at `max_request_bytes` (a line or frame larger than that poisons
+// the connection); buffered responses are capped at
+// `max_buffered_bytes` — a slow client that lets half the cap accumulate
+// stops being *read* (requests queue in its socket, then in its sender)
+// until the buffer drains, and one that exceeds the full cap is dropped.
+//
+// Shutdown: Shutdown() is async-signal-safe (one write to a wake pipe),
+// so SIGINT/SIGTERM handlers may call it directly; Run() then flushes
+// what it can without blocking, closes every connection, and returns.
+// Hot swap: the RELOAD verb rebinds a release id through
+// ReleaseStore::Rebind — in-flight borrowers keep their session, later
+// requests see the new file.
+//
+// All public methods other than Shutdown() must be called from one thread
+// (Start, then Run; accessors after Start). stats() is thread-safe.
+#ifndef PRIVELET_SERVING_SERVER_H_
+#define PRIVELET_SERVING_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/common/stopwatch.h"
+#include "privelet/query/release_store.h"
+#include "privelet/serving/latency_histogram.h"
+#include "privelet/serving/protocol.h"
+
+namespace privelet::serving {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound port with port()
+  int backlog = 128;
+  std::size_t max_connections = 256;
+  /// Pipelined requests answered per connection per event-loop cycle
+  /// before other connections are serviced.
+  std::size_t max_pipeline = 64;
+  /// Cap on one connection's unparsed input bytes.
+  std::size_t max_request_bytes = std::size_t{1} << 20;
+  /// Cap on one connection's buffered response bytes; reads pause at half
+  /// of this, the connection is dropped when it is exceeded.
+  std::size_t max_buffered_bytes = std::size_t{4} << 20;
+};
+
+/// Monotonic counters since Start() (a snapshot; thread-safe).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;  ///< closed for cap violations
+  std::uint64_t requests = 0;             ///< all verbs, both framings
+  std::uint64_t failures = 0;             ///< error responses sent
+  std::uint64_t queries = 0;              ///< individual queries answered
+  std::uint64_t reloads = 0;              ///< successful RELOADs
+};
+
+class Server {
+ public:
+  /// `store` is not owned and must outlive the server. Release ids are
+  /// whatever has been Register()ed (RELOAD can add more at runtime).
+  Server(query::ReleaseStore* store, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. After an OK return, port() is the bound port.
+  Status Start();
+
+  /// The bound TCP port (valid after Start).
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until Shutdown() or a fatal error. Blocks the calling thread.
+  Status Run();
+
+  /// Requests Run() to drain and return. Async-signal-safe and
+  /// idempotent; callable from any thread or from a signal handler.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  enum class Mode : std::uint8_t { kUnknown, kText, kBinary };
+
+  struct Connection {
+    int fd = -1;
+    Mode mode = Mode::kUnknown;
+    std::string in;        ///< received, not yet parsed (from in_head)
+    std::size_t in_head = 0;
+    std::string out;       ///< encoded, not yet sent (from out_head)
+    std::size_t out_head = 0;
+    bool want_close = false;   ///< close once out drains
+    bool reading = true;       ///< EPOLLIN armed
+    bool writing = false;      ///< EPOLLOUT armed
+    // Text BATCH in progress: id + predicate lines collected so far.
+    std::string batch_id;
+    std::size_t batch_expected = 0;
+    std::vector<std::string> batch_lines;
+  };
+
+  Status SetupListener();
+  Status RunLoop();
+  void AcceptPending();
+  void OnReadable(Connection& conn);
+  void ProcessConnection(Connection& conn);
+  bool ProcessText(Connection& conn, std::size_t* budget);
+  bool ProcessBinary(Connection& conn, std::size_t* budget);
+  void HandleTextLine(Connection& conn, std::string_view line);
+  void FinishTextBatch(Connection& conn);
+  void HandleBinaryRequest(Connection& conn, const BinaryRequest& request);
+  /// Acquire + answer one batch, recording latency and counters.
+  Result<std::vector<double>> AnswerTextQueries(
+      const std::string& id, std::span<const std::string> lines);
+  Result<std::vector<double>> AnswerSpecQueries(
+      const std::string& id, std::span<const QuerySpec> specs);
+  template <typename BuildQueries>
+  Result<std::vector<double>> AnswerTimed(const std::string& id,
+                                          const BuildQueries& build);
+  Result<std::string> DoReload(const std::string& id, const std::string& path);
+  std::string RenderStatsText();
+  std::string RenderIdsText();
+
+  void AppendTextHeader(Connection& conn, std::size_t payload_lines);
+  void AppendTextAnswers(Connection& conn, std::span<const double> answers);
+  void AppendTextError(Connection& conn, const Status& status);
+
+  void FlushConnection(Connection& conn);
+  void UpdateInterest(Connection& conn);
+  void CloseConnection(int fd);
+  std::size_t OutPending(const Connection& conn) const {
+    return conn.out.size() - conn.out_head;
+  }
+
+  query::ReleaseStore* const store_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  // Event-loop-thread state (no locking: single owner).
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::vector<int> ready_;  ///< fds with buffered complete requests
+  LatencyHistogram all_latency_;
+  std::map<std::string, LatencyHistogram> release_latency_;
+  Stopwatch uptime_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace privelet::serving
+
+#endif  // PRIVELET_SERVING_SERVER_H_

@@ -20,6 +20,7 @@
 #include <unistd.h>
 #endif
 
+#include "privelet/common/io_util.h"
 #include "privelet/data/attribute.h"
 #include "privelet/data/hierarchy.h"
 #include "privelet/storage/crc32.h"
@@ -88,13 +89,13 @@ std::string TempSnapshotPath(const std::string& path) {
 // crash-atomic either.
 Status SyncFile(const std::string& path) {
 #if !defined(_WIN32)
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  const int fd = common::OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::IOError("cannot reopen '" + path + "' to sync it");
   }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IOError("fsync of '" + path + "' failed");
+  const Status synced = common::FsyncRetry(fd, path);
+  common::CloseFd(fd);
+  PRIVELET_RETURN_IF_ERROR(synced);
 #else
   (void)path;
 #endif
@@ -110,10 +111,11 @@ void SyncParentDirectory(const std::string& path) {
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC | O_DIRECTORY);
+  const int fd = common::OpenRetry(dir.c_str(),
+                                   O_RDONLY | O_CLOEXEC | O_DIRECTORY);
   if (fd >= 0) {
-    (void)::fsync(fd);
-    ::close(fd);
+    (void)common::FsyncRetry(fd, dir);
+    common::CloseFd(fd);
   }
 #else
   (void)path;

@@ -76,6 +76,59 @@ grep -q "^error: NotFound" "$TMP/served.txt"
 sed -n '2,501p' "$TMP/served.txt" > "$TMP/served_first.txt"
 cmp "$TMP/served_first.txt" "$TMP/answers1.txt"
 
+echo "== CRLF CSV parses and publishes byte-identically"
+awk '{printf "%s\r\n", $0}' "$TMP/table.csv" > "$TMP/table_crlf.csv"
+"$CLI" publish --csv "$TMP/table_crlf.csv" --schema "$TMP/schema.txt" \
+       --mechanism privelet --epsilon 0.5 --seed 11 --threads 0 \
+       --output "$TMP/release_crlf.pvls"
+cmp "$TMP/release.pvls" "$TMP/release_crlf.pvls"
+
+echo "== daemon + client (text protocol over TCP; same answers as query)"
+rm -f "$TMP/port.txt"
+"$CLI" daemon "main=$TMP/release.pvls" --port 0 \
+       --port-file "$TMP/port.txt" \
+       > "$TMP/daemon.log" 2> "$TMP/daemon.err" &
+DAEMON_PID=$!
+tries=0
+while [ ! -s "$TMP/port.txt" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1))
+  sleep 0.1
+done
+[ -s "$TMP/port.txt" ]
+DPORT=$(cat "$TMP/port.txt")
+
+# One session: liveness, a 500-query batch (bit-identical to the query
+# subcommand), a hot RELOAD registering a second id, an intentional
+# unknown-id error (the client exits 3 when any request failed), STATS.
+grep -v '^#' "$TMP/workload.txt" > "$TMP/predicates.txt"
+{
+  echo "PING"
+  echo "BATCH main 500"
+  cat "$TMP/predicates.txt"
+  echo "RELOAD spare $TMP/release2.pvls"
+  echo "QUERY spare *"
+  echo "QUERY ghost *"
+  echo "STATS"
+  echo "QUIT"
+} > "$TMP/daemon_requests.txt"
+client_rc=0
+"$CLI" client --port "$DPORT" --requests "$TMP/daemon_requests.txt" \
+       > "$TMP/daemon_out.txt" 2>&1 || client_rc=$?
+[ "$client_rc" -eq 3 ]
+grep -q '^pong$' "$TMP/daemon_out.txt"
+grep -q '^ok 500$' "$TMP/daemon_out.txt"
+grep -q '^reloaded spare$' "$TMP/daemon_out.txt"
+grep -q '^error: ' "$TMP/daemon_out.txt"
+grep -q '^uptime_s' "$TMP/daemon_out.txt"
+awk '/^ok 500$/ { grab = 1; next } grab && n < 500 { print; n += 1 }' \
+    "$TMP/daemon_out.txt" > "$TMP/daemon_answers.txt"
+cmp "$TMP/daemon_answers.txt" "$TMP/answers1.txt"
+
+# SIGTERM is a clean shutdown: exit 0 plus a stderr summary line.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+grep -q '^daemon: ' "$TMP/daemon.err"
+
 echo "== bad privacy parameters are rejected before publishing"
 for bad_epsilon in 0 -1 nan inf abc; do
   if "$CLI" publish --synthetic 4096 --tuples 100 --epsilon "$bad_epsilon" \

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 
 #include "privelet/data/attribute.h"
@@ -128,6 +129,68 @@ TEST_F(CsvTest, MissingFileIsIOError) {
                 .status()
                 .code(),
             StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, RejectsNegativeValueNamingIt) {
+  // Regression: strtoul-based parsing accepted "-1" and wrapped it to
+  // 4294967295 — a silently corrupted cell index.
+  std::ofstream out(path_);
+  out << "Age,Country\n-1,0\n";
+  out.close();
+  const auto loaded = ReadCsv(path_.string(), TwoAttributeSchema());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("'-1'"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(CsvTest, RejectsValueAboveUint32NamingIt) {
+  // Regression: a 64-bit strtoul let 4294967296 through and the uint32
+  // cast silently truncated it to 0.
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Ordinal("Huge", std::size_t{1} << 33));
+  const Schema schema(std::move(attrs));
+  std::ofstream out(path_);
+  out << "Huge\n4294967296\n";
+  out.close();
+  const auto loaded = ReadCsv(path_.string(), schema);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("'4294967296'"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("UINT32_MAX"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(CsvTest, AcceptsExactlyUint32Max) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Ordinal("Huge", std::size_t{1} << 33));
+  const Schema schema(std::move(attrs));
+  std::ofstream out(path_);
+  out << "Huge\n4294967295\n";
+  out.close();
+  const auto loaded = ReadCsv(path_.string(), schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 1u);
+  EXPECT_EQ(loaded->value(0, 0), 4294967295u);
+}
+
+TEST_F(CsvTest, CrlfFileParsesIdenticallyToLf) {
+  // Windows tools terminate lines with \r\n; getline leaves the \r on
+  // the last field, which the old parser rejected as non-integer.
+  std::ofstream out(path_, std::ios::binary);
+  out << "Age,Country\r\n5,3\r\n7,2\r\n";
+  out.close();
+  const auto loaded = ReadCsv(path_.string(), TwoAttributeSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->value(0, 0), 5u);
+  EXPECT_EQ(loaded->value(0, 1), 3u);
+  EXPECT_EQ(loaded->value(1, 0), 7u);
+  EXPECT_EQ(loaded->value(1, 1), 2u);
 }
 
 }  // namespace

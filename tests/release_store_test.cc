@@ -223,6 +223,88 @@ TEST(ReleaseStoreTest, ConcurrentAcquiresShareOneLoad) {
   EXPECT_EQ(1u, store.stats().loads);
 }
 
+TEST(ReleaseStoreTest, RebindSwapsTheServedRelease) {
+  const data::Schema schema = TestSchema();
+  const std::uint64_t seeds[] = {81, 82};
+  const auto paths = SaveReleases(schema, seeds, "rebind");
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 80);
+  query::ReleaseStore store;
+  ASSERT_TRUE(store.Register("r", paths[0]).ok());
+
+  auto borrowed = store.Acquire("r");
+  ASSERT_TRUE(borrowed.ok());
+  const std::vector<double> old_answers = (*borrowed)->AnswerAll(workload);
+
+  ASSERT_TRUE(store.Rebind("r", paths[1]).ok());
+  // The borrowed session keeps serving the old release...
+  EXPECT_EQ(old_answers, (*borrowed)->AnswerAll(workload));
+  // ...while new acquirers get the new file.
+  auto swapped = store.Acquire("r");
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  auto direct = storage::LoadSession(paths[1]);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->AnswerAll(workload), (*swapped)->AnswerAll(workload));
+  EXPECT_NE(old_answers, (*swapped)->AnswerAll(workload));
+  EXPECT_EQ(1u, store.stats().evictions);  // the resident session dropped
+}
+
+TEST(ReleaseStoreTest, RebindRegistersUnknownIds) {
+  const data::Schema schema = TestSchema();
+  const std::uint64_t seeds[] = {91};
+  const auto paths = SaveReleases(schema, seeds, "rebind_new");
+  query::ReleaseStore store;
+  EXPECT_FALSE(store.Rebind("", paths[0]).ok());
+  ASSERT_TRUE(store.Rebind("fresh", paths[0]).ok());
+  EXPECT_EQ(std::vector<std::string>{"fresh"}, store.ids());
+  EXPECT_TRUE(store.Acquire("fresh").ok());
+}
+
+// Rebind racing concurrent Acquires (the daemon's RELOAD-mid-traffic
+// path): every Acquire must return a valid session whose answers match
+// either the old or the new release — never an error, never a torn mix.
+TEST(ReleaseStoreTest, RebindUnderConcurrentAcquires) {
+  const data::Schema schema = TestSchema();
+  const std::uint64_t seeds[] = {95, 96};
+  const auto paths = SaveReleases(schema, seeds, "rebind_race");
+  const std::vector<query::RangeQuery> workload = TestWorkload(schema, 40);
+  std::vector<std::vector<double>> expected;
+  for (const std::string& path : paths) {
+    auto direct = storage::LoadSession(path);
+    ASSERT_TRUE(direct.ok());
+    expected.push_back(direct->AnswerAll(workload));
+  }
+
+  query::ReleaseStore store;
+  ASSERT_TRUE(store.Register("r", paths[0]).ok());
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kIterations = 20;
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        if (t == 0) {  // one thread flips the binding back and forth
+          if (!store.Rebind("r", paths[i % 2]).ok()) errors.fetch_add(1);
+          continue;
+        }
+        auto session = store.Acquire("r");
+        if (!session.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const std::vector<double> answers = (*session)->AnswerAll(workload);
+        if (answers != expected[0] && answers != expected[1]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(0u, errors.load());
+  EXPECT_EQ(0u, mismatches.load());
+}
+
 // The TSan target: concurrent Acquire / AnswerAll / Evict over several
 // releases with a tight LRU bound, all answers checked against the
 // per-release expectation computed up front.

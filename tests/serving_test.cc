@@ -1,0 +1,221 @@
+// Serving-layer units: the log-linear latency histogram's bucket math and
+// quantiles, and the wire protocol's encode/decode round-trips plus its
+// rejection of malformed frames (the daemon feeds it raw network bytes).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "privelet/data/attribute.h"
+#include "privelet/data/schema.h"
+#include "privelet/serving/latency_histogram.h"
+#include "privelet/serving/protocol.h"
+
+namespace privelet::serving {
+namespace {
+
+data::Schema TestSchema() {
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Age", 16));
+  attrs.push_back(data::Attribute::Nominal(
+      "Region", data::Hierarchy::Balanced({2, 4}).value()));
+  return data::Schema(std::move(attrs));
+}
+
+// --- LatencyHistogram ------------------------------------------------------
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundsCoverAndOrder) {
+  // Every value maps to a bucket whose upper bound is >= the value, and
+  // bucket indices are monotone in the value.
+  std::uint64_t prev_index = 0;
+  for (std::uint64_t v = 1; v < (std::uint64_t{1} << 40); v = v * 2 + 3) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(LatencyHistogram::BucketUpperBound(index), v) << "value " << v;
+    EXPECT_GE(index, prev_index) << "value " << v;
+    prev_index = index;
+  }
+  EXPECT_LT(LatencyHistogram::BucketIndex(
+                std::numeric_limits<std::uint64_t>::max()),
+            LatencyHistogram::kNumBuckets);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketError) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v * 1000);  // 1ms..1s
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max(), 1'000'000u);
+  // Log-linear buckets with 16 sub-buckets: <= ~6.25% relative error.
+  const double p50 = static_cast<double>(h.Quantile(0.50));
+  const double p99 = static_cast<double>(h.Quantile(0.99));
+  EXPECT_NEAR(p50, 500'000.0, 500'000.0 * 0.07);
+  EXPECT_NEAR(p99, 990'000.0, 990'000.0 * 0.07);
+  EXPECT_EQ(h.Quantile(1.0), 1'000'000u);  // clamped to the observed max
+}
+
+TEST(LatencyHistogramTest, EmptyAndMerge) {
+  LatencyHistogram a;
+  EXPECT_EQ(a.Quantile(0.5), 0u);
+  a.Record(100);
+  LatencyHistogram b;
+  b.Record(1'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+  EXPECT_GE(a.Quantile(0.99), 900'000u);
+}
+
+// --- predicate grammar -----------------------------------------------------
+
+TEST(ProtocolTest, ParseQueryLineGrammar) {
+  const data::Schema schema = TestSchema();
+  EXPECT_TRUE(ParseQueryLine(schema, "*").ok());
+  EXPECT_TRUE(ParseQueryLine(schema, "Age=2:5").ok());
+  EXPECT_TRUE(ParseQueryLine(schema, "Age=2:5 Region@1").ok());
+  EXPECT_FALSE(ParseQueryLine(schema, "").ok());
+  EXPECT_FALSE(ParseQueryLine(schema, "* Age=2:5").ok());
+  EXPECT_FALSE(ParseQueryLine(schema, "Age=2").ok());
+  EXPECT_FALSE(ParseQueryLine(schema, "Nope=0:1").ok());
+  // Strict indices: "-1" must not wrap to a huge bound.
+  EXPECT_FALSE(ParseQueryLine(schema, "Age=-1:5").ok());
+  EXPECT_FALSE(ParseQueryLine(schema, "Age=0:99").ok());  // out of domain
+}
+
+// --- binary framing --------------------------------------------------------
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  QuerySpec q1;
+  q1.predicates.push_back({/*kind=*/0, /*attr=*/0, /*lo=*/2, /*hi=*/5});
+  q1.predicates.push_back({/*kind=*/1, /*attr=*/1, /*lo=*/3, /*hi=*/0});
+  QuerySpec q2;  // no predicates: the all-cells query
+  std::string wire;
+  EncodeQueryRequest(&wire, "rel-7", std::vector<QuerySpec>{q1, q2});
+
+  auto frame = PeekFrame(wire);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(*frame, wire.size());
+  auto request = DecodeRequest(std::string_view(wire).substr(4));
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->verb, Verb::kQuery);
+  EXPECT_EQ(request->id, "rel-7");
+  ASSERT_EQ(request->queries.size(), 2u);
+  ASSERT_EQ(request->queries[0].predicates.size(), 2u);
+  EXPECT_EQ(request->queries[0].predicates[0].kind, 0);
+  EXPECT_EQ(request->queries[0].predicates[0].attr, 0);
+  EXPECT_EQ(request->queries[0].predicates[0].lo, 2u);
+  EXPECT_EQ(request->queries[0].predicates[0].hi, 5u);
+  EXPECT_EQ(request->queries[0].predicates[1].kind, 1);
+  EXPECT_EQ(request->queries[1].predicates.size(), 0u);
+}
+
+TEST(ProtocolTest, ReloadAndVerbRequestsRoundTrip) {
+  std::string wire;
+  EncodeReloadRequest(&wire, "id", "/tmp/x.pvls");
+  EncodeVerbRequest(&wire, Verb::kStats);
+
+  auto frame = PeekFrame(wire);
+  ASSERT_TRUE(frame.ok());
+  auto reload = DecodeRequest(std::string_view(wire).substr(4, *frame - 4));
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->verb, Verb::kReload);
+  EXPECT_EQ(reload->id, "id");
+  EXPECT_EQ(reload->path, "/tmp/x.pvls");
+
+  const std::string_view rest = std::string_view(wire).substr(*frame);
+  auto frame2 = PeekFrame(rest);
+  ASSERT_TRUE(frame2.ok());
+  ASSERT_EQ(*frame2, rest.size());
+  auto stats = DecodeRequest(rest.substr(4));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->verb, Verb::kStats);
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  const std::vector<double> answers = {1.5, -0.0, 1e300, 42.0};
+  std::string wire;
+  EncodeOkAnswers(&wire, answers);
+  auto frame = PeekFrame(wire);
+  ASSERT_TRUE(frame.ok());
+  auto response = DecodeResponse(std::string_view(wire).substr(4));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(response->answers, answers);  // bit-exact doubles
+
+  wire.clear();
+  EncodeOkText(&wire, "pong");
+  response = DecodeResponse(std::string_view(wire).substr(4));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(response->text, "pong");
+
+  wire.clear();
+  EncodeErrorResponse(&wire, Status::NotFound("no such release"));
+  response = DecodeResponse(std::string_view(wire).substr(4));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->ok);
+  EXPECT_NE(response->error.find("no such release"), std::string::npos);
+}
+
+TEST(ProtocolTest, PeekFrameHandlesPartialAndPoisonedInput) {
+  std::string wire;
+  EncodeVerbRequest(&wire, Verb::kPing);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    auto partial = PeekFrame(std::string_view(wire).substr(0, len));
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(*partial, 0u) << "prefix length " << len;
+  }
+  // A corrupt length field above the cap poisons the stream.
+  std::string huge = {'\xff', '\xff', '\xff', '\xff'};
+  EXPECT_FALSE(PeekFrame(huge).ok());
+}
+
+TEST(ProtocolTest, DecodeRejectsTruncatedAndTrailingBytes) {
+  QuerySpec q;
+  q.predicates.push_back({0, 0, 1, 2});
+  std::string wire;
+  EncodeQueryRequest(&wire, "r", std::vector<QuerySpec>{q});
+  const std::string_view payload = std::string_view(wire).substr(4);
+  // Every strict prefix of the payload must be rejected, not crash.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRequest(payload.substr(0, len)).ok())
+        << "prefix length " << len;
+  }
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(DecodeRequest(std::string(payload) + "x").ok());
+  // A declared query count that cannot fit the remaining bytes must not
+  // drive a pathological allocation.
+  std::string lying = std::string(payload);
+  // verb(1) + idlen(2) + "r"(1), then the u32 query count.
+  lying[4] = '\xff';
+  lying[5] = '\xff';
+  lying[6] = '\xff';
+  lying[7] = '\x0f';
+  EXPECT_FALSE(DecodeRequest(lying).ok());
+}
+
+TEST(ProtocolTest, BuildQueryValidatesSpecs) {
+  const data::Schema schema = TestSchema();
+  QuerySpec ok_spec;
+  ok_spec.predicates.push_back({0, 0, 2, 5});
+  EXPECT_TRUE(BuildQuery(schema, ok_spec).ok());
+  QuerySpec bad_attr;
+  bad_attr.predicates.push_back({0, 9, 0, 1});
+  EXPECT_FALSE(BuildQuery(schema, bad_attr).ok());
+  QuerySpec bad_kind;
+  bad_kind.predicates.push_back({7, 0, 0, 1});
+  EXPECT_FALSE(BuildQuery(schema, bad_kind).ok());
+  QuerySpec bad_range;
+  bad_range.predicates.push_back({0, 0, 5, 99});
+  EXPECT_FALSE(BuildQuery(schema, bad_range).ok());
+}
+
+}  // namespace
+}  // namespace privelet::serving

@@ -10,7 +10,11 @@
 //   privelet_cli inspect  snapshot -> metadata summary (validates CRC)
 //   privelet_cli query    snapshot + workload -> one answer per line
 //   privelet_cli serve    multi-release batch front end over a ReleaseStore
+//   privelet_cli daemon   TCP serving daemon over a ReleaseStore
+//   privelet_cli client   line client for the daemon's text protocol
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +26,14 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 #include "privelet/common/result.h"
 #include "privelet/common/stopwatch.h"
@@ -36,9 +48,11 @@
 #include "privelet/mechanism/hay.h"
 #include "privelet/mechanism/mechanism.h"
 #include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/common/io_util.h"
 #include "privelet/query/publishing_session.h"
 #include "privelet/query/release_store.h"
 #include "privelet/query/workload.h"
+#include "privelet/serving/server.h"
 #include "privelet/storage/session_io.h"
 #include "privelet/storage/snapshot.h"
 #include "privelet_cli/schema_spec.h"
@@ -65,12 +79,24 @@ usage:
                        [--threads N] [--output FILE]
   privelet_cli serve   ID=FILE.pvls [ID=FILE.pvls ...] [--threads N]
                        [--max-resident K] [--requests FILE] [--output FILE]
+  privelet_cli daemon  ID=FILE.pvls [ID=FILE.pvls ...] [--host H] [--port P]
+                       [--port-file FILE] [--threads N] [--max-resident K]
+                       [--max-connections K] [--max-pipeline K]
+  privelet_cli client  --port P [--host H] [--requests FILE]
 
 serve reads one request per line — `<release-id> <workload-file>` — from
 stdin (or --requests), lazily memory-maps the named release, and answers
 the workload in one pooled batch: `ok <n>` then n answers, or
 `error: <message>`. --max-resident K keeps at most K releases resident
 (LRU).
+
+daemon serves the same releases over TCP (text + binary protocol, see
+src/privelet/serving/protocol.h): verbs QUERY/BATCH/RELOAD/STATS/IDS/
+PING/QUIT, one `ok <n>`-or-`error:` response per request. --port 0 (the
+default) binds an ephemeral port; the bound port is printed as
+`listening on H:P` and written to --port-file when given. SIGINT/SIGTERM
+shut the daemon down cleanly. client connects to a daemon, forwards
+stdin (or --requests) lines, and prints each response.
 
 --max-memory B publishes out of core: panels are staged through unlinked
 mmap scratch files (--scratch-dir, default $TMPDIR) and streamed into the
@@ -140,17 +166,13 @@ Status RejectUnknownFlags(const Args& args,
   return Status::OK();
 }
 
-Result<std::size_t> GetCount(const Args& args, const std::string& name,
-                             std::size_t dflt) {
-  if (!args.Has(name)) return dflt;
-  const std::string text = args.Get(name, "");
-  // Strictly digits: std::stoull alone would silently accept (and wrap)
-  // signed input like "-1", and counts/seeds are exact operator inputs —
-  // a garbled value must never reach the mechanism.
+// Strictly digits: std::stoull alone would silently accept (and wrap)
+// signed input like "-1", and counts/seeds are exact operator inputs —
+// a garbled value must never reach the mechanism.
+Result<std::size_t> ParseCountToken(const std::string& text) {
   if (text.empty() ||
       text.find_first_not_of("0123456789") != std::string::npos) {
-    return Status::InvalidArgument("--" + name + ": '" + text +
-                                   "' is not a count");
+    return Status::InvalidArgument("'" + text + "' is not a count");
   }
   std::size_t value = 0;
   std::size_t pos = 0;
@@ -160,8 +182,18 @@ Result<std::size_t> GetCount(const Args& args, const std::string& name,
     pos = std::string::npos;
   }
   if (pos != text.size()) {
-    return Status::InvalidArgument("--" + name + ": '" + text +
-                                   "' is not a count");
+    return Status::InvalidArgument("'" + text + "' is not a count");
+  }
+  return value;
+}
+
+Result<std::size_t> GetCount(const Args& args, const std::string& name,
+                             std::size_t dflt) {
+  if (!args.Has(name)) return dflt;
+  auto value = ParseCountToken(args.Get(name, ""));
+  if (!value.ok()) {
+    return Status::InvalidArgument("--" + name + ": " +
+                                   value.status().message());
   }
   return value;
 }
@@ -330,6 +362,21 @@ Result<data::Table> MakeInputTable(const Args& args) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "privelet_cli: %s\n", status.ToString().c_str());
   return 2;
+}
+
+// ID=FILE.pvls release specs (shared by serve and daemon).
+Status RegisterReleases(const std::vector<std::string>& specs,
+                        query::ReleaseStore* store) {
+  for (const std::string& spec : specs) {
+    const std::size_t eq = spec.find('=');
+    if (eq == 0 || eq == std::string::npos || eq + 1 == spec.size()) {
+      return Status::InvalidArgument("release spec '" + spec +
+                                     "' is not ID=FILE.pvls");
+    }
+    PRIVELET_RETURN_IF_ERROR(
+        store->Register(spec.substr(0, eq), spec.substr(eq + 1)));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -610,15 +657,8 @@ int RunServe(const Args& args) {
   store_options.max_resident = *max_resident;
   store_options.pool = pool->get();
   query::ReleaseStore store(store_options);
-  for (const std::string& spec : args.positional) {
-    const std::size_t eq = spec.find('=');
-    if (eq == 0 || eq == std::string::npos || eq + 1 == spec.size()) {
-      return Fail(Status::InvalidArgument(
-          "release spec '" + spec + "' is not ID=FILE.pvls"));
-    }
-    Status st = store.Register(spec.substr(0, eq), spec.substr(eq + 1));
-    if (!st.ok()) return Fail(st);
-  }
+  Status registered = RegisterReleases(args.positional, &store);
+  if (!registered.ok()) return Fail(registered);
 
   std::ifstream request_file;
   std::istream* in = &std::cin;
@@ -643,6 +683,8 @@ int RunServe(const Args& args) {
   std::size_t requests = 0, failures = 0, total_queries = 0;
   std::string line;
   while (std::getline(*in, line)) {
+    // Requests may come from CRLF sources (nc -C, Windows-edited files).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     ++requests;
     std::istringstream fields(line);
@@ -698,6 +740,289 @@ int RunServe(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// daemon: the epoll TCP server (src/privelet/serving/server.h) over the
+// same ID=FILE.pvls catalog as serve. Shutdown() is async-signal-safe,
+// so SIGINT/SIGTERM handlers call it directly.
+
+serving::Server* g_daemon = nullptr;
+
+extern "C" void HandleShutdownSignal(int) {
+  if (g_daemon != nullptr) g_daemon->Shutdown();
+}
+
+int RunDaemon(const Args& args) {
+  Status flags = RejectUnknownFlags(
+      args, {"host", "port", "port-file", "threads", "max-resident",
+             "max-connections", "max-pipeline"});
+  if (!flags.ok()) return Fail(flags);
+  if (args.positional.empty()) {
+    return Fail(Status::InvalidArgument(
+        "daemon needs at least one ID=FILE.pvls release"));
+  }
+  auto pool = GetPool(args);
+  if (!pool.ok()) return Fail(pool.status());
+  auto max_resident = GetCount(args, "max-resident", 0);
+  if (!max_resident.ok()) return Fail(max_resident.status());
+  auto port = GetCount(args, "port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be <= 65535"));
+  }
+
+  query::ReleaseStore::Options store_options;
+  store_options.max_resident = *max_resident;
+  store_options.pool = pool->get();
+  query::ReleaseStore store(store_options);
+  Status registered = RegisterReleases(args.positional, &store);
+  if (!registered.ok()) return Fail(registered);
+
+  serving::ServerOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(*port);
+  auto max_connections = GetCount(args, "max-connections",
+                                  options.max_connections);
+  if (!max_connections.ok()) return Fail(max_connections.status());
+  options.max_connections = *max_connections;
+  auto max_pipeline = GetCount(args, "max-pipeline", options.max_pipeline);
+  if (!max_pipeline.ok()) return Fail(max_pipeline.status());
+  if (*max_pipeline == 0) {
+    return Fail(Status::InvalidArgument("--max-pipeline must be >= 1"));
+  }
+  options.max_pipeline = *max_pipeline;
+
+  serving::Server server(&store, options);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+
+  if (args.Has("port-file")) {
+    std::ofstream port_file(args.Get("port-file", ""));
+    port_file << server.port() << '\n';
+    port_file.flush();
+    if (!port_file) {
+      return Fail(Status::IOError("cannot write --port-file '" +
+                                  args.Get("port-file", "") + "'"));
+    }
+  }
+  // Parseable readiness line: tests and scripts wait for it.
+  std::printf("listening on %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  g_daemon = &server;
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  st = server.Run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_daemon = nullptr;
+  if (!st.ok()) return Fail(st);
+
+  const serving::ServerStats stats = server.stats();
+  const query::ReleaseStore::Stats store_stats = store.stats();
+  std::fprintf(
+      stderr,
+      "daemon: %llu connections (%llu dropped), %llu requests "
+      "(%llu failed), %llu queries, %llu reloads; %llu loads, %llu hits, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_dropped),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.failures),
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.reloads),
+      static_cast<unsigned long long>(store_stats.loads),
+      static_cast<unsigned long long>(store_stats.hits),
+      static_cast<unsigned long long>(store_stats.evictions));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// client: a blocking line client for the daemon's text protocol —
+// `scripts | privelet_cli client --port P` drives a daemon without
+// depending on nc/socat being installed.
+
+#if defined(__linux__)
+
+// Reads one '\n'-terminated line from `fd` through `buffer`. Returns
+// false on EOF before any byte of a line.
+Result<bool> ReadSocketLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const std::size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      line->assign(*buffer, 0, nl);
+      buffer->erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(fd, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return Status::IOError("recv failed: " + common::ErrnoMessage());
+    }
+    if (n == 0) {
+      if (!buffer->empty()) {
+        return Status::IOError("connection closed mid-line");
+      }
+      return false;
+    }
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n;
+    do {
+      n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      // EPIPE here means the daemon closed on us — an ordinary failure,
+      // not a crash (SIGPIPE is ignored process-wide in main()).
+      return Status::IOError("send failed: " + common::ErrnoMessage());
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return Status::OK();
+}
+
+int RunClient(const Args& args) {
+  Status flags = RejectUnknownFlags(args, {"host", "port", "requests"});
+  if (!flags.ok()) return Fail(flags);
+  if (!args.Has("port")) {
+    return Fail(Status::InvalidArgument("client needs --port P"));
+  }
+  auto port = GetCount(args, "port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port == 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [1, 65535]"));
+  }
+  const std::string host = args.Get("host", "127.0.0.1");
+
+  std::ifstream request_file;
+  std::istream* in = &std::cin;
+  if (args.Has("requests")) {
+    request_file.open(args.Get("requests", ""));
+    if (!request_file) {
+      return Fail(Status::IOError("cannot open requests file '" +
+                                  args.Get("requests", "") + "'"));
+    }
+    in = &request_file;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Fail(Status::IOError("socket failed: " + common::ErrnoMessage()));
+  }
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(*port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    common::CloseFd(fd);
+    return Fail(Status::InvalidArgument("'" + host +
+                                        "' is not an IPv4 address"));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    common::CloseFd(fd);
+    return Fail(Status::IOError("cannot connect to " + host + ":" +
+                                std::to_string(*port) + ": " +
+                                common::ErrnoMessage()));
+  }
+
+  const auto fail_closing = [&](const Status& status) {
+    common::CloseFd(fd);
+    return Fail(status);
+  };
+  std::string line, response, buffer;
+  std::size_t pending_payload_lines = 0;  // BATCH predicate lines still owed
+  bool sent_quit = false;
+  int errors = 0;
+  while (std::getline(*in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const bool is_payload = pending_payload_lines > 0;
+    if (!is_payload && (line.empty() || line[0] == '#')) continue;
+
+    Status st = SendAll(fd, line + "\n");
+    if (!st.ok()) return fail_closing(st);
+
+    if (is_payload) {
+      if (--pending_payload_lines > 0) continue;
+    } else {
+      std::istringstream fields(line);
+      std::string verb, id, count;
+      fields >> verb >> id >> count;
+      for (char& c : verb) c = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(c)));
+      if (verb == "QUIT") {
+        sent_quit = true;
+        break;
+      }
+      if (verb == "BATCH") {
+        // The response only comes after the n predicate lines.
+        auto n = ParseCountToken(count);
+        if (n.ok() && *n > 0) {
+          pending_payload_lines = *n;
+          continue;
+        }
+        // Malformed BATCH: the daemon answers it immediately.
+      }
+    }
+
+    auto got = ReadSocketLine(fd, &buffer, &response);
+    if (!got.ok()) return fail_closing(got.status());
+    if (!*got) {
+      return fail_closing(Status::IOError("daemon closed the connection"));
+    }
+    std::printf("%s\n", response.c_str());
+    if (response.rfind("error:", 0) == 0) {
+      ++errors;
+    } else if (response.rfind("ok ", 0) == 0) {
+      auto n = ParseCountToken(response.substr(3));
+      if (!n.ok()) {
+        return fail_closing(
+            Status::IOError("malformed response header '" + response + "'"));
+      }
+      for (std::size_t i = 0; i < *n; ++i) {
+        got = ReadSocketLine(fd, &buffer, &response);
+        if (!got.ok()) return fail_closing(got.status());
+        if (!*got) {
+          return fail_closing(Status::IOError("daemon closed mid-response"));
+        }
+        std::printf("%s\n", response.c_str());
+      }
+    } else {
+      return fail_closing(
+          Status::IOError("malformed response header '" + response + "'"));
+    }
+    if (std::fflush(stdout) != 0) {
+      return fail_closing(Status::IOError("writing responses failed"));
+    }
+  }
+  if (sent_quit) {
+    // Wait for the daemon's close so QUIT is observable in scripts.
+    auto got = ReadSocketLine(fd, &buffer, &response);
+    if (got.ok() && *got) std::printf("%s\n", response.c_str());
+  }
+  common::CloseFd(fd);
+  return errors > 0 ? 3 : 0;
+}
+
+#else  // !defined(__linux__)
+
+int RunClient(const Args&) {
+  return Fail(Status::IOError("client requires Linux"));
+}
+
+#endif
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -715,6 +1040,8 @@ int Run(int argc, char** argv) {
   if (command == "inspect") return RunInspect(*args);
   if (command == "query") return RunQuery(*args);
   if (command == "serve") return RunServe(*args);
+  if (command == "daemon") return RunDaemon(*args);
+  if (command == "client") return RunClient(*args);
   std::fprintf(stderr, "privelet_cli: unknown command '%s'\n\n%s",
                command.c_str(), kUsage);
   return 1;
@@ -723,4 +1050,11 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace privelet::cli
 
-int main(int argc, char** argv) { return privelet::cli::Run(argc, argv); }
+int main(int argc, char** argv) {
+#if defined(SIGPIPE)
+  // A peer (pipe reader, TCP client) vanishing mid-write must surface as
+  // an EPIPE write error, never kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  return privelet::cli::Run(argc, argv);
+}

@@ -1,5 +1,6 @@
 #include "privelet_cli/schema_spec.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,15 +19,14 @@ Status SpecError(const std::string& context, std::size_t line_no,
                                  std::to_string(line_no) + ": " + what);
 }
 
+// Strict digits only: std::stoull accepts "-1" and wraps it to a huge
+// positive count; from_chars does not.
 Result<std::size_t> ParseCount(const std::string& token) {
   std::size_t value = 0;
-  std::size_t pos = 0;
-  try {
-    value = std::stoull(token, &pos);
-  } catch (...) {
-    return Status::InvalidArgument("'" + token + "' is not a count");
-  }
-  if (pos != token.size() || value == 0) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr != end || token.empty() || value == 0) {
     return Status::InvalidArgument("'" + token + "' is not a count");
   }
   return value;

@@ -1,8 +1,9 @@
 #include "privelet_cli/workload_io.h"
 
 #include <fstream>
-#include <sstream>
 #include <string>
+
+#include "privelet/serving/protocol.h"
 
 namespace privelet::cli {
 
@@ -14,51 +15,12 @@ Status WorkloadError(const std::string& path, std::size_t line_no,
                                  ": " + what);
 }
 
-Result<std::size_t> ParseIndex(const std::string& token) {
-  std::size_t value = 0;
-  std::size_t pos = 0;
-  try {
-    value = std::stoull(token, &pos);
-  } catch (...) {
-    return Status::InvalidArgument("'" + token + "' is not an index");
-  }
-  if (pos != token.size()) {
-    return Status::InvalidArgument("'" + token + "' is not an index");
-  }
-  return value;
-}
-
-Status ApplyPredicate(const data::Schema& schema, const std::string& token,
-                      query::RangeQuery* query) {
-  const std::size_t eq = token.find('=');
-  const std::size_t at = token.find('@');
-  if (eq != std::string::npos) {
-    const std::string name = token.substr(0, eq);
-    const std::string bounds = token.substr(eq + 1);
-    const std::size_t colon = bounds.find(':');
-    if (colon == std::string::npos) {
-      return Status::InvalidArgument("'" + token + "': expected name=lo:hi");
-    }
-    PRIVELET_ASSIGN_OR_RETURN(std::size_t attr, schema.FindAttribute(name));
-    PRIVELET_ASSIGN_OR_RETURN(std::size_t lo,
-                              ParseIndex(bounds.substr(0, colon)));
-    PRIVELET_ASSIGN_OR_RETURN(std::size_t hi,
-                              ParseIndex(bounds.substr(colon + 1)));
-    return query->SetRange(schema, attr, lo, hi);
-  }
-  if (at != std::string::npos) {
-    const std::string name = token.substr(0, at);
-    PRIVELET_ASSIGN_OR_RETURN(std::size_t attr, schema.FindAttribute(name));
-    PRIVELET_ASSIGN_OR_RETURN(std::size_t node,
-                              ParseIndex(token.substr(at + 1)));
-    return query->SetHierarchyNode(schema, attr, node);
-  }
-  return Status::InvalidArgument("'" + token +
-                                 "': expected name=lo:hi or name@node");
-}
-
 }  // namespace
 
+// The predicate grammar lives in serving/protocol.cc, shared with the
+// daemon's text mode — one grammar, one implementation. (The shared
+// parser also rejects signed indices like "-1", which the old
+// std::stoull-based parser silently wrapped.)
 Result<std::vector<query::RangeQuery>> ReadWorkloadFile(
     const std::string& path, const data::Schema& schema) {
   std::ifstream in(path);
@@ -72,22 +34,13 @@ Result<std::vector<query::RangeQuery>> ReadWorkloadFile(
     ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    std::istringstream fields(line);
-    std::string token;
-    if (!(fields >> token)) continue;  // blank / comment-only line
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
-    query::RangeQuery query(schema.num_attributes());
-    if (token != "*") {
-      do {
-        Status st = ApplyPredicate(schema, token, &query);
-        if (!st.ok()) {
-          return WorkloadError(path, line_no, st.message());
-        }
-      } while (fields >> token);
-    } else if (fields >> token) {
-      return WorkloadError(path, line_no, "'*' takes no predicates");
+    auto query = serving::ParseQueryLine(schema, line);
+    if (!query.ok()) {
+      return WorkloadError(path, line_no, query.status().message());
     }
-    queries.push_back(std::move(query));
+    queries.push_back(std::move(*query));
   }
   return queries;
 }
