@@ -2,7 +2,19 @@
 
 #include <memory>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "privelet/common/stopwatch.h"
+#include "privelet/simd/dispatch.h"
+
+// Short git sha of the configured source tree, injected by
+// bench/CMakeLists.txt at configure time; "unknown" outside a git
+// checkout.
+#ifndef PRIVELET_GIT_SHA
+#define PRIVELET_GIT_SHA "unknown"
+#endif
 
 namespace privelet::bench {
 
@@ -32,6 +44,16 @@ std::string SlugOf(const char* text) {
 
 }  // namespace
 
+void StabilizeAllocator() {
+#if defined(__GLIBC__)
+  // Keep 8-64 MB matrix intermediates on the retained heap: without this,
+  // glibc alternates between mmap-backed chunks and trimming the heap
+  // top, so every transform call re-faults its working set.
+  mallopt(M_MMAP_THRESHOLD, 64 << 20);
+  mallopt(M_TRIM_THRESHOLD, 512 << 20);
+#endif
+}
+
 std::size_t PeakRssBytes() {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;
@@ -53,16 +75,25 @@ BenchReport::~BenchReport() {
     std::fprintf(stderr, "# warning: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  const std::string isa_active(simd::IsaLevelName(simd::ResolveIsa()));
+  const std::string isa_best(simd::IsaLevelName(simd::DetectBestIsa()));
+  const std::string cpu_features(simd::CpuFeatureString());
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"meta\": {\"isa_active\": \"%s\", \"isa_best\": \"%s\", "
+               "\"cpu_features\": \"%s\", \"git_sha\": \"%s\"},\n",
+               isa_active.c_str(), isa_best.c_str(), cpu_features.c_str(),
+               PRIVELET_GIT_SHA);
+  std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t r = 0; r < rows_.size(); ++r) {
-    std::fprintf(f, "  {");
+    std::fprintf(f, "    {");
     for (std::size_t i = 0; i < rows_[r].size(); ++i) {
       std::fprintf(f, "%s\"%s\": %.17g", i == 0 ? "" : ", ",
                    rows_[r][i].first.c_str(), rows_[r][i].second);
     }
     std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("# wrote %s (%zu rows)\n", path.c_str(), rows_.size());
 }

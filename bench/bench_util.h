@@ -36,16 +36,29 @@ inline bool FullScale() {
 /// The ε values of Figs. 6-9 (panels a-d).
 inline std::vector<double> PaperEpsilons() { return {0.5, 0.75, 1.0, 1.25}; }
 
+/// Pins glibc's malloc thresholds so repeated multi-megabyte transform
+/// intermediates are served from the retained heap instead of being
+/// mmap'd, faulted in, and unmapped on every run (2-3 ms per 8 MB matrix
+/// of pure page-fault noise on the relative timings). Call once at the
+/// top of wall-clock-sensitive bench mains. Deliberately NOT used by the
+/// out-of-core/RSS benches — retaining freed heap would inflate the
+/// resident-set numbers they guard. No-op on non-glibc platforms.
+void StabilizeAllocator();
+
 /// High-water-mark resident set size of this process in bytes (VmHWM from
 /// /proc/self/status), or 0 where unavailable. Monotone over the process
 /// lifetime: to attribute a peak to one phase, measure that phase first.
 std::size_t PeakRssBytes();
 
 /// Machine-readable companion to the printed tables: harnesses append flat
-/// {key: number} rows, and the destructor writes them as a JSON array of
-/// objects to BENCH_<name>.json in the current working directory. The
-/// artifacts are build outputs (gitignored), meant for plotting scripts and
-/// regression tracking.
+/// {key: number} rows, and the destructor writes them to
+/// BENCH_<name>.json in the current working directory as
+/// {"meta": {...}, "rows": [...]}, where meta attributes the run — active
+/// and best-supported SIMD dispatch level, CPU feature flags, and the git
+/// sha the binary was configured from — so regression diffs
+/// (tools/compare_bench.py) can tell a code regression from a
+/// different-machine or different-ISA run. The artifacts are build outputs
+/// (gitignored), meant for plotting scripts and regression tracking.
 class BenchReport {
  public:
   /// `name` must be filesystem-safe (it becomes BENCH_<name>.json).

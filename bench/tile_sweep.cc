@@ -25,6 +25,7 @@
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/mechanism/privelet_mechanism.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/simd/dispatch.h"
 #include "privelet/wavelet/hn_transform.h"
 
 namespace privelet::bench {
@@ -111,11 +112,18 @@ Timing Measure(const data::Schema& schema, const matrix::FrequencyMatrix& m,
 // shared-runner timing noise on the back-to-back relative measurement.
 constexpr double kSmokeMarginFactor = 0.75;
 
+// Same philosophy for the dispatch sweep: the vector kernels measure >= 2x
+// over the forced-scalar tiled baseline on the headline forward+inverse,
+// so the tripwire fires when the best level retains less than ~1.5x —
+// a dispatch regression (kernels silently scalar), not timing noise.
+constexpr double kSimdSmokeMarginFactor = 0.65;
+
 int Run(bool smoke) {
   const int reps = smoke ? 3 : 4;
   const std::vector<std::size_t> tiles = {1, 8, 64, 256};
   BenchReport report("tile_sweep");
   bool tiled_beats_naive = true;
+  bool simd_beats_scalar = true;
 
   std::vector<SweepCase> cases = MakeCases(smoke);
   for (std::size_t case_id = 0; case_id < cases.size(); ++case_id) {
@@ -167,6 +175,46 @@ int Run(bool smoke) {
         tiled_beats_naive = false;
       }
     }
+
+    // Dispatch sweep at the default tile: one row per kernel level the
+    // host runs, each forced through EngineOptions::isa. Level 0 is the
+    // honest scalar tiled baseline (the kernel table reproduces the
+    // pre-dispatch blocked loops verbatim); speedup_vs_scalar is the
+    // within-run ratio the compare_bench gate guards. Every level's
+    // publish is checked bitwise against the naive release — the sweep
+    // doubles as a cross-ISA determinism harness.
+    const simd::IsaLevel best_isa = simd::DetectBestIsa();
+    double scalar_total = 0.0;
+    for (int lvl = 0; lvl <= static_cast<int>(best_isa); ++lvl) {
+      matrix::EngineOptions iso = matrix::MakeEngineOptions(
+          matrix::LineEngine::kTiled, matrix::kDefaultTileLines);
+      iso.isa = static_cast<simd::IsaChoice>(lvl);
+      matrix::FrequencyMatrix release;
+      const Timing t = Measure(c.schema, m, iso, reps, &release);
+      PRIVELET_CHECK(
+          matrix::ValuesEqual(release.values(), naive_release.values()),
+          "dispatched release differs from the naive reference");
+      const double total = t.forward_s + t.inverse_s;
+      if (lvl == 0) scalar_total = total;
+      const double speedup =
+          total > 0.0 && scalar_total > 0.0 ? scalar_total / total : 0.0;
+      const std::string isa_name(
+          simd::IsaLevelName(static_cast<simd::IsaLevel>(lvl)));
+      std::printf("  isa %-6s %10.2f %10.2f %10.2f %8.2fx\n",
+                  isa_name.c_str(), t.forward_s * 1e3, t.inverse_s * 1e3,
+                  t.publish_s * 1e3, speedup);
+      report.AddRow({{"case_id", static_cast<double>(case_id)},
+                     {"tile", static_cast<double>(matrix::kDefaultTileLines)},
+                     {"isa", static_cast<double>(lvl)},
+                     {"forward_ms", t.forward_s * 1e3},
+                     {"inverse_ms", t.inverse_s * 1e3},
+                     {"publish_ms", t.publish_s * 1e3},
+                     {"speedup_vs_scalar", speedup}});
+      if (case_id == 0 && lvl == static_cast<int>(best_isa) && lvl > 0 &&
+          total >= kSimdSmokeMarginFactor * scalar_total) {
+        simd_beats_scalar = false;
+      }
+    }
     std::printf("\n");
   }
 
@@ -178,8 +226,18 @@ int Run(bool smoke) {
                  matrix::kDefaultTileLines, cases[0].name.c_str());
     return 1;
   }
+  if (smoke && !simd_beats_scalar) {
+    std::fprintf(stderr,
+                 "FAIL: best dispatch level (%s) did not beat the forced "
+                 "scalar tiled baseline on %s\n",
+                 std::string(simd::IsaLevelName(simd::DetectBestIsa()))
+                     .c_str(),
+                 cases[0].name.c_str());
+    return 1;
+  }
 #else
   (void)tiled_beats_naive;
+  (void)simd_beats_scalar;
 #endif
   return 0;
 }
@@ -192,5 +250,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  // The sweep compares back-to-back relative timings of identical-size
+  // runs; allocator page cycling between them is pure noise.
+  privelet::bench::StabilizeAllocator();
   return privelet::bench::Run(smoke);
 }

@@ -1,0 +1,60 @@
+// AlignedBuffer: grow-only scratch storage on a 64-byte boundary (one
+// cache line, and the widest vector register the simd kernel layer
+// dispatches to). TileBuffer panels and per-worker transform scratch use
+// this instead of std::vector so vector kernels see aligned panels and
+// panel rows never split a cache line they don't have to.
+//
+// Unlike std::vector, growth does NOT preserve or zero contents — every
+// user of pooled scratch fully writes a region before reading it, and
+// skipping the zero-fill keeps Prepare() free on the hot path.
+#ifndef PRIVELET_COMMON_ALIGNED_BUFFER_H_
+#define PRIVELET_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+namespace privelet::common {
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivial_v<T>,
+                "AlignedBuffer skips construction and destruction");
+
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  /// Grows the buffer to hold at least `n` elements and returns its
+  /// storage. Never shrinks (pooled buffers stop allocating once they
+  /// have seen their largest request); contents are unspecified after a
+  /// growing call.
+  T* Grow(std::size_t n) {
+    if (n > size_) {
+      data_.reset(static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kAlignment})));
+      size_ = n;
+    }
+    return data_.get();
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  /// High-water element count of Grow() calls so far.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const {
+      ::operator delete(p, std::align_val_t{kAlignment});
+    }
+  };
+
+  std::unique_ptr<T, Deleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace privelet::common
+
+#endif  // PRIVELET_COMMON_ALIGNED_BUFFER_H_

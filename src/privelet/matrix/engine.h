@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <string>
 
+#include "privelet/simd/dispatch.h"
+
 namespace privelet::matrix {
 
 enum class LineEngine {
@@ -50,6 +52,11 @@ struct EngineOptions {
   /// Directory for scratch files when max_memory_bytes > 0; empty means
   /// $TMPDIR (falling back to /tmp).
   std::string scratch_dir;
+  /// Kernel instruction-set level for the hot loops (see simd/dispatch.h).
+  /// kAuto defers to the PRIVELET_ISA environment variable, else the best
+  /// level the host supports; every level is bit-identical, so this —
+  /// like the engine and tile size — is purely a performance knob.
+  simd::IsaChoice isa = simd::IsaChoice::kAuto;
 
   bool out_of_core() const { return max_memory_bytes > 0; }
 };

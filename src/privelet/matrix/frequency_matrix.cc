@@ -39,6 +39,17 @@ FrequencyMatrix::FrequencyMatrix(std::vector<std::size_t> dims)
   data_ = owned_.data();
 }
 
+FrequencyMatrix FrequencyMatrix::Uninitialized(std::vector<std::size_t> dims) {
+  FrequencyMatrix m;
+  m.dims_ = std::move(dims);
+  m.InitStrides();
+  // Default-initializing resize: MatrixAllocator skips the zero-fill, so
+  // this is a pure allocation (the caller contract is a full overwrite).
+  m.owned_.resize(m.size_);
+  m.data_ = m.owned_.data();
+  return m;
+}
+
 Result<FrequencyMatrix> FrequencyMatrix::CreateScratch(
     std::vector<std::size_t> dims, const std::string& scratch_dir) {
   FrequencyMatrix m;

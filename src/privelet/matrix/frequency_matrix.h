@@ -29,6 +29,43 @@
 
 namespace privelet::matrix {
 
+namespace detail {
+
+// Storage allocator for vector-backed matrices: 64-byte aligned (cache
+// line / widest dispatched vector register, matching
+// common::AlignedBuffer) and default-initializing, so resize() without a
+// value performs no zero-fill. Explicit fills (assign, the (n, value)
+// constructor, range copies) still write every element — only
+// FrequencyMatrix::Uninitialized relies on the no-fill resize.
+template <typename T>
+struct MatrixAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  MatrixAllocator() = default;
+  template <typename U>
+  MatrixAllocator(const MatrixAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlign);
+  }
+  template <typename U>
+  void construct(U* p) noexcept {
+    ::new (static_cast<void*>(p)) U;  // default-init: no fill for double
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+  bool operator==(const MatrixAllocator&) const { return true; }
+  bool operator!=(const MatrixAllocator&) const { return false; }
+};
+
+}  // namespace detail
+
 /// Dense row-major d-dimensional matrix (last axis contiguous).
 class FrequencyMatrix {
  public:
@@ -37,6 +74,14 @@ class FrequencyMatrix {
   /// Zero-filled vector-backed matrix with the given per-axis sizes
   /// (all >= 1).
   explicit FrequencyMatrix(std::vector<std::size_t> dims);
+
+  /// Vector-backed matrix whose entries are left uninitialized. Strictly
+  /// an allocation-cost optimization for callers that overwrite every
+  /// entry before any read — e.g. the HN axis passes, where each pass
+  /// writes all out_len elements of every line of its destination.
+  /// Reading an entry before writing it is undefined behavior, so prefer
+  /// the zero-filled constructor unless the full overwrite is structural.
+  static FrequencyMatrix Uninitialized(std::vector<std::size_t> dims);
 
   /// Zero-filled matrix backed by an unlinked mmap scratch file under
   /// `scratch_dir` (empty -> $TMPDIR, then /tmp). Identical semantics to
@@ -134,8 +179,10 @@ class FrequencyMatrix {
   std::vector<std::size_t> dims_;
   std::vector<std::size_t> strides_;
   // Exactly one of owned_ / scratch_ backs data_ (both empty for a
-  // default-constructed matrix).
-  std::vector<double> owned_;
+  // default-constructed matrix). 64-byte aligned so the vector kernels'
+  // direct-to-matrix (strided panel) paths see the same alignment as
+  // TileBuffer panels.
+  std::vector<double, detail::MatrixAllocator<double>> owned_;
   common::MappedFile scratch_;
   double* data_ = nullptr;
   std::size_t size_ = 0;

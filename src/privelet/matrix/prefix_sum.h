@@ -26,6 +26,7 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/matrix/tile_buffer.h"
+#include "privelet/simd/kernels.h"
 
 namespace privelet::matrix {
 
@@ -302,7 +304,13 @@ class PrefixSumTable {
           }
         });
     // One running-sum pass per axis turns the copy into an inclusive
-    // d-dimensional prefix table.
+    // d-dimensional prefix table. Integer accumulators dispatch their
+    // contiguous inner loops through the selected kernel table (int64
+    // addition is associative, so any lane split is bit-identical); long
+    // double accumulators have no vector form (x87) and stay scalar at
+    // every level.
+    const simd::KernelTable& kernels =
+        simd::Kernels(simd::ResolveIsa(options.isa));
     for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
       const std::size_t stride_a = strides_[axis];
       const std::size_t axis_dim = dims_[axis];
@@ -310,7 +318,7 @@ class PrefixSumTable {
       if (options.engine == LineEngine::kTiled && stride_a > 1) {
         BuildAxisTiled(slots, axis_dim, stride_a, lines,
                        std::max<std::size_t>(1, options.tile_lines), pool,
-                       governor);
+                       kernels, governor);
         continue;
       }
       // Per-line path; for the last axis (stride 1) each line is already
@@ -334,8 +342,12 @@ class PrefixSumTable {
                   governor.OnBytesProcessed(step_touched);
                 }
               } else {
-                for (std::size_t k = 1; k < axis_dim; ++k) {
-                  slots[base + k] += slots[base + k - 1];
+                if constexpr (std::is_same_v<Accum, std::int64_t>) {
+                  kernels.prefix_scan_i64(slots + base, axis_dim);
+                } else {
+                  for (std::size_t k = 1; k < axis_dim; ++k) {
+                    slots[base + k] += slots[base + k - 1];
+                  }
                 }
                 governor.OnBytesProcessed(axis_dim * sizeof(Accum));
               }
@@ -352,6 +364,7 @@ class PrefixSumTable {
   void BuildAxisTiled(Accum* slots, std::size_t axis_dim, std::size_t stride,
                       std::size_t lines, std::size_t tile,
                       common::ThreadPool* pool,
+                      const simd::KernelTable& kernels,
                       common::ResidencyGovernor& governor) {
     const std::size_t panels = (lines + tile - 1) / tile;
     common::ParallelFor(
@@ -371,7 +384,11 @@ class PrefixSumTable {
                   for (std::size_t k = 1; k < axis_dim; ++k) {
                     Accum* curr = slots + base + k * stride;
                     const Accum* prev = curr - stride;
-                    for (std::size_t b = 0; b < run; ++b) curr[b] += prev[b];
+                    if constexpr (std::is_same_v<Accum, std::int64_t>) {
+                      kernels.prefix_rows_add_i64(curr, prev, run);
+                    } else {
+                      for (std::size_t b = 0; b < run; ++b) curr[b] += prev[b];
+                    }
                     governor.OnBytesProcessed(step_touched);
                   }
                 });

@@ -7,9 +7,7 @@
 namespace privelet::matrix {
 
 double* TileBuffer::Prepare(std::size_t line_len, std::size_t count) {
-  const std::size_t needed = line_len * count;
-  if (panel_.size() < needed) panel_.resize(needed);
-  return panel_.data();
+  return panel_.Grow(line_len * count);
 }
 
 void TileBuffer::Gather(const FrequencyMatrix& m, std::size_t axis,

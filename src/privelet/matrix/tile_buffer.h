@@ -18,8 +18,8 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <vector>
 
+#include "privelet/common/aligned_buffer.h"
 #include "privelet/common/residency.h"
 #include "privelet/matrix/frequency_matrix.h"
 
@@ -50,8 +50,11 @@ void ForEachLineRun(std::size_t stride, std::size_t axis_dim,
 class TileBuffer {
  public:
   /// Grows the panel to hold `count` lines of `line_len` elements and
-  /// returns its storage. Never shrinks, so pooled buffers stop
-  /// allocating once they have seen the largest panel.
+  /// returns its storage (64-byte aligned, so the vector kernels operate
+  /// on aligned panels). Never shrinks, so pooled buffers stop allocating
+  /// once they have seen the largest panel. Contents are unspecified
+  /// after a growing call — every consumer gathers or writes the panel
+  /// before reading it.
   double* Prepare(std::size_t line_len, std::size_t count);
 
   /// Gathers lines [first, first + count) of `m` along `axis` into the
@@ -81,7 +84,7 @@ class TileBuffer {
   const double* panel() const { return panel_.data(); }
 
  private:
-  std::vector<double> panel_;
+  common::AlignedBuffer<double> panel_;
 };
 
 }  // namespace privelet::matrix

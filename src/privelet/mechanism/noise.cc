@@ -43,14 +43,64 @@ double NoiseStreamCursor::LaplaceAt(std::size_t index, double magnitude) {
   return rng::SampleLaplace(gen_, magnitude);
 }
 
+void NoiseStreamCursor::UnitLaplaceRun(std::size_t index, std::size_t count,
+                                       double* out,
+                                       const simd::KernelTable& kernels) {
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t i = index + done;
+    const std::size_t shard = i / kNoiseShardSize;
+    if (shard != shard_ || i < next_index_) {
+      PRIVELET_DCHECK(shard < streams_.size(),
+                      "index beyond the stream space");
+      gen_ = streams_[shard];
+      shard_ = shard;
+      next_index_ = shard * kNoiseShardSize;
+    }
+    while (next_index_ < i) {
+      gen_.Next();
+      ++next_index_;
+    }
+    const std::size_t shard_end = (shard + 1) * kNoiseShardSize;
+    const std::size_t run = std::min(count - done, shard_end - i);
+    rng::SampleLaplaceUnitBatch(gen_, out + done, run, kernels);
+    next_index_ += run;
+    done += run;
+  }
+}
+
 void AddLaplaceNoise(std::span<double> values, double magnitude,
-                     std::uint64_t noise_seed, common::ThreadPool* pool) {
+                     std::uint64_t noise_seed, common::ThreadPool* pool,
+                     simd::IsaChoice isa) {
+  PRIVELET_CHECK(magnitude >= 0.0, "Laplace magnitude must be >= 0");
+  if (magnitude == 0.0) {
+    // Degenerate case: SampleLaplace(gen, 0) consumes nothing and returns
+    // +0.0, whose addition still normalizes any -0.0 entries. Preserved
+    // as-is, outside the batched path.
+    ForEachNoiseShard(values.size(), noise_seed, pool,
+                      [values](std::size_t begin, std::size_t end,
+                               rng::Xoshiro256pp& gen) {
+                        (void)gen;
+                        for (std::size_t i = begin; i < end; ++i) {
+                          values[i] += 0.0;
+                        }
+                      });
+    return;
+  }
+  const simd::KernelTable& kernels = simd::Kernels(simd::ResolveIsa(isa));
   ForEachNoiseShard(
       values.size(), noise_seed, pool,
-      [values, magnitude](std::size_t begin, std::size_t end,
-                          rng::Xoshiro256pp& gen) {
-        for (std::size_t i = begin; i < end; ++i) {
-          values[i] += rng::SampleLaplace(gen, magnitude);
+      [values, magnitude, &kernels](std::size_t begin, std::size_t end,
+                                    rng::Xoshiro256pp& gen) {
+        // Per-block staging: unit draws from the shard's stream, then one
+        // rounding per element at the final scale — the exact bits of
+        // values[i] += SampleLaplace(gen, magnitude).
+        constexpr std::size_t kBlock = 512;
+        double unit[kBlock];
+        for (std::size_t i = begin; i < end; i += kBlock) {
+          const std::size_t run = std::min(kBlock, end - i);
+          rng::SampleLaplaceUnitBatch(gen, unit, run, kernels);
+          kernels.row_add_scaled(values.data() + i, unit, magnitude, run);
         }
       });
 }

@@ -18,6 +18,7 @@
 
 #include "privelet/common/thread_pool.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/simd/kernels.h"
 
 namespace privelet::mechanism {
 
@@ -38,9 +39,13 @@ void ForEachNoiseShard(
         body);
 
 /// values[i] += Laplace(magnitude) with the sharded stream scheme above —
-/// the whole noise step of the Basic and Hay mechanisms.
+/// the whole noise step of the Basic and Hay mechanisms. The raw-bits ->
+/// tail mapping of each draw runs through the kernel table selected by
+/// `isa` (see simd::ResolveIsa); every level produces the same bits as the
+/// original scalar loop.
 void AddLaplaceNoise(std::span<double> values, double magnitude,
-                     std::uint64_t noise_seed, common::ThreadPool* pool);
+                     std::uint64_t noise_seed, common::ThreadPool* pool,
+                     simd::IsaChoice isa = simd::IsaChoice::kAuto);
 
 /// Number of shards ForEachNoiseShard cuts [0, total) into; the stream
 /// count to pass to rng::MakeJumpStreams when driving the cursor below.
@@ -71,6 +76,14 @@ class NoiseStreamCursor {
   /// > 0 (a zero magnitude would consume no draw and desynchronize the
   /// stream positions).
   double LaplaceAt(std::size_t index, double magnitude);
+
+  /// Fills out[0..count) with the unit-magnitude draws of indices
+  /// [index, index + count): magnitude * out[j] is bit-identical to
+  /// LaplaceAt(index + j, magnitude) (see rng::SampleLaplaceUnitBatch).
+  /// Splits the run at shard boundaries internally; the same monotonicity
+  /// rule as LaplaceAt applies to the whole run.
+  void UnitLaplaceRun(std::size_t index, std::size_t count, double* out,
+                      const simd::KernelTable& kernels);
 
  private:
   const std::vector<rng::Xoshiro256pp>& streams_;

@@ -5,6 +5,7 @@
 #include "privelet/rng/distributions.h"
 #include "privelet/rng/splitmix64.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/simd/kernels.h"
 
 namespace privelet::mechanism {
 
@@ -96,15 +97,23 @@ Result<matrix::FrequencyMatrix> PriveletPlusMechanism::Publish(
   // index-for-index.
   const std::vector<rng::Xoshiro256pp> streams =
       rng::MakeJumpStreams(noise_seed, NumNoiseShards(values.size()));
+  const simd::KernelTable& kernels =
+      simd::Kernels(simd::ResolveIsa(options.isa));
   const wavelet::PanelNoiseFactory noise_factory = [&]() {
-    // Both cursors advance monotonically across the chunk's panels, so
-    // after this factory call the hook allocates nothing.
-    return [lambda, draws = NoiseStreamCursor(streams),
-            weights = wavelet::HnWeightCursor(coefficients)](
+    // Both cursors advance monotonically across the chunk's panels. The
+    // unit buffer grows to the chunk's panel size on the first call and is
+    // reused after that. Batching changes no bits: the per-index draw is
+    // (lambda/weight) * unit = one rounding of the same real product
+    // LaplaceAt evaluates (see NoiseStreamCursor::UnitLaplaceRun).
+    return [lambda, &kernels, draws = NoiseStreamCursor(streams),
+            weights = wavelet::HnWeightCursor(coefficients),
+            unit = std::vector<double>()](
                std::size_t begin, std::size_t end, double* panel) mutable {
+      if (unit.size() < end - begin) unit.resize(end - begin);
+      draws.UnitLaplaceRun(begin, end - begin, unit.data(), kernels);
       weights.ForEachInRange(
           begin, end, [&](std::size_t flat, double weight) {
-            panel[flat - begin] += draws.LaplaceAt(flat, lambda / weight);
+            panel[flat - begin] += (lambda / weight) * unit[flat - begin];
           });
     };
   };

@@ -30,6 +30,10 @@ std::uint64_t Xoshiro256pp::Next() {
   return result;
 }
 
+void Xoshiro256pp::FillRaw(std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = Next();
+}
+
 double Xoshiro256pp::NextDouble() {
   // Top 53 bits scaled by 2^-53: uniform on [0, 1).
   return static_cast<double>(Next() >> 11) * 0x1.0p-53;

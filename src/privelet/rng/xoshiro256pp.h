@@ -25,6 +25,12 @@ class Xoshiro256pp {
   /// Next raw 64-bit output.
   std::uint64_t Next();
 
+  /// Writes the next `n` raw outputs into `out` — exactly equivalent to n
+  /// calls of Next(), leaving the state where n single draws would. Lets
+  /// batched samplers fill a block of raws for vector post-processing
+  /// without changing the draw sequence.
+  void FillRaw(std::uint64_t* out, std::size_t n);
+
   std::uint64_t operator()() { return Next(); }
   static constexpr std::uint64_t min() { return 0; }
   static constexpr std::uint64_t max() { return ~0ULL; }

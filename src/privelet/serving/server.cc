@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "privelet/common/io_util.h"
+#include "privelet/simd/dispatch.h"
 
 #if defined(__linux__)
 #include <arpa/inet.h>
@@ -701,6 +702,13 @@ std::string Server::RenderStatsText() {
   line("store_hits", store_stats.hits);
   line("store_evictions", store_stats.evictions);
   line("store_resident", store_->resident_count());
+  // Kernel dispatch attribution: which vector level query evaluation and
+  // reloads run at (and what the host could run), so a fleet operator can
+  // spot a daemon silently pinned to scalar by a stray PRIVELET_ISA.
+  out += "isa_active " + std::string(simd::IsaLevelName(simd::ResolveIsa())) +
+         "\n";
+  out += "isa_best " +
+         std::string(simd::IsaLevelName(simd::DetectBestIsa())) + "\n";
   out += "latency _all " + all_latency_.SummaryMicros() + "\n";
   for (const auto& [id, histogram] : release_latency_) {
     out += "latency " + id + " " + histogram.SummaryMicros() + "\n";

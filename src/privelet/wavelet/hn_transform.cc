@@ -4,11 +4,13 @@
 #include <string>
 #include <utility>
 
+#include "privelet/common/aligned_buffer.h"
 #include "privelet/common/check.h"
 #include "privelet/common/residency.h"
 #include "privelet/common/scratch_pool.h"
 #include "privelet/common/thread_pool.h"
 #include "privelet/matrix/tile_buffer.h"
+#include "privelet/simd/dispatch.h"
 #include "privelet/wavelet/haar.h"
 #include "privelet/wavelet/identity.h"
 #include "privelet/wavelet/nominal.h"
@@ -24,11 +26,14 @@ namespace {
 struct LineWorkspace {
   matrix::TileBuffer in;
   matrix::TileBuffer out;
-  std::vector<double> scratch;
+  common::AlignedBuffer<double> scratch;
 
   double* Scratch(std::size_t n) {
-    if (scratch.size() < n) scratch.resize(n);
-    return scratch.empty() ? nullptr : scratch.data();
+    // 64-byte aligned like the panels, so the vector kernels' scratch
+    // rows share the panels' alignment. Transforms fully write their
+    // scratch before reading it, so uninitialized growth is fine.
+    if (n == 0) return scratch.data();
+    return scratch.Grow(n);
   }
 };
 
@@ -44,6 +49,7 @@ void TransformLinesNaive(const matrix::FrequencyMatrix& src,
                          const Transform1D& t, Direction dir,
                          common::ThreadPool* pool, WorkspacePool& workspaces,
                          const matrix::EngineOptions& options,
+                         simd::IsaLevel isa,
                          common::ResidencyGovernor& governor) {
   const std::size_t lines = src.NumLines(axis);
   const std::size_t line_len =
@@ -66,10 +72,10 @@ void TransformLinesNaive(const matrix::FrequencyMatrix& src,
             src.GatherLine(axis, line, in_line);
           }
           if (dir == Direction::kForward) {
-            t.Forward(in_line, out_line, scratch);
+            t.Forward(in_line, out_line, scratch, isa);
           } else {
             t.Refine(in_line);
-            t.Inverse(in_line, out_line, scratch);
+            t.Inverse(in_line, out_line, scratch, isa);
           }
           if (paced) {
             ws->out.Scatter(dst, axis, line, 1, &governor);
@@ -90,6 +96,7 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
                          const Transform1D& t, Direction dir,
                          common::ThreadPool* pool, WorkspacePool& workspaces,
                          const matrix::EngineOptions& options,
+                         simd::IsaLevel isa,
                          const PanelNoiseFactory* noise_factory,
                          common::ResidencyGovernor& governor) {
   const std::size_t lines = src.NumLines(axis);
@@ -131,13 +138,13 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
             if (dir == Direction::kForward) {
               for (std::size_t b = 0; b < count; ++b) {
                 t.Forward(src_slab + b * in_len, dst_slab + b * out_len,
-                          scratch);
+                          scratch, isa);
                 governor.OnBytesProcessed(slab_line_bytes);
               }
             } else if (!stage) {
               for (std::size_t b = 0; b < count; ++b) {
                 t.Inverse(src_slab + b * in_len, dst_slab + b * out_len,
-                          scratch);
+                          scratch, isa);
                 governor.OnBytesProcessed(slab_line_bytes);
               }
             } else {
@@ -155,7 +162,7 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
                   noise(flat, flat + in_len, buf);
                 }
                 t.Refine(buf);
-                t.Inverse(buf, dst_slab + b * out_len, scratch);
+                t.Inverse(buf, dst_slab + b * out_len, scratch, isa);
                 governor.OnBytesProcessed(slab_line_bytes);
               }
             }
@@ -166,6 +173,58 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
 
   PRIVELET_CHECK(noise_factory == nullptr,
                  "fused noise applies only to the contiguous axis");
+  // Strided fast path for the vector levels: consecutive lines of a
+  // non-contiguous axis have consecutive base addresses (runs of
+  // ForEachLineRun), so the matrix storage already is an interleaved
+  // panel with row pitch Stride(axis) — the batched kernels read `src`
+  // and write `dst` directly and the Gather/Scatter copies disappear.
+  // The scalar level keeps the PR 3 gather/transform/scatter structure
+  // (it is the dispatch sweep's baseline), and the out-of-core engine
+  // keeps it for its per-step residency pacing.
+  if (paced == nullptr && isa != simd::IsaLevel::kScalar &&
+      t.SupportsStridedLines() && !t.has_refinement()) {
+    const std::size_t stride = src.Stride(axis);
+    // Lane count per call: as many consecutive lines as possible, NOT the
+    // tile size. With `count` lanes each panel row is a contiguous
+    // `count`-element span at an 8*stride-byte pitch; short rows at a
+    // page-multiple pitch serialize on store-to-load 4K aliasing, while
+    // runs approaching the full stride turn every row access into
+    // sequential streaming (count == stride means the rows tile the
+    // matrix exactly). The cap only bounds the scratch ladder — per line
+    // the operations are identical for every lane count, so the output
+    // does not depend on this choice.
+    constexpr std::size_t kStridedScratchBytes = std::size_t{8} << 20;
+    const std::size_t line_len = std::max(in_len, out_len);
+    const std::size_t chunk = std::max(
+        tile, std::max<std::size_t>(
+                  1, kStridedScratchBytes / (sizeof(double) * line_len)));
+    const std::size_t chunks = (lines + chunk - 1) / chunk;
+    common::ParallelFor(
+        pool, chunks, /*grain=*/0, [&](std::size_t pb, std::size_t pe) {
+          auto ws = workspaces.Acquire();
+          for (std::size_t p = pb; p < pe; ++p) {
+            const std::size_t first = p * chunk;
+            const std::size_t count = std::min(chunk, lines - first);
+            double* scratch = ws->Scratch(t.lines_scratch_size(count));
+            matrix::ForEachLineRun(
+                stride, in_len, first, count,
+                [&](std::size_t base, std::size_t col, std::size_t run) {
+                  const std::size_t dst_base =
+                      dst.LineBase(axis, first + col);
+                  if (dir == Direction::kForward) {
+                    t.ForwardLinesStrided(run, src.values().data() + base,
+                                          dst.values().data() + dst_base,
+                                          stride, scratch, isa);
+                  } else {
+                    t.InverseLinesStrided(run, src.values().data() + base,
+                                          dst.values().data() + dst_base,
+                                          stride, scratch, isa);
+                  }
+                });
+          }
+        });
+    return;
+  }
   common::ParallelFor(
       pool, panels, /*grain=*/0, [&](std::size_t pb, std::size_t pe) {
         auto ws = workspaces.Acquire();
@@ -176,12 +235,12 @@ void TransformLinesTiled(const matrix::FrequencyMatrix& src,
           double* out_panel = ws->out.Prepare(out_len, count);
           double* scratch = ws->Scratch(t.lines_scratch_size(count));
           if (dir == Direction::kForward) {
-            t.ForwardLines(count, ws->in.panel(), out_panel, scratch);
+            t.ForwardLines(count, ws->in.panel(), out_panel, scratch, isa);
           } else {
             if (t.has_refinement()) {
-              t.RefineLines(count, ws->in.panel(), scratch);
+              t.RefineLines(count, ws->in.panel(), scratch, isa);
             }
-            t.InverseLines(count, ws->in.panel(), out_panel, scratch);
+            t.InverseLines(count, ws->in.panel(), out_panel, scratch, isa);
           }
           ws->out.Scatter(dst, axis, first, count, paced);
         }
@@ -204,12 +263,16 @@ void RunAxisPass(const matrix::FrequencyMatrix& src,
     src.ReleaseResidency();
     dst.ReleaseResidency();
   });
+  // Resolve the kernel level once per pass (options.isa, then the
+  // PRIVELET_ISA environment, then the best the host supports) so every
+  // worker of the pass dispatches to the same table.
+  const simd::IsaLevel isa = simd::ResolveIsa(options.isa);
   if (options.engine == matrix::LineEngine::kNaive) {
     TransformLinesNaive(src, dst, axis, t, dir, pool, workspaces, options,
-                        governor);
+                        isa, governor);
   } else {
     TransformLinesTiled(src, dst, axis, t, dir, pool, workspaces, options,
-                        noise_factory, governor);
+                        isa, noise_factory, governor);
   }
 }
 
@@ -292,7 +355,9 @@ Result<HnCoefficients> HnTransform::Forward(
                                           std::move(next_dims),
                                           options.scratch_dir));
     } else {
-      next = matrix::FrequencyMatrix(std::move(next_dims));
+      // Every engine writes all out_len elements of every destination
+      // line, so the pass fully overwrites `next` — skip the zero-fill.
+      next = matrix::FrequencyMatrix::Uninitialized(std::move(next_dims));
     }
 
     RunAxisPass(*src, next, axis, t, Direction::kForward, pool, workspaces,
@@ -334,7 +399,9 @@ Result<matrix::FrequencyMatrix> HnTransform::Inverse(
                                           std::move(next_dims),
                                           options.scratch_dir));
     } else {
-      next = matrix::FrequencyMatrix(std::move(next_dims));
+      // Every engine writes all out_len elements of every destination
+      // line, so the pass fully overwrites `next` — skip the zero-fill.
+      next = matrix::FrequencyMatrix::Uninitialized(std::move(next_dims));
     }
 
     // Only the first pass (axis d-1, the contiguous axis, which touches

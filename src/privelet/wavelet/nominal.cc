@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "privelet/common/check.h"
+#include "privelet/simd/kernels.h"
 
 namespace privelet::wavelet {
 
@@ -51,6 +52,13 @@ void NominalTransform::Forward(const double* in, double* out,
 
 void NominalTransform::ForwardLines(std::size_t count, const double* in,
                                     double* out, double* scratch) const {
+  ForwardLines(count, in, out, scratch, simd::ResolveIsa());
+}
+
+void NominalTransform::ForwardLines(std::size_t count, const double* in,
+                                    double* out, double* scratch,
+                                    simd::IsaLevel isa) const {
+  const simd::KernelTable& k = simd::Kernels(isa);
   const data::Hierarchy& h = *hierarchy_;
   const std::size_t nodes = h.num_nodes();
   // scratch = num_nodes x count leaf-sum panel; per line b the node order
@@ -62,9 +70,8 @@ void NominalTransform::ForwardLines(std::size_t count, const double* in,
               leafsum + h.leaf_node(leaf) * count);
   }
   for (std::size_t id = nodes; id-- > 1;) {
-    double* parent_row = leafsum + h.node(id).parent * count;
-    const double* row = leafsum + id * count;
-    for (std::size_t b = 0; b < count; ++b) parent_row[b] += row[b];
+    k.row_add(leafsum + h.node(id).parent * count, leafsum + id * count,
+              count);
   }
 
   std::copy(leafsum + data::Hierarchy::kRoot * count,
@@ -73,12 +80,8 @@ void NominalTransform::ForwardLines(std::size_t count, const double* in,
   for (std::size_t id = 1; id < nodes; ++id) {
     const std::size_t parent = h.node(id).parent;
     const double fanout = static_cast<double>(h.fanout(parent));
-    const double* row = leafsum + id * count;
-    const double* parent_row = leafsum + parent * count;
-    double* out_row = out + id * count;
-    for (std::size_t b = 0; b < count; ++b) {
-      out_row[b] = row[b] - parent_row[b] / fanout;
-    }
+    k.row_sub_div(out + id * count, leafsum + id * count,
+                  leafsum + parent * count, fanout, count);
   }
 }
 
@@ -96,6 +99,13 @@ void NominalTransform::Refine(double* coeffs) const {
 
 void NominalTransform::RefineLines(std::size_t count, double* coeffs,
                                    double* scratch) const {
+  RefineLines(count, coeffs, scratch, simd::ResolveIsa());
+}
+
+void NominalTransform::RefineLines(std::size_t count, double* coeffs,
+                                   double* scratch,
+                                   simd::IsaLevel isa) const {
+  const simd::KernelTable& k = simd::Kernels(isa);
   const data::Hierarchy& h = *hierarchy_;
   // One scratch row accumulates each sibling group's sum; children are
   // visited in the same order as the single-line Refine, so the per-line
@@ -106,14 +116,11 @@ void NominalTransform::RefineLines(std::size_t count, double* coeffs,
     if (children.empty()) continue;
     std::fill(sum, sum + count, 0.0);
     for (std::size_t child : children) {
-      const double* row = coeffs + child * count;
-      for (std::size_t b = 0; b < count; ++b) sum[b] += row[b];
+      k.row_add(sum, coeffs + child * count, count);
     }
-    const double group = static_cast<double>(children.size());
-    for (std::size_t b = 0; b < count; ++b) sum[b] /= group;
+    k.row_div(sum, static_cast<double>(children.size()), count);
     for (std::size_t child : children) {
-      double* row = coeffs + child * count;
-      for (std::size_t b = 0; b < count; ++b) row[b] -= sum[b];
+      k.row_sub(coeffs + child * count, sum, count);
     }
   }
 }
@@ -181,6 +188,13 @@ void NominalTransform::Inverse(const double* coeffs, double* out,
 
 void NominalTransform::InverseLines(std::size_t count, const double* coeffs,
                                     double* out, double* scratch) const {
+  InverseLines(count, coeffs, out, scratch, simd::ResolveIsa());
+}
+
+void NominalTransform::InverseLines(std::size_t count, const double* coeffs,
+                                    double* out, double* scratch,
+                                    simd::IsaLevel isa) const {
+  const simd::KernelTable& k = simd::Kernels(isa);
   const data::Hierarchy& h = *hierarchy_;
   double* leafsum = scratch;
   std::copy(coeffs + data::Hierarchy::kRoot * count,
@@ -188,13 +202,9 @@ void NominalTransform::InverseLines(std::size_t count, const double* coeffs,
             leafsum + data::Hierarchy::kRoot * count);
   for (std::size_t id = 1; id < h.num_nodes(); ++id) {
     const std::size_t parent = h.node(id).parent;
-    const double fanout = static_cast<double>(h.fanout(parent));
-    const double* coeff_row = coeffs + id * count;
-    const double* parent_row = leafsum + parent * count;
-    double* row = leafsum + id * count;
-    for (std::size_t b = 0; b < count; ++b) {
-      row[b] = coeff_row[b] + parent_row[b] / fanout;
-    }
+    k.row_add_div(leafsum + id * count, coeffs + id * count,
+                  leafsum + parent * count,
+                  static_cast<double>(h.fanout(parent)), count);
   }
   for (std::size_t leaf = 0; leaf < h.num_leaves(); ++leaf) {
     std::copy(leafsum + h.leaf_node(leaf) * count,

@@ -53,7 +53,9 @@ class NominalTransform final : public Transform1D {
 
   /// Blocked panel kernels: the bottom-up/top-down leaf-sum recurrences
   /// run node-by-node with unit-stride inner loops over the interleaved
-  /// lines; scratch holds a num_nodes x count leaf-sum panel.
+  /// lines; scratch holds a num_nodes x count leaf-sum panel. These
+  /// forward to the ISA-aware overloads at the ambient dispatch level
+  /// (simd::ResolveIsa()).
   std::size_t lines_scratch_size(std::size_t count) const override {
     return hierarchy_->num_nodes() * count;
   }
@@ -63,6 +65,17 @@ class NominalTransform final : public Transform1D {
                    double* scratch) const override;
   void InverseLines(std::size_t count, const double* coeffs, double* out,
                     double* scratch) const override;
+
+  /// Dispatched panel kernels: the per-node row combines (accumulate,
+  /// subtract-scaled-parent, group mean) run through the selected
+  /// simd::KernelTable's element-wise row kernels — node order is
+  /// untouched, so every level is bit-identical to the scalar fold.
+  void ForwardLines(std::size_t count, const double* in, double* out,
+                    double* scratch, simd::IsaLevel isa) const override;
+  void RefineLines(std::size_t count, double* coeffs, double* scratch,
+                   simd::IsaLevel isa) const override;
+  void InverseLines(std::size_t count, const double* coeffs, double* out,
+                    double* scratch, simd::IsaLevel isa) const override;
 
   /// Reconstruction coefficients of a range sum via the Eq. 5 expansion:
   /// a[N] = sum over leaves v in [lo, hi] under N of

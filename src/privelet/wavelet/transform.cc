@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "privelet/common/check.h"
+
 namespace privelet::wavelet {
 
 namespace {
@@ -63,6 +65,24 @@ void Transform1D::InverseLines(std::size_t count, const double* coeffs,
     Inverse(in_line, out_line, own_scratch);
     ScatterLine(out_line, input_size(), out, count, b);
   }
+}
+
+
+void Transform1D::ForwardLinesStrided(std::size_t count, const double* in,
+                                      double* out, std::size_t stride,
+                                      double* scratch,
+                                      simd::IsaLevel isa) const {
+  (void)count; (void)in; (void)out; (void)stride; (void)scratch; (void)isa;
+  PRIVELET_CHECK(false, "transform does not support strided panels");
+}
+
+void Transform1D::InverseLinesStrided(std::size_t count, const double* coeffs,
+                                      double* out, std::size_t stride,
+                                      double* scratch,
+                                      simd::IsaLevel isa) const {
+  (void)count; (void)coeffs; (void)out; (void)stride; (void)scratch;
+  (void)isa;
+  PRIVELET_CHECK(false, "transform does not support strided panels");
 }
 
 }  // namespace privelet::wavelet

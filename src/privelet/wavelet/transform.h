@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "privelet/simd/dispatch.h"
+
 namespace privelet::wavelet {
 
 class Transform1D {
@@ -105,6 +107,63 @@ class Transform1D {
   /// coefficient_count() rows, `out` input_size() rows.
   virtual void InverseLines(std::size_t count, const double* coeffs,
                             double* out, double* scratch) const;
+
+  /// ---- ISA-aware entry points ---------------------------------------
+  /// The variants the line engines call: `isa` is the already-resolved
+  /// kernel level (simd::ResolveIsa, done once per axis pass) selecting
+  /// the dispatched kernel table the hot loops run on. Every level is
+  /// bit-identical to the scalar fold — see simd/kernels.h — so these are
+  /// performance overloads, not semantic ones. The defaults ignore `isa`
+  /// and forward to the plain overloads (correct for transforms without
+  /// vector kernels, e.g. the memcpy-based identity transform);
+  /// HaarTransform and NominalTransform override them with dispatched
+  /// implementations and route their plain overloads here, so direct
+  /// callers of the plain entry points get the same dispatched kernels.
+  virtual void Forward(const double* in, double* out, double* scratch,
+                       simd::IsaLevel isa) const {
+    (void)isa;
+    Forward(in, out, scratch);
+  }
+  virtual void Inverse(const double* coeffs, double* out, double* scratch,
+                       simd::IsaLevel isa) const {
+    (void)isa;
+    Inverse(coeffs, out, scratch);
+  }
+  virtual void ForwardLines(std::size_t count, const double* in, double* out,
+                            double* scratch, simd::IsaLevel isa) const {
+    (void)isa;
+    ForwardLines(count, in, out, scratch);
+  }
+  virtual void RefineLines(std::size_t count, double* coeffs, double* scratch,
+                           simd::IsaLevel isa) const {
+    (void)isa;
+    RefineLines(count, coeffs, scratch);
+  }
+  virtual void InverseLines(std::size_t count, const double* coeffs,
+                            double* out, double* scratch,
+                            simd::IsaLevel isa) const {
+    (void)isa;
+    InverseLines(count, coeffs, out, scratch);
+  }
+
+  /// ---- Strided (in-matrix) panel entry points -----------------------
+  /// For a panel of `count` lines whose base addresses are consecutive
+  /// (one run of matrix::ForEachLineRun), element k of line b lives at
+  /// data[b + k * stride] — the matrix's own storage is already an
+  /// interleaved panel with row pitch `stride`. Transforms that support
+  /// this run their batched kernels directly on the matrices, eliminating
+  /// the gather and scatter copies of the TileBuffer path. Same
+  /// per-element operations in the same order as the interleaved-panel
+  /// kernels, so the results are bit-identical; `scratch` takes
+  /// lines_scratch_size(count) elements as usual. Callers must check
+  /// SupportsStridedLines() first — the defaults abort.
+  virtual bool SupportsStridedLines() const { return false; }
+  virtual void ForwardLinesStrided(std::size_t count, const double* in,
+                                   double* out, std::size_t stride,
+                                   double* scratch, simd::IsaLevel isa) const;
+  virtual void InverseLinesStrided(std::size_t count, const double* coeffs,
+                                   double* out, std::size_t stride,
+                                   double* scratch, simd::IsaLevel isa) const;
 
   /// The weight W(c) of each coefficient (all weights are > 0).
   virtual const std::vector<double>& weights() const = 0;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -27,6 +28,7 @@
 #include "privelet/query/workload.h"
 #include "privelet/rng/splitmix64.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/simd/dispatch.h"
 #include "privelet/storage/session_io.h"
 #include "privelet/wavelet/hn_transform.h"
 
@@ -376,6 +378,100 @@ TEST(PublishDeterminismTest, MappedServingMatchesCopyLoadAcrossEnginesAndThreads
           << threads << " threads";
     }
   }
+}
+
+// The ISA determinism sweep (docs/DETERMINISM.md, "ISA levels"): with
+// PRIVELET_ISA forced to every kernel level the host supports, publishes
+// must produce byte-identical PVLS snapshot files and bit-identical
+// workload answers across engines, tile sizes, and thread counts. The
+// dispatch level — like the engine and the pool — is purely a
+// performance knob; a single differing bit here means a vector kernel
+// reordered someone's float operations.
+TEST(PublishDeterminismTest, IsaSweepSnapshotsAndAnswersAreInvariant) {
+  constexpr std::size_t kTileSizes[] = {1, 8, 64};
+  const data::Schema schema = MultiShardSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 17);
+  mechanism::PriveletPlusMechanism mech({"Nom"});
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 200;
+  auto workload = query::GenerateWorkload(schema, wopts);
+  ASSERT_TRUE(workload.ok());
+
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto publish_bytes = [&](const matrix::EngineOptions& options,
+                                 common::ThreadPool* pool,
+                                 std::vector<double>* answers) {
+    mech.set_thread_pool(pool);
+    mech.set_engine_options(options);
+    auto session = query::PublishingSession::Publish(
+        schema, mech, m, /*epsilon=*/0.8, /*seed=*/57, pool, options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    mech.set_thread_pool(nullptr);
+    const std::string path = testing::TempDir() + "/det_isa.pvls";
+    EXPECT_TRUE(storage::SaveSession(path, *session).ok());
+    if (answers != nullptr) *answers = session->AnswerAll(*workload);
+    return file_bytes(path);
+  };
+
+  // The engine configurations under sweep. Snapshot files embed the
+  // engine options, so byte comparisons only hold within one
+  // configuration; answers and published values must agree globally.
+  std::vector<matrix::EngineOptions> configs = {
+      matrix::MakeEngineOptions(matrix::LineEngine::kNaive)};
+  for (const std::size_t tile : kTileSizes) {
+    configs.push_back(
+        matrix::MakeEngineOptions(matrix::LineEngine::kTiled, tile));
+  }
+
+  // Per-config reference: forced-scalar serial publish.
+  ASSERT_EQ(0, setenv("PRIVELET_ISA", "scalar", 1));
+  std::vector<double> expected;
+  std::vector<std::string> references;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    std::vector<double> answers;
+    references.push_back(publish_bytes(configs[c], nullptr, &answers));
+    ASSERT_FALSE(references.back().empty());
+    if (c == 0) {
+      expected = answers;
+    } else {
+      EXPECT_EQ(expected, answers) << "scalar serial, config " << c;
+    }
+  }
+
+  for (int lvl = 0; lvl <= static_cast<int>(simd::DetectBestIsa()); ++lvl) {
+    const std::string name(
+        simd::IsaLevelName(static_cast<simd::IsaLevel>(lvl)));
+    ASSERT_EQ(0, setenv("PRIVELET_ISA", name.c_str(), 1));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      std::vector<double> answers;
+      EXPECT_EQ(references[c], publish_bytes(configs[c], nullptr, &answers))
+          << "config " << c << " serial, isa " << name;
+      EXPECT_EQ(expected, answers) << "config " << c << ", isa " << name;
+      for (const std::size_t threads : kPoolSizes) {
+        common::ThreadPool pool(threads);
+        EXPECT_EQ(references[c], publish_bytes(configs[c], &pool, nullptr))
+            << "config " << c << ", " << threads << " threads, isa " << name;
+      }
+    }
+  }
+  ASSERT_EQ(0, unsetenv("PRIVELET_ISA"));
+
+  // EngineOptions::isa overrides the environment the same way (the isa
+  // request is not part of the snapshot's recorded options, so bytes stay
+  // comparable within the tile-64 configuration).
+  matrix::EngineOptions forced =
+      matrix::MakeEngineOptions(matrix::LineEngine::kTiled, 64);
+  forced.isa = simd::IsaChoice::kScalar;
+  EXPECT_EQ(references[3], publish_bytes(forced, nullptr, nullptr))
+      << "options-forced scalar";
+  forced.isa = simd::IsaChoice::kAvx512;  // clamps to the host's best
+  EXPECT_EQ(references[3], publish_bytes(forced, nullptr, nullptr))
+      << "options-forced best";
 }
 
 TEST(NoiseShardDeterminismTest, ShardedDrawsDependOnlyOnIndex) {

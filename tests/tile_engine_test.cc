@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "privelet/common/aligned_buffer.h"
 #include "privelet/common/thread_pool.h"
 #include "privelet/data/attribute.h"
 #include "privelet/data/hierarchy.h"
@@ -234,6 +236,34 @@ TEST(TileEngineTest, TileBufferRoundTripsEveryAxis) {
           << "axis " << axis;
     }
   }
+}
+
+TEST(TileEngineTest, PanelsScratchAndMatrixStorageAre64ByteAligned) {
+  // The vector kernels are written with unaligned loads, but the storage
+  // contract (common/aligned_buffer.h) promises panels, pooled scratch,
+  // and vector-backed matrix values on 64-byte boundaries — one cache
+  // line, and the widest register the dispatcher selects — so panel rows
+  // never split a line they don't have to. Growth must re-establish the
+  // alignment, not just the first allocation.
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+  };
+  matrix::TileBuffer buffer;
+  for (const std::size_t line_len : {1u, 7u, 64u, 1000u}) {
+    EXPECT_TRUE(aligned(buffer.Prepare(line_len, 3))) << line_len;
+  }
+  const matrix::FrequencyMatrix m = RandomMatrix({5, 4, 6}, 23);
+  buffer.Gather(m, /*axis=*/1, /*first=*/0, /*count=*/2);
+  EXPECT_TRUE(aligned(buffer.panel()));
+
+  common::AlignedBuffer<double> scratch;
+  for (const std::size_t n : {3u, 100u, 4097u}) {
+    EXPECT_TRUE(aligned(scratch.Grow(n))) << n;
+  }
+
+  EXPECT_TRUE(aligned(m.values().data()));
+  EXPECT_TRUE(aligned(
+      matrix::FrequencyMatrix::Uninitialized({9, 3}).values().data()));
 }
 
 TEST(TileEngineTest, NoiseCursorMatchesShardedLoops) {

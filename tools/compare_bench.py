@@ -31,16 +31,27 @@ DEFAULT_TOLERANCE = 0.25
 
 
 def load_report(directory: Path, bench: str):
+    """Returns (rows, meta, error).
+
+    Accepts both report formats: the current {"meta": {...}, "rows": [...]}
+    object (meta attributes the run: dispatch level, CPU features, git
+    sha) and the legacy bare row array (meta comes back empty).
+    """
     path = directory / f"BENCH_{bench}.json"
     if not path.is_file():
-        return None, f"missing report {path}"
+        return None, None, f"missing report {path}"
     try:
-        rows = json.loads(path.read_text())
+        report = json.loads(path.read_text())
     except json.JSONDecodeError as err:
-        return None, f"unparseable report {path}: {err}"
+        return None, None, f"unparseable report {path}: {err}"
+    meta = {}
+    rows = report
+    if isinstance(report, dict):
+        meta = report.get("meta", {})
+        rows = report.get("rows")
     if not isinstance(rows, list):
-        return None, f"report {path} is not a row array"
-    return rows, None
+        return None, None, f"report {path} has no row array"
+    return rows, meta, None
 
 
 def match_row(rows, select):
@@ -118,14 +129,24 @@ def main():
         bench = guard["bench"]
         tolerance = (args.tolerance if args.tolerance is not None else
                      guard.get("tolerance", default_tol))
-        fresh_rows, err = load_report(args.fresh_dir, bench)
+        fresh_rows, fresh_meta, err = load_report(args.fresh_dir, bench)
         if err:
             failures.append(err)
             continue
-        baseline_rows, err = load_report(args.baseline_dir, bench)
+        baseline_rows, baseline_meta, err = load_report(args.baseline_dir,
+                                                        bench)
         if err:
             failures.append(err)
             continue
+        # A cross-ISA or cross-machine comparison is not a code regression;
+        # surface the attribution so a failing gate can be triaged at a
+        # glance (the gate itself still runs — guarded metrics are
+        # within-run ratios, which are meaningful on any one host).
+        for side, meta in (("fresh", fresh_meta), ("baseline", baseline_meta)):
+            if meta:
+                print(f"# {side} {bench}: isa={meta.get('isa_active', '?')} "
+                      f"(best {meta.get('isa_best', '?')}) "
+                      f"sha={meta.get('git_sha', '?')}")
         fresh, err = extract(fresh_rows, guard, bench)
         if err:
             failures.append(f"fresh {err}")

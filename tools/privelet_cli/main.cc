@@ -53,6 +53,7 @@
 #include "privelet/query/release_store.h"
 #include "privelet/query/workload.h"
 #include "privelet/serving/server.h"
+#include "privelet/simd/dispatch.h"
 #include "privelet/storage/session_io.h"
 #include "privelet/storage/snapshot.h"
 #include "privelet_cli/schema_spec.h"
@@ -501,6 +502,9 @@ int RunPublish(const Args& args) {
   } else {
     std::printf("publish mode: in-core\n");
   }
+  std::printf("kernels:      %s dispatch (host best %s)\n",
+              std::string(simd::IsaLevelName(simd::ResolveIsa())).c_str(),
+              std::string(simd::IsaLevelName(simd::DetectBestIsa())).c_str());
   return 0;
 }
 
