@@ -1,0 +1,103 @@
+// Workload-adaptive mechanism planning — the paper's Sec. VII tradeoff
+// (nominal vs. Haar per attribute, Privelet+ vs. the Basic/Hay/Fourier
+// baselines of Sec. VIII) turned into an end-to-end decision procedure.
+// Given a representative workload, every applicable mechanism is scored by
+// its *exact* expected per-query noise variance — a closed-form,
+// data-independent computation, so planning costs no privacy budget — and
+// the cheapest publishable candidate wins.
+//
+// The per-mechanism variance models are exact, not bounds:
+//  - Basic: every cell gets independent Laplace(2/ε), so a range summing
+//    C cells has variance C · 2(2/ε)².
+//  - Privelet/Privelet+: ExactQueryNoiseVariance over the HN transform of
+//    the chosen SA subset (the existing analysis/query_variance path).
+//  - Hay: the consistency step is linear in the per-node noisy counts, so
+//    the answer's coefficient on each node is computed by running the
+//    two averaging passes backwards (adjoint accumulation, O(domain));
+//    variance is 2λ² Σ_v c_v² with λ = h/ε. Mirrors mechanism/hay.cc.
+//  - Fourier: on a binary cube a range predicate is a point constraint on
+//    an attribute subset T, i.e. one entry of marginal T, reconstructed
+//    from the 2^|T| closure coefficients scaled by 2^-|T|; with
+//    λ = 2k/ε (k = downward-closure size over the workload's constrained
+//    sets) the variance is exactly 2λ² / 2^|T|.
+#ifndef PRIVELET_ANALYSIS_MECHANISM_PLANNER_H_
+#define PRIVELET_ANALYSIS_MECHANISM_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "privelet/common/result.h"
+#include "privelet/data/schema.h"
+#include "privelet/query/plan_record.h"
+#include "privelet/query/range_query.h"
+
+namespace privelet::analysis {
+
+/// One scored mechanism option. `id` is a stable identifier ("basic",
+/// "privelet", "privelet+ sa={A,B}", "hay", "fourier") — it is what
+/// PlanRecord stores and what tests compare, so its format is frozen.
+struct MechanismCandidate {
+  std::string id;
+  /// SA attribute names (schema order); meaningful for the Privelet
+  /// family only (empty = pure Haar everywhere).
+  std::vector<std::string> sa_names;
+  /// Mean exact per-query noise variance over the planning workload.
+  double expected_variance = 0.0;
+  /// False for candidates that cannot produce a full noisy frequency
+  /// matrix through the publish->snapshot pipeline (Fourier releases
+  /// marginals, not a matrix); they are ranked for comparison but never
+  /// chosen.
+  bool publishable = true;
+};
+
+/// The planner's decision: candidates sorted by ascending expected
+/// variance (ties broken by id, so the ranking is deterministic), with
+/// `chosen` = the best publishable one.
+struct MechanismPlan {
+  MechanismCandidate chosen;
+  std::vector<MechanismCandidate> ranked;
+  std::size_t workload_queries = 0;
+
+  /// Flattens the decision into release provenance (chosen + next-best
+  /// publishable alternative).
+  query::PlanRecord ToRecord() const;
+};
+
+/// Exact noise variance of `query` under the Basic mechanism (independent
+/// Laplace(2/ε) per cell): 8/ε² times the number of covered cells.
+Result<double> BasicQueryVariance(const data::Schema& schema, double epsilon,
+                                  const query::RangeQuery& query);
+
+/// Exact noise variance of `query` under the Hay hierarchical mechanism
+/// (one ordinal attribute only) — adjoint propagation through the
+/// two-pass consistency averaging of mechanism/hay.cc.
+Result<double> HayQueryVariance(const data::Schema& schema, double epsilon,
+                                const query::RangeQuery& query);
+
+/// Downward-closure size of the workload's constrained attribute subsets
+/// (the k in the Fourier mechanism's λ = 2k/ε). Requires an all-binary
+/// schema. Always >= 1: the empty mask is in every closure.
+Result<std::size_t> FourierClosureSize(
+    const data::Schema& schema, const std::vector<query::RangeQuery>& workload);
+
+/// Exact noise variance of `query` under the Fourier marginal mechanism
+/// releasing `closure_size` coefficients: 2(2·closure_size/ε)² / 2^|T|
+/// with T = the query's constrained attribute set. Requires an all-binary
+/// schema.
+Result<double> FourierQueryVariance(const data::Schema& schema, double epsilon,
+                                    std::size_t closure_size,
+                                    const query::RangeQuery& query);
+
+/// Scores every applicable mechanism against the workload and returns the
+/// full ranking. Always includes "basic" and the Privelet family (pure
+/// Haar plus the best SA subset from EvaluateAllSaSubsets, d <= 16); adds
+/// "hay" on one-ordinal-attribute schemas and "fourier" (rank-only) on
+/// all-binary schemas. Deterministic for a fixed (schema, workload, ε).
+Result<MechanismPlan> PlanMechanismForWorkload(
+    const data::Schema& schema, const std::vector<query::RangeQuery>& workload,
+    double epsilon);
+
+}  // namespace privelet::analysis
+
+#endif  // PRIVELET_ANALYSIS_MECHANISM_PLANNER_H_

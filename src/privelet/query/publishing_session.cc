@@ -44,7 +44,8 @@ Result<PublishingSession> PublishingSession::Publish(
                             mech.Publish(schema, m, epsilon, seed));
   ReleaseMetadata metadata{std::string(mech.name()), epsilon, seed,
                            options.out_of_core() ? PublishMode::kStreamed
-                                                 : PublishMode::kInCore};
+                                                 : PublishMode::kInCore,
+                           /*plan=*/std::nullopt};
   return BuildOwned(schema, std::move(published), std::nullopt,
                     std::move(metadata), pool, options);
 }

@@ -34,6 +34,7 @@
 #include "privelet/matrix/prefix_sum.h"
 #include "privelet/mechanism/mechanism.h"
 #include "privelet/query/evaluator.h"
+#include "privelet/query/plan_record.h"
 #include "privelet/query/range_query.h"
 
 namespace privelet::storage {
@@ -63,6 +64,10 @@ struct ReleaseMetadata {
   double epsilon = 0.0;    ///< privacy budget; 0 unknown
   std::uint64_t seed = 0;  ///< publish seed; 0 when unknown
   PublishMode publish_mode = PublishMode::kUnknown;  ///< in-memory only
+  /// Workload-adaptive planner decision behind this release (nullopt for
+  /// releases published without --auto-plan). Persisted: snapshots with a
+  /// plan are written as PVLS v3, plan-less ones stay byte-identical v2.
+  std::optional<PlanRecord> plan;
 };
 
 class PublishingSession {
@@ -138,6 +143,11 @@ class PublishingSession {
 
   /// Provenance of the release (mechanism id, epsilon, seed).
   const ReleaseMetadata& metadata() const { return metadata_; }
+
+  /// Attaches the workload-planner decision behind this release to its
+  /// provenance. Call after Publish and before SaveSession/ToSnapshot so
+  /// the snapshot (PVLS v3) round-trips it.
+  void set_plan(PlanRecord plan) { metadata_.plan = std::move(plan); }
 
   /// Engine options this session was built with (serving-side prefix-sum
   /// build and AnswerAll; persisted in snapshots).

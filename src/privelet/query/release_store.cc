@@ -51,6 +51,13 @@ std::vector<std::string> ReleaseStore::ids() const {
   return out;  // std::map iterates sorted
 }
 
+std::shared_ptr<const PublishingSession> ReleaseStore::PeekResident(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.session;
+}
+
 Result<std::shared_ptr<const PublishingSession>> ReleaseStore::Acquire(
     const std::string& id) {
   std::unique_lock<std::mutex> lock(mu_);

@@ -88,6 +88,13 @@ class ReleaseStore {
   Result<std::vector<double>> AnswerAll(const std::string& id,
                                         std::span<const RangeQuery> queries);
 
+  /// The resident session for `id`, or nullptr when the release is not
+  /// loaded (or the id unknown). Unlike Acquire this never triggers a
+  /// load, eviction, or LRU refresh — the diagnostics path (daemon STATS
+  /// reporting release plans) must observe the store, not reshape it.
+  std::shared_ptr<const PublishingSession> PeekResident(
+      const std::string& id) const;
+
   /// Drops the resident session for `id`, if any (borrowed shared_ptrs
   /// stay valid). Returns true when a session was resident. Unknown ids
   /// return false.

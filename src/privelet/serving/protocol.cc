@@ -137,6 +137,13 @@ Status ApplyPredicateToken(const data::Schema& schema, std::string_view token,
       return BadToken(token, ": expected name=lo:hi");
     }
     PRIVELET_ASSIGN_OR_RETURN(std::size_t attr, schema.FindAttribute(name));
+    // RangeQuery::SetRange silently overwrites; at the text-grammar
+    // boundary a repeated attribute is almost certainly a typo, so reject
+    // it instead of keeping whichever predicate came last.
+    if (query->range(attr).has_value()) {
+      return Status::InvalidArgument("duplicate predicate on attribute '" +
+                                     std::string(name) + "'");
+    }
     PRIVELET_ASSIGN_OR_RETURN(std::uint64_t lo,
                               ParseIndex(bounds.substr(0, colon)));
     PRIVELET_ASSIGN_OR_RETURN(std::uint64_t hi,
@@ -147,6 +154,10 @@ Status ApplyPredicateToken(const data::Schema& schema, std::string_view token,
   if (at != std::string_view::npos) {
     const std::string_view name = token.substr(0, at);
     PRIVELET_ASSIGN_OR_RETURN(std::size_t attr, schema.FindAttribute(name));
+    if (query->range(attr).has_value()) {
+      return Status::InvalidArgument("duplicate predicate on attribute '" +
+                                     std::string(name) + "'");
+    }
     PRIVELET_ASSIGN_OR_RETURN(std::uint64_t node,
                               ParseIndex(token.substr(at + 1)));
     return query->SetHierarchyNode(schema, attr,

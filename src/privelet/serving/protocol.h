@@ -72,7 +72,8 @@ enum class Verb : std::uint8_t {
 
 /// Parses one whitespace-separated predicate line (`*`, `name=lo:hi`,
 /// `name@node` tokens) into a query against `schema`. The line must
-/// contain at least one token; comments/blank handling is the caller's.
+/// contain at least one token, and may predicate each attribute at most
+/// once; comments/blank handling is the caller's.
 Result<query::RangeQuery> ParseQueryLine(const data::Schema& schema,
                                          std::string_view line);
 

@@ -713,6 +713,25 @@ std::string Server::RenderStatsText() {
   for (const auto& [id, histogram] : release_latency_) {
     out += "latency " + id + " " + histogram.SummaryMicros() + "\n";
   }
+  // Planner provenance of each resident release that was published under
+  // --auto-plan (PVLS v3). PeekResident only: STATS must not force loads
+  // or reshape the LRU order.
+  for (const std::string& id : store_->ids()) {
+    const auto session = store_->PeekResident(id);
+    if (session == nullptr || !session->metadata().plan.has_value()) continue;
+    const query::PlanRecord& plan = *session->metadata().plan;
+    out += "plan " + id + " chosen=" + plan.chosen;
+    std::snprintf(buf, sizeof(buf), " predicted_variance=%.17g",
+                  plan.predicted_variance);
+    out += buf;
+    out += " runner_up=";
+    out += plan.runner_up.empty() ? "-" : plan.runner_up;
+    std::snprintf(buf, sizeof(buf),
+                  " runner_up_variance=%.17g workload_queries=%lu\n",
+                  plan.runner_up_variance,
+                  static_cast<unsigned long>(plan.workload_queries));
+    out += buf;
+  }
   return out;
 }
 

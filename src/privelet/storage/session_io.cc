@@ -23,13 +23,15 @@ storage::ReleaseSnapshot PublishingSession::ToSnapshot() const {
   snapshot.engine_options = options_;
   snapshot.published = published();
   snapshot.prefix = prefix_table();
+  snapshot.plan = metadata_.plan;
   return snapshot;
 }
 
 Result<PublishingSession> PublishingSession::FromSnapshot(
     storage::ReleaseSnapshot snapshot, common::ThreadPool* pool) {
   ReleaseMetadata metadata{std::move(snapshot.mechanism), snapshot.epsilon,
-                           snapshot.seed, PublishMode::kUnknown};
+                           snapshot.seed, PublishMode::kUnknown,
+                           std::move(snapshot.plan)};
   if (snapshot.prefix.has_value()) {
     return FromParts(snapshot.schema, std::move(snapshot.published),
                      std::move(*snapshot.prefix), std::move(metadata), pool,
@@ -54,7 +56,8 @@ Result<PublishingSession> PublishingSession::FromMapped(
     return Status::InvalidArgument("FromMapped requires a mapped snapshot");
   }
   ReleaseMetadata metadata{mapped->mechanism(), mapped->epsilon(),
-                           mapped->seed(), PublishMode::kUnknown};
+                           mapped->seed(), PublishMode::kUnknown,
+                           mapped->plan()};
   // The schema lives inside the mapped snapshot; the aliasing constructor
   // shares its lifetime without a copy.
   std::shared_ptr<const data::Schema> schema(mapped, &mapped->schema());
@@ -95,6 +98,8 @@ Status SaveSession(const std::string& path,
   view.engine_options = session.engine_options();
   view.published = &session.published();
   view.prefix = &session.prefix_table();
+  const std::optional<query::PlanRecord>& plan = session.metadata().plan;
+  view.plan = plan.has_value() ? &*plan : nullptr;
   return WriteSnapshot(path, view);
 }
 
@@ -102,7 +107,7 @@ Result<query::PublishingSession> PublishToFile(
     const std::string& path, const data::Schema& schema,
     const mechanism::Mechanism& mech, const matrix::FrequencyMatrix& m,
     double epsilon, std::uint64_t seed, common::ThreadPool* pool,
-    const matrix::EngineOptions& options) {
+    const matrix::EngineOptions& options, const query::PlanRecord* plan) {
   PRIVELET_ASSIGN_OR_RETURN(matrix::FrequencyMatrix published,
                             mech.Publish(schema, m, epsilon, seed));
   if (published.dims() != schema.DomainSizes()) {
@@ -134,6 +139,7 @@ Result<query::PublishingSession> PublishToFile(
   header.epsilon = epsilon;
   header.seed = seed;
   header.engine_options = options;
+  header.plan = plan;
   PRIVELET_RETURN_IF_ERROR(writer.Begin(path, header));
   constexpr std::size_t kStreamChunkCells = std::size_t{1} << 16;
   const std::span<const double> values = published.values();
@@ -163,7 +169,9 @@ Result<query::PublishingSession> PublishToFile(
   query::ReleaseMetadata metadata{
       std::string(mech.name()), epsilon, seed,
       options.out_of_core() ? query::PublishMode::kStreamed
-                            : query::PublishMode::kInCore};
+                            : query::PublishMode::kInCore,
+      plan != nullptr ? std::optional<query::PlanRecord>(*plan)
+                      : std::nullopt};
   return query::PublishingSession::FromParts(schema, std::move(published),
                                              std::move(*table),
                                              std::move(metadata), pool, options);

@@ -46,11 +46,16 @@ Status SaveSession(const std::string& path,
 /// out_of_core() it is an ordinary in-core publish-and-save. The
 /// returned session's metadata records which mode ran (PublishMode);
 /// the file does not — see query::PublishMode.
+///
+/// `plan` (optional) attaches the workload-planner decision behind this
+/// publish: it is recorded in the session's metadata and written into the
+/// snapshot, which becomes PVLS v3. Null keeps the plan-less v2 bytes.
 Result<query::PublishingSession> PublishToFile(
     const std::string& path, const data::Schema& schema,
     const mechanism::Mechanism& mech, const matrix::FrequencyMatrix& m,
     double epsilon, std::uint64_t seed, common::ThreadPool* pool = nullptr,
-    const matrix::EngineOptions& options = {});
+    const matrix::EngineOptions& options = {},
+    const query::PlanRecord* plan = nullptr);
 
 /// Loads a snapshot (v1 or v2) by copy and wraps it as a serving session.
 /// When the file carries an adoptable prefix table this is an O(file

@@ -32,6 +32,7 @@ namespace {
 constexpr char kMagic[4] = {'P', 'V', 'L', 'S'};
 constexpr std::uint32_t kVersionLegacy = 1;  // double-double table encoding
 constexpr std::uint32_t kVersion = 2;        // aligned sections, raw accum
+constexpr std::uint32_t kVersionPlanned = 3;  // v2 + planner provenance
 
 // Payload sections (matrix values, table entries) start on this file
 // offset multiple so a page-aligned memory mapping yields naturally
@@ -571,6 +572,7 @@ struct HeaderFields {
   std::string mechanism;
   double epsilon = 0.0;
   std::uint64_t seed = 0;
+  std::optional<query::PlanRecord> plan;
   matrix::EngineOptions options;
   data::Schema schema;
   std::vector<std::size_t> dims;
@@ -586,13 +588,31 @@ Status ParseHeaderFields(Reader& r, HeaderFields* out) {
                                    "' is not a PVLS release snapshot");
   }
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&out->version, "version"));
-  if (out->version != kVersionLegacy && out->version != kVersion) {
+  if (out->version != kVersionLegacy && out->version != kVersion &&
+      out->version != kVersionPlanned) {
     return r.Corrupt("unsupported snapshot version");
   }
   PRIVELET_RETURN_IF_ERROR(
       r.ReadString(&out->mechanism, kMaxNameLen, "mechanism id"));
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&out->epsilon, "epsilon"));
   PRIVELET_RETURN_IF_ERROR(r.ReadPod(&out->seed, "seed"));
+  if (out->version >= kVersionPlanned) {
+    query::PlanRecord plan;
+    PRIVELET_RETURN_IF_ERROR(
+        r.ReadString(&plan.chosen, kMaxNameLen, "plan chosen id"));
+    if (plan.chosen.empty()) {
+      return r.Corrupt("planned snapshot without a chosen mechanism");
+    }
+    PRIVELET_RETURN_IF_ERROR(
+        r.ReadPod(&plan.predicted_variance, "plan predicted variance"));
+    PRIVELET_RETURN_IF_ERROR(
+        r.ReadString(&plan.runner_up, kMaxNameLen, "plan runner-up id"));
+    PRIVELET_RETURN_IF_ERROR(
+        r.ReadPod(&plan.runner_up_variance, "plan runner-up variance"));
+    PRIVELET_RETURN_IF_ERROR(
+        r.ReadPod(&plan.workload_queries, "plan workload size"));
+    out->plan = std::move(plan);
+  }
   PRIVELET_ASSIGN_OR_RETURN(out->options, ReadEngineOptions(r));
   PRIVELET_ASSIGN_OR_RETURN(out->schema, ReadSchema(r));
   PRIVELET_ASSIGN_OR_RETURN(out->dims, ReadDims(r, out->schema));
@@ -750,8 +770,10 @@ Status ParseSnapshot(const std::string& path, ReleaseSnapshot* snapshot,
     snapshot->engine_options = h.options;
     snapshot->published = std::move(published);
     snapshot->prefix = std::move(prefix);
+    snapshot->plan = std::move(h.plan);
   } else {
     info->version = h.version;
+    info->plan = std::move(h.plan);
     info->schema = std::move(h.schema);
     info->mechanism = std::move(h.mechanism);
     info->epsilon = h.epsilon;
@@ -807,6 +829,15 @@ Status SnapshotStreamWriter::Begin(const std::string& path,
   if (header.mechanism.size() > kMaxNameLen) {
     return Status::InvalidArgument("mechanism id too long");
   }
+  if (header.plan != nullptr) {
+    if (header.plan->chosen.empty()) {
+      return Status::InvalidArgument("plan record without a chosen mechanism");
+    }
+    if (header.plan->chosen.size() > kMaxNameLen ||
+        header.plan->runner_up.size() > kMaxNameLen) {
+      return Status::InvalidArgument("plan candidate id too long");
+    }
+  }
   for (std::size_t a = 0; a < header.schema->num_attributes(); ++a) {
     if (header.schema->attribute(a).name().size() > kMaxNameLen) {
       return Status::InvalidArgument("attribute name too long");
@@ -826,10 +857,20 @@ Status SnapshotStreamWriter::Begin(const std::string& path,
     return Status::IOError("cannot open '" + w.tmp_path() + "' for writing");
   }
   w.WriteRaw(kMagic, sizeof(kMagic));
-  w.WritePod(kVersion);
+  // Plan-less releases keep the v2 byte stream exactly; only a recorded
+  // plan opts the file into v3 (so pre-planner readers and byte-compare
+  // harnesses see no difference unless the new feature is used).
+  w.WritePod(header.plan != nullptr ? kVersionPlanned : kVersion);
   w.WriteString(header.mechanism);
   w.WritePod(header.epsilon);
   w.WritePod(header.seed);
+  if (header.plan != nullptr) {
+    w.WriteString(header.plan->chosen);
+    w.WritePod(header.plan->predicted_variance);
+    w.WriteString(header.plan->runner_up);
+    w.WritePod(header.plan->runner_up_variance);
+    w.WritePod(header.plan->workload_queries);
+  }
   WriteEngineOptions(w, header.engine_options);
   WriteSchema(w, *header.schema);
   w.WritePod(static_cast<std::uint32_t>(dims.size()));
@@ -946,6 +987,7 @@ Status WriteSnapshot(const std::string& path,
   header.epsilon = view.epsilon;
   header.seed = view.seed;
   header.engine_options = view.engine_options;
+  header.plan = view.plan;
   PRIVELET_RETURN_IF_ERROR(w.Begin(path, header));
   PRIVELET_RETURN_IF_ERROR(w.AppendValues(view.published->values()));
   if (view.prefix != nullptr) {
@@ -964,6 +1006,7 @@ Status WriteSnapshot(const std::string& path, const ReleaseSnapshot& snapshot) {
   view.engine_options = snapshot.engine_options;
   view.published = &snapshot.published;
   view.prefix = snapshot.prefix.has_value() ? &*snapshot.prefix : nullptr;
+  view.plan = snapshot.plan.has_value() ? &*snapshot.plan : nullptr;
   return WriteSnapshot(path, view);
 }
 
@@ -997,10 +1040,10 @@ Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
   }
   std::uint32_t version = 0;
   std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionPlanned) {
     return Status::FailedPrecondition(
         "snapshot '" + path + "' is PVLS v" + std::to_string(version) +
-        " — only v2 sections can be mapped in place; use the copy loader");
+        " — only v2/v3 sections can be mapped in place; use the copy loader");
   }
   // CRC checked exactly once, over the whole mapping.
   std::uint32_t stored = 0;
@@ -1049,6 +1092,7 @@ Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
   mapped.mechanism_ = std::move(h.mechanism);
   mapped.epsilon_ = h.epsilon;
   mapped.seed_ = h.seed;
+  mapped.plan_ = std::move(h.plan);
   mapped.options_ = h.options;
   mapped.dims_ = std::move(h.dims);
   return mapped;

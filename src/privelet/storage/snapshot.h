@@ -41,8 +41,22 @@
 // PVLS v1 differs in the table section only — no alignment padding and
 // double-double encoded entries (u16 mant_dig | u8 exact | (f64 hi,
 // f64 lo) per cell). v1 files remain fully readable through the legacy
-// copy path (ReadSnapshot / LoadSession); only MappedSnapshot requires
-// v2. The writer always emits v2.
+// copy path (ReadSnapshot / LoadSession); MappedSnapshot requires v2+.
+//
+// PVLS v3 = v2 plus a plan section directly after the seed, present
+// exactly when the release was published under a workload-adaptive plan
+// (query::PlanRecord):
+//
+//   u16 chosen_len | chosen bytes      planner candidate id
+//   f64 predicted_variance
+//   u16 runner_up_len | bytes          "" = no alternative
+//   f64 runner_up_variance
+//   u32 workload_queries
+//
+// The writer emits v3 only for releases carrying a plan; plan-less
+// releases keep producing byte-identical v2 files, so pre-planner
+// snapshots and tools interoperate unchanged (backward and forward
+// compatibility in one rule).
 //
 // Reads are streamed and defensive: every variable-length field is
 // validated against the bytes actually remaining in the file before any
@@ -66,6 +80,7 @@
 #include "privelet/matrix/engine.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/matrix/prefix_sum.h"
+#include "privelet/query/plan_record.h"
 
 namespace privelet::storage {
 
@@ -82,6 +97,8 @@ struct ReleaseSnapshot {
   matrix::EngineOptions engine_options;
   matrix::FrequencyMatrix published;
   std::optional<matrix::PrefixSumTable<long double>> prefix;
+  /// Planner provenance (PVLS v3 files only; nullopt for v1/v2).
+  std::optional<query::PlanRecord> plan;
 };
 
 /// Non-owning view over the fields WriteSnapshot serializes. Lets callers
@@ -97,6 +114,8 @@ struct ReleaseSnapshotView {
   matrix::EngineOptions engine_options;
   const matrix::FrequencyMatrix* published = nullptr;
   const matrix::PrefixSumTable<long double>* prefix = nullptr;
+  /// Non-null selects the PVLS v3 format and writes the plan section.
+  const query::PlanRecord* plan = nullptr;
 };
 
 /// Incremental PVLS v2 writer — the out-of-core publish path's exit.
@@ -132,6 +151,9 @@ class SnapshotStreamWriter {
     double epsilon = 0.0;
     std::uint64_t seed = 0;
     matrix::EngineOptions engine_options;
+    /// Non-null selects PVLS v3 and writes the plan section after the
+    /// seed; null keeps the plan-less v2 byte stream.
+    const query::PlanRecord* plan = nullptr;
   };
 
   SnapshotStreamWriter();
@@ -164,8 +186,9 @@ class SnapshotStreamWriter {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Streams `view` to `path` in PVLS v2 format, overwriting any existing
-/// file. The matrix dims must equal the schema's domain sizes, and a
+/// Streams `view` to `path` in PVLS v2 format (v3 when `view.plan` is
+/// set), overwriting any existing file. The matrix dims must equal the
+/// schema's domain sizes, and a
 /// non-null prefix table must share them. Thin wrapper over
 /// SnapshotStreamWriter (one AppendValues / AppendTableEntries call
 /// each), so its bytes match any chunked streaming of the same release.
@@ -174,7 +197,7 @@ Status WriteSnapshot(const std::string& path, const ReleaseSnapshotView& view);
 /// Convenience overload over an owning snapshot.
 Status WriteSnapshot(const std::string& path, const ReleaseSnapshot& snapshot);
 
-/// Reads and fully validates a snapshot (v1 or v2): structural limits,
+/// Reads and fully validates a snapshot (v1, v2 or v3): structural limits,
 /// dimension overflow, schema/matrix agreement, hierarchy invariants
 /// (data::Hierarchy::FromSpec re-checks them), and the trailing CRC.
 /// This is the copy path — payloads are decoded into owned storage; the
@@ -187,12 +210,14 @@ Result<ReleaseSnapshot> ReadSnapshot(const std::string& path);
 /// not the goal (the whole file is still streamed for the CRC), avoiding
 /// the decoded matrix's memory footprint is.
 struct SnapshotInfo {
-  std::uint32_t version = 0;  ///< PVLS format version of the file (1 or 2)
+  std::uint32_t version = 0;  ///< PVLS format version of the file (1, 2, 3)
   data::Schema schema;
   std::string mechanism;
   double epsilon = 0.0;
   std::uint64_t seed = 0;
   matrix::EngineOptions engine_options;
+  /// Planner provenance (v3 files only).
+  std::optional<query::PlanRecord> plan;
   std::vector<std::size_t> dims;
   std::size_t num_cells = 0;
   bool has_prefix_table = false;
@@ -209,7 +234,7 @@ struct SnapshotInfo {
 
 Result<SnapshotInfo> InspectSnapshot(const std::string& path);
 
-/// A PVLS v2 snapshot served in place from a read-only memory mapping:
+/// A PVLS v2/v3 snapshot served in place from a read-only memory mapping:
 /// Open maps the file, checks the CRC once over the whole mapping, and
 /// decodes only the small header sections (schema, provenance, dims) —
 /// the matrix values and prefix-table entries stay in the file and are
@@ -222,7 +247,7 @@ Result<SnapshotInfo> InspectSnapshot(const std::string& path);
 /// with it; PublishingSession::FromMapped keeps the object alive (via
 /// shared_ptr) for as long as an evaluator serves from it.
 ///
-/// v1 files (and future versions) are rejected with FailedPrecondition so
+/// v1 files (and unknown future versions) are rejected with FailedPrecondition so
 /// callers can fall back to the ReadSnapshot copy path; corrupt files
 /// fail with InvalidArgument exactly like the streamed reader.
 class MappedSnapshot {
@@ -233,6 +258,8 @@ class MappedSnapshot {
   const std::string& mechanism() const { return mechanism_; }
   double epsilon() const { return epsilon_; }
   std::uint64_t seed() const { return seed_; }
+  /// Planner provenance (v3 files only).
+  const std::optional<query::PlanRecord>& plan() const { return plan_; }
   const matrix::EngineOptions& engine_options() const { return options_; }
   const std::vector<std::size_t>& dims() const { return dims_; }
   std::size_t num_cells() const { return values_.size(); }
@@ -257,6 +284,7 @@ class MappedSnapshot {
   std::string mechanism_;
   double epsilon_ = 0.0;
   std::uint64_t seed_ = 0;
+  std::optional<query::PlanRecord> plan_;
   matrix::EngineOptions options_;
   std::vector<std::size_t> dims_;
   std::span<const double> values_;

@@ -25,6 +25,10 @@ echo "== inspect"
 grep -q "mechanism:    Privelet" "$TMP/inspect.txt"
 grep -q "prefix table: yes" "$TMP/inspect.txt"
 grep -q "CRC OK" "$TMP/inspect.txt"
+# A plan-less publish stays PVLS v2 with no plan section (backward
+# compatibility with pre-planner snapshots by construction).
+grep -q "PVLS v2" "$TMP/inspect.txt"
+grep -q "^plan:         none" "$TMP/inspect.txt"
 # Payload section geometry and the publish-mode note (the file cannot
 # record the mode: streamed and in-core snapshots are byte-identical).
 grep -q "^values:       offset " "$TMP/inspect.txt"
@@ -83,9 +87,54 @@ awk '{printf "%s\r\n", $0}' "$TMP/table.csv" > "$TMP/table_crlf.csv"
        --output "$TMP/release_crlf.pvls"
 cmp "$TMP/release.pvls" "$TMP/release_crlf.pvls"
 
+echo "== plan + publish --auto-plan (workload-adaptive planner, PVLS v3)"
+# plan is pure analysis: schema + workload in, ranked candidates out.
+"$CLI" plan --schema "$TMP/schema.txt" --workload "$TMP/workload.txt" \
+       --epsilon 0.5 | tee "$TMP/plan.txt"
+grep -q '^rank 1: ' "$TMP/plan.txt"
+grep -q '^chosen: ' "$TMP/plan.txt"
+# publish --auto-plan runs the same planner and must reach the same
+# decision (the plan is a pure function of schema/workload/epsilon).
+"$CLI" publish --csv "$TMP/table.csv" --schema "$TMP/schema.txt" \
+       --auto-plan --workload "$TMP/workload.txt" \
+       --epsilon 0.5 --seed 11 --threads 0 \
+       --output "$TMP/planned.pvls" | tee "$TMP/publish_plan.txt"
+grep '^chosen: ' "$TMP/plan.txt" > "$TMP/chosen_plan.txt"
+grep '^chosen: ' "$TMP/publish_plan.txt" > "$TMP/chosen_publish.txt"
+cmp "$TMP/chosen_plan.txt" "$TMP/chosen_publish.txt"
+# The decision rides in the snapshot (v3) and survives the round trip.
+"$CLI" inspect "$TMP/planned.pvls" | tee "$TMP/inspect_plan.txt"
+grep -q "PVLS v3" "$TMP/inspect_plan.txt"
+grep -q "CRC OK" "$TMP/inspect_plan.txt"
+grep -q "^plan chosen:  " "$TMP/inspect_plan.txt"
+grep -q "^plan queries: 500" "$TMP/inspect_plan.txt"
+# The planned release serves queries like any other; replay is stable.
+"$CLI" query "$TMP/planned.pvls" --workload "$TMP/workload.txt" \
+       --output "$TMP/planned_answers1.txt"
+"$CLI" query "$TMP/planned.pvls" --workload "$TMP/workload.txt" \
+       --output "$TMP/planned_answers2.txt"
+cmp "$TMP/planned_answers1.txt" "$TMP/planned_answers2.txt"
+# Planning flags are validated: --auto-plan owns the mechanism choice,
+# and the planning-workload flags require --auto-plan.
+if "$CLI" publish --synthetic 4096 --tuples 100 --auto-plan --random 5 \
+       --mechanism basic --output "$TMP/bad.pvls" 2>/dev/null; then
+  echo "FAIL: --auto-plan with --mechanism accepted" >&2
+  exit 1
+fi
+if "$CLI" publish --synthetic 4096 --tuples 100 --workload "$TMP/workload.txt" \
+       --output "$TMP/bad.pvls" 2>/dev/null; then
+  echo "FAIL: --workload without --auto-plan accepted" >&2
+  exit 1
+fi
+if "$CLI" publish --synthetic 4096 --tuples 100 --auto-plan \
+       --output "$TMP/bad.pvls" 2>/dev/null; then
+  echo "FAIL: --auto-plan without a planning workload accepted" >&2
+  exit 1
+fi
+
 echo "== daemon + client (text protocol over TCP; same answers as query)"
 rm -f "$TMP/port.txt"
-"$CLI" daemon "main=$TMP/release.pvls" --port 0 \
+"$CLI" daemon "main=$TMP/release.pvls" "planned=$TMP/planned.pvls" --port 0 \
        --port-file "$TMP/port.txt" \
        > "$TMP/daemon.log" 2> "$TMP/daemon.err" &
 DAEMON_PID=$!
@@ -107,6 +156,7 @@ grep -v '^#' "$TMP/workload.txt" > "$TMP/predicates.txt"
   cat "$TMP/predicates.txt"
   echo "RELOAD spare $TMP/release2.pvls"
   echo "QUERY spare *"
+  echo "QUERY planned *"
   echo "QUERY ghost *"
   echo "STATS"
   echo "QUIT"
@@ -120,6 +170,13 @@ grep -q '^ok 500$' "$TMP/daemon_out.txt"
 grep -q '^reloaded spare$' "$TMP/daemon_out.txt"
 grep -q '^error: ' "$TMP/daemon_out.txt"
 grep -q '^uptime_s' "$TMP/daemon_out.txt"
+# STATS reports the resident planned release's recorded decision; the
+# plan-less release contributes no plan line.
+grep -q '^plan planned chosen=' "$TMP/daemon_out.txt"
+if grep -q '^plan main ' "$TMP/daemon_out.txt"; then
+  echo "FAIL: plan-less release reported a plan in STATS" >&2
+  exit 1
+fi
 awk '/^ok 500$/ { grab = 1; next } grab && n < 500 { print; n += 1 }' \
     "$TMP/daemon_out.txt" > "$TMP/daemon_answers.txt"
 cmp "$TMP/daemon_answers.txt" "$TMP/answers1.txt"

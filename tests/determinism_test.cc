@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "privelet/analysis/mechanism_planner.h"
 #include "privelet/common/thread_pool.h"
 #include "privelet/data/attribute.h"
 #include "privelet/data/hierarchy.h"
@@ -24,12 +25,15 @@
 #include "privelet/mechanism/hay.h"
 #include "privelet/mechanism/noise.h"
 #include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/mechanism/mechanism.h"
+#include "privelet/query/plan_record.h"
 #include "privelet/query/publishing_session.h"
 #include "privelet/query/workload.h"
 #include "privelet/rng/splitmix64.h"
 #include "privelet/rng/xoshiro256pp.h"
 #include "privelet/simd/dispatch.h"
 #include "privelet/storage/session_io.h"
+#include "privelet/storage/snapshot.h"
 #include "privelet/wavelet/hn_transform.h"
 
 namespace privelet {
@@ -472,6 +476,106 @@ TEST(PublishDeterminismTest, IsaSweepSnapshotsAndAnswersAreInvariant) {
   forced.isa = simd::IsaChoice::kAvx512;  // clamps to the host's best
   EXPECT_EQ(references[3], publish_bytes(forced, nullptr, nullptr))
       << "options-forced best";
+}
+
+// The planner sweep: the mechanism decision is a pure function of
+// (schema, workload, ε) — replanning reproduces the ranking, ids, and
+// variances exactly — and an auto-planned release (plan attached, so the
+// snapshot is PVLS v3) stays byte-identical across engines, thread
+// counts, and forced ISA levels, exactly like plan-less releases. The
+// plan section is provenance, never noise input.
+TEST(PublishDeterminismTest, AutoPlannedReleasesInvariantAcrossEnginesThreadsAndIsa) {
+  const data::Schema schema = MultiShardSchema();
+  const matrix::FrequencyMatrix m = RandomMatrix(schema, 23);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 64;
+  wopts.seed = 5;
+  auto workload = query::GenerateWorkload(schema, wopts);
+  ASSERT_TRUE(workload.ok());
+
+  auto plan =
+      analysis::PlanMechanismForWorkload(schema, *workload, /*epsilon=*/0.8);
+  ASSERT_TRUE(plan.ok());
+  auto replay =
+      analysis::PlanMechanismForWorkload(schema, *workload, /*epsilon=*/0.8);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(plan->ranked.size(), replay->ranked.size());
+  for (std::size_t i = 0; i < plan->ranked.size(); ++i) {
+    EXPECT_EQ(plan->ranked[i].id, replay->ranked[i].id) << "rank " << i;
+    // Exact equality: the scoring must be a deterministic float
+    // computation, not merely a stable ordering.
+    EXPECT_EQ(plan->ranked[i].expected_variance,
+              replay->ranked[i].expected_variance)
+        << "rank " << i;
+  }
+  EXPECT_EQ(plan->ToRecord(), replay->ToRecord());
+
+  const query::PlanRecord record = plan->ToRecord();
+  const auto make_mechanism = [&]() -> std::unique_ptr<mechanism::Mechanism> {
+    if (plan->chosen.id == "basic") {
+      return std::make_unique<mechanism::BasicMechanism>();
+    }
+    if (plan->chosen.id == "hay") {
+      return std::make_unique<mechanism::HayHierarchicalMechanism>();
+    }
+    return std::make_unique<mechanism::PriveletPlusMechanism>(
+        plan->chosen.sa_names);
+  };
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto publish_bytes = [&](const matrix::EngineOptions& options,
+                                 common::ThreadPool* pool) {
+    const auto mech = make_mechanism();
+    mech->set_thread_pool(pool);
+    mech->set_engine_options(options);
+    auto session = query::PublishingSession::Publish(
+        schema, *mech, m, /*epsilon=*/0.8, /*seed=*/57, pool, options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    session->set_plan(record);
+    const std::string path = testing::TempDir() + "/det_autoplan.pvls";
+    EXPECT_TRUE(storage::SaveSession(path, *session).ok());
+    return file_bytes(path);
+  };
+
+  const std::vector<matrix::EngineOptions> configs = {
+      matrix::MakeEngineOptions(matrix::LineEngine::kNaive),
+      matrix::MakeEngineOptions(matrix::LineEngine::kTiled, 64)};
+
+  // Per-config reference: forced-scalar serial publish. The plan must be
+  // in the reference file (v3) for the byte comparisons to cover it.
+  ASSERT_EQ(0, setenv("PRIVELET_ISA", "scalar", 1));
+  std::vector<std::string> references;
+  for (const matrix::EngineOptions& options : configs) {
+    references.push_back(publish_bytes(options, nullptr));
+    ASSERT_FALSE(references.back().empty());
+  }
+  {
+    auto info =
+        storage::InspectSnapshot(testing::TempDir() + "/det_autoplan.pvls");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->version, 3u);
+    ASSERT_TRUE(info->plan.has_value());
+    EXPECT_EQ(*info->plan, record);
+  }
+
+  for (int lvl = 0; lvl <= static_cast<int>(simd::DetectBestIsa()); ++lvl) {
+    const std::string name(
+        simd::IsaLevelName(static_cast<simd::IsaLevel>(lvl)));
+    ASSERT_EQ(0, setenv("PRIVELET_ISA", name.c_str(), 1));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      EXPECT_EQ(references[c], publish_bytes(configs[c], nullptr))
+          << "config " << c << " serial, isa " << name;
+      for (const std::size_t threads : kPoolSizes) {
+        common::ThreadPool pool(threads);
+        EXPECT_EQ(references[c], publish_bytes(configs[c], &pool))
+            << "config " << c << ", " << threads << " threads, isa " << name;
+      }
+    }
+  }
+  ASSERT_EQ(0, unsetenv("PRIVELET_ISA"));
 }
 
 TEST(NoiseShardDeterminismTest, ShardedDrawsDependOnlyOnIndex) {

@@ -4,13 +4,16 @@
 // decomposition, per cell on identity axes, and per query against the
 // closed-form exact variance. These replace "looks noisy" spot checks
 // with tolerance bands derived from the variance of the sample variance
-// (for Laplace, Var(s²) ≈ 5σ⁴/n, excess kurtosis 3).
+// (for Laplace, Var(s²) ≈ 5σ⁴/n, excess kurtosis 3) — shared with the
+// planner accuracy suite via statistical_test_util.h.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
+
+#include "statistical_test_util.h"
 
 #include "privelet/analysis/query_variance.h"
 #include "privelet/common/math_util.h"
@@ -28,12 +31,8 @@
 namespace privelet {
 namespace {
 
-// 4-sigma relative tolerance band for a Laplace sample variance over n
-// samples, floored at 5% for very large n (where FP and model error
-// dominate sampling error).
-double VarianceTolerance(std::size_t n) {
-  return std::max(0.05, 4.0 * std::sqrt(5.0 / static_cast<double>(n)));
-}
+using testutil::ExpectCenteredNoiseWithVariance;
+using testutil::VarianceTolerance;
 
 TEST(NoiseStatisticsTest, ShardedLaplaceMatchesMoments) {
   // 2^17 draws span 16 shards; the pooled sample must look Laplace(b):
@@ -92,12 +91,8 @@ TEST(NoiseStatisticsTest, PriveletHaarNoisePerWeightClass) {
     const double w =
         (cls == 0) ? weights[0] : weights[std::size_t{1} << (cls - 1)];
     const double target = 2.0 * (lambda / w) * (lambda / w);
-    EXPECT_NEAR(SampleVariance(samples) / target, 1.0,
-                VarianceTolerance(samples.size()))
-        << "weight class " << cls << " (W = " << w << ")";
-    EXPECT_NEAR(Mean(samples), 0.0,
-                4.0 * std::sqrt(target / static_cast<double>(samples.size())))
-        << "weight class " << cls;
+    SCOPED_TRACE("weight class " + std::to_string(cls));
+    ExpectCenteredNoiseWithVariance(samples, target);
   }
 }
 
@@ -121,11 +116,7 @@ TEST(NoiseStatisticsTest, PriveletPlusIdentityAxisIsPerCellLaplace) {
     noise.insert(noise.end(), published->values().begin(),
                  published->values().end());
   }
-  const double target = 8.0 / (kEpsilon * kEpsilon);
-  EXPECT_NEAR(SampleVariance(noise) / target, 1.0,
-              VarianceTolerance(noise.size()));
-  EXPECT_NEAR(Mean(noise), 0.0,
-              4.0 * std::sqrt(target / static_cast<double>(noise.size())));
+  ExpectCenteredNoiseWithVariance(noise, 8.0 / (kEpsilon * kEpsilon));
 }
 
 TEST(NoiseStatisticsTest, QueryNoiseMatchesExactVarianceOnMixedSchema) {

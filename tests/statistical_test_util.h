@@ -1,0 +1,45 @@
+// Shared statistical acceptance helpers for fixed-seed noise tests
+// (noise_statistics_test, planner_accuracy_test): tolerance bands derived
+// from the variance of the sample variance, so suites assert "matches the
+// calibrated distribution" instead of "looks noisy". For Laplace noise
+// Var(s²) ≈ 5σ⁴/n (excess kurtosis 3), giving a 4-sigma relative band of
+// 4·sqrt(5/n) on s²/σ².
+#ifndef PRIVELET_TESTS_STATISTICAL_TEST_UTIL_H_
+#define PRIVELET_TESTS_STATISTICAL_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "privelet/common/math_util.h"
+
+namespace privelet::testutil {
+
+/// 4-sigma relative tolerance band for a Laplace sample variance over n
+/// samples, floored at 5% for very large n (where FP and model error
+/// dominate sampling error).
+inline double VarianceTolerance(std::size_t n) {
+  return std::max(0.05, 4.0 * std::sqrt(5.0 / static_cast<double>(n)));
+}
+
+/// Moment check: `samples` must look like centered Laplace noise of the
+/// given variance — sample variance within VarianceTolerance of the
+/// target (relative) and sample mean within 4 standard errors of 0.
+/// Callers add context via SCOPED_TRACE.
+inline void ExpectCenteredNoiseWithVariance(const std::vector<double>& samples,
+                                            double target_variance) {
+  ASSERT_GT(samples.size(), 1u);
+  ASSERT_GT(target_variance, 0.0);
+  EXPECT_NEAR(SampleVariance(samples) / target_variance, 1.0,
+              VarianceTolerance(samples.size()));
+  EXPECT_NEAR(Mean(samples), 0.0,
+              4.0 * std::sqrt(target_variance /
+                              static_cast<double>(samples.size())));
+}
+
+}  // namespace privelet::testutil
+
+#endif  // PRIVELET_TESTS_STATISTICAL_TEST_UTIL_H_

@@ -1,0 +1,199 @@
+// Fuzz-style property tests for the workload-spec/predicate grammar —
+// the one parser shared by the daemon's text protocol
+// (serving::ParseQueryLine) and the CLI's workload files
+// (cli::ReadWorkloadFile / WriteWorkloadFile). Three properties:
+//
+//   1. Valid specs round-trip: parse -> write -> re-read reproduces the
+//      same resolved bounds, and the writer's output is itself valid
+//      input.
+//   2. A corpus of malformed lines (truncated tokens, duplicate
+//      attributes, out-of-range bounds, signed/garbage numbers) is
+//      rejected with a Status error — never a CHECK failure or crash.
+//   3. Systematic mutation: every prefix and every single-character
+//      deletion of a valid line either parses or returns an error;
+//      nothing in the grammar's input space aborts the process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "privelet_cli/workload_io.h"
+
+#include "privelet/common/result.h"
+#include "privelet/data/attribute.h"
+#include "privelet/data/hierarchy.h"
+#include "privelet/data/schema.h"
+#include "privelet/query/range_query.h"
+#include "privelet/serving/protocol.h"
+
+namespace privelet {
+namespace {
+
+data::Schema MixedSchema() {
+  std::vector<data::Attribute> attrs;
+  attrs.push_back(data::Attribute::Ordinal("Age", 32));
+  attrs.push_back(data::Attribute::Nominal(
+      "Occ", data::Hierarchy::Balanced({2, 3}).value()));
+  return data::Schema(std::move(attrs));
+}
+
+std::vector<std::pair<std::size_t, query::ValueRange>> ResolvedRanges(
+    const query::RangeQuery& query) {
+  std::vector<std::pair<std::size_t, query::ValueRange>> out;
+  for (std::size_t a = 0; a < query.num_attributes(); ++a) {
+    if (query.range(a).has_value()) out.emplace_back(a, *query.range(a));
+  }
+  return out;
+}
+
+TEST(WorkloadParserTest, ValidLinesParse) {
+  const data::Schema schema = MixedSchema();
+  const std::vector<std::string> lines = {
+      "*",
+      "Age=0:31",
+      "Age=5:5",
+      "Occ=0:5",
+      "Occ@0",
+      "Occ@1",
+      "Age=3:17 Occ@2",
+      "  Age=1:2\tOcc=4:4  ",
+      "Age=0:0\r",
+  };
+  for (const std::string& line : lines) {
+    auto query = serving::ParseQueryLine(schema, line);
+    EXPECT_TRUE(query.ok()) << "'" << line
+                            << "': " << query.status().ToString();
+  }
+}
+
+TEST(WorkloadParserTest, MalformedLinesReturnStatusErrors) {
+  const data::Schema schema = MixedSchema();
+  const std::vector<std::string> lines = {
+      "",                      // no tokens
+      "   \t ",                // whitespace only
+      "* Age=0:1",             // '*' with predicates
+      "Age=0:1 *",             // predicates with '*'
+      "Age",                   // bare name
+      "Age=",                  // truncated: no bounds
+      "Age=0",                 // truncated: no colon
+      "Age=0:",                // truncated: no hi
+      "Age=:5",                // truncated: no lo
+      "=0:5",                  // empty attribute name
+      "@3",                    // empty attribute name
+      "Age=5:2",               // inverted range
+      "Age=0:32",              // hi out of range (domain 32)
+      "Age=99:99",             // lo out of range
+      "Age=-1:5",              // signed index
+      "Age=0x1:5",             // non-decimal number
+      "Age=1:2:3",             // extra colon
+      "Age=a:b",               // garbage bounds
+      "Age=0:1 Age=2:3",       // duplicate attribute (= form)
+      "Occ@1 Occ@2",           // duplicate attribute (@ form)
+      "Occ=0:1 Occ@1",         // duplicate attribute (mixed forms)
+      "Age@1",                 // subtree on an ordinal attribute
+      "Occ@99",                // node id out of range
+      "Occ@x",                 // garbage node id
+      "Height=0:1",            // unknown attribute
+      "Age=18446744073709551616:0",  // u64 overflow
+  };
+  for (const std::string& line : lines) {
+    auto query = serving::ParseQueryLine(schema, line);
+    EXPECT_FALSE(query.ok()) << "'" << line << "' parsed unexpectedly";
+    if (!query.ok()) {
+      EXPECT_FALSE(query.status().message().empty()) << "'" << line << "'";
+    }
+  }
+}
+
+TEST(WorkloadParserTest, MutatedLinesNeverCrash) {
+  // Deterministic fuzz: every prefix and every single-character deletion
+  // of valid lines must produce either a query or a Status error. The
+  // assertions are on the error path staying an error path — reaching the
+  // end of the loop without aborting is the property.
+  const data::Schema schema = MixedSchema();
+  const std::vector<std::string> seeds = {
+      "Age=10:20 Occ@3",
+      "Age=0:31 Occ=2:4",
+      "*",
+  };
+  std::size_t parsed = 0, rejected = 0;
+  for (const std::string& seed : seeds) {
+    for (std::size_t cut = 0; cut <= seed.size(); ++cut) {
+      auto prefix = serving::ParseQueryLine(schema, seed.substr(0, cut));
+      prefix.ok() ? ++parsed : ++rejected;
+      if (cut < seed.size()) {
+        std::string deleted = seed;
+        deleted.erase(cut, 1);
+        auto mutated = serving::ParseQueryLine(schema, deleted);
+        mutated.ok() ? ++parsed : ++rejected;
+      }
+    }
+  }
+  // Both paths must actually be exercised for the sweep to mean anything.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(WorkloadParserTest, WorkloadFilesRoundTrip) {
+  const data::Schema schema = MixedSchema();
+  const std::string original = testing::TempDir() + "/parser_original.txt";
+  const std::string rewritten = testing::TempDir() + "/parser_rewritten.txt";
+  {
+    std::FILE* out = std::fopen(original.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    std::fputs(
+        "# comment-only lines and blanks are skipped\n"
+        "\n"
+        "Age=0:31 # trailing comment\n"
+        "Age=3:17 Occ@2\n"
+        "Occ=1:4\n"
+        "*\n",
+        out);
+    ASSERT_EQ(std::fclose(out), 0);
+  }
+
+  auto queries = cli::ReadWorkloadFile(original, schema);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries->size(), 4u);
+
+  // Subtree predicates resolve to leaf intervals, so the writer's `=`
+  // form must re-parse to identical resolved bounds.
+  ASSERT_TRUE(cli::WriteWorkloadFile(rewritten, schema, *queries).ok());
+  auto reread = cli::ReadWorkloadFile(rewritten, schema);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread->size(), queries->size());
+  for (std::size_t q = 0; q < queries->size(); ++q) {
+    EXPECT_EQ(ResolvedRanges((*queries)[q]), ResolvedRanges((*reread)[q]))
+        << "query " << q;
+  }
+
+  std::remove(original.c_str());
+  std::remove(rewritten.c_str());
+}
+
+TEST(WorkloadParserTest, BadFileLinesReportLineNumbers) {
+  const data::Schema schema = MixedSchema();
+  const std::string path = testing::TempDir() + "/parser_bad.txt";
+  {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    std::fputs("Age=0:31\nAge=0:1 Age=2:3\n", out);
+    ASSERT_EQ(std::fclose(out), 0);
+  }
+  auto queries = cli::ReadWorkloadFile(path, schema);
+  ASSERT_FALSE(queries.ok());
+  // The error names the file, the line, and the offending attribute.
+  EXPECT_NE(queries.status().message().find(":2:"), std::string::npos)
+      << queries.status().ToString();
+  EXPECT_NE(queries.status().message().find("duplicate"), std::string::npos)
+      << queries.status().ToString();
+  std::remove(path.c_str());
+
+  auto missing = cli::ReadWorkloadFile(testing::TempDir() + "/no_such.txt",
+                                       schema);
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace privelet

@@ -6,6 +6,7 @@
 // README quickstart for a three-command tour.
 //
 //   privelet_cli gen      synthetic/census table -> CSV + schema spec
+//   privelet_cli plan     schema + workload -> ranked mechanism choice
 //   privelet_cli publish  CSV or generated table -> snapshot (.pvls)
 //   privelet_cli inspect  snapshot -> metadata summary (validates CRC)
 //   privelet_cli query    snapshot + workload -> one answer per line
@@ -22,6 +23,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -35,6 +37,7 @@
 #include <unistd.h>
 #endif
 
+#include "privelet/analysis/mechanism_planner.h"
 #include "privelet/common/result.h"
 #include "privelet/common/stopwatch.h"
 #include "privelet/common/thread_pool.h"
@@ -49,6 +52,7 @@
 #include "privelet/mechanism/mechanism.h"
 #include "privelet/mechanism/privelet_mechanism.h"
 #include "privelet/common/io_util.h"
+#include "privelet/query/plan_record.h"
 #include "privelet/query/publishing_session.h"
 #include "privelet/query/release_store.h"
 #include "privelet/query/workload.h"
@@ -67,9 +71,13 @@ constexpr const char kUsage[] = R"(privelet_cli — publish, persist, and serve 
 usage:
   privelet_cli gen     (--synthetic M | --census brazil|us) [--tuples N]
                        [--data-seed S] --csv-out FILE --schema-out FILE
+  privelet_cli plan    --schema FILE (--workload FILE | --random N
+                       [--workload-seed S]) [--epsilon E]
   privelet_cli publish (--csv FILE --schema FILE | --synthetic M | --census
                        brazil|us) [--tuples N] [--data-seed S]
                        [--mechanism basic|privelet|privelet+|hay] [--sa A,B]
+                       [--auto-plan (--workload FILE | --random N
+                       [--workload-seed S])]
                        [--epsilon E] [--seed S] [--threads N]
                        [--engine tiled|naive] [--tile-lines B] [--no-table]
                        [--max-memory BYTES[K|M|G]] [--scratch-dir DIR]
@@ -99,6 +107,14 @@ default) binds an ephemeral port; the bound port is printed as
 shut the daemon down cleanly. client connects to a daemon, forwards
 stdin (or --requests) lines, and prints each response.
 
+plan scores every applicable mechanism against a representative workload
+by exact expected per-query noise variance — a closed-form, data-free
+computation that costs no privacy budget — and prints the ranking plus
+the chosen (cheapest publishable) candidate. publish --auto-plan runs
+the same planner, publishes under the winner, and records the decision
+in the snapshot (PVLS v3; inspect prints it, the daemon's STATS reports
+it). Plan-less publishes keep writing byte-identical v2 files.
+
 --max-memory B publishes out of core: panels are staged through unlinked
 mmap scratch files (--scratch-dir, default $TMPDIR) and streamed into the
 snapshot so peak memory is paced by B instead of the release size. The
@@ -123,7 +139,8 @@ struct Args {
 
 // Flags that never take a value.
 const std::set<std::string>& BooleanFlags() {
-  static const std::set<std::string> kBooleans = {"help", "no-table"};
+  static const std::set<std::string> kBooleans = {"help", "no-table",
+                                                  "auto-plan"};
   return kBooleans;
 }
 
@@ -365,6 +382,57 @@ int Fail(const Status& status) {
   return 2;
 }
 
+// The planning workload (shared by plan and publish --auto-plan): either
+// a workload file validated against the schema or a deterministic
+// generated one — exactly the query sources `query` accepts.
+Result<std::vector<query::RangeQuery>> MakePlanningWorkload(
+    const Args& args, const data::Schema& schema) {
+  if (args.Has("workload") == args.Has("random")) {
+    return Status::InvalidArgument(
+        "planning needs exactly one of --workload FILE or --random N");
+  }
+  if (args.Has("workload")) {
+    return ReadWorkloadFile(args.Get("workload", ""), schema);
+  }
+  query::WorkloadOptions options;
+  PRIVELET_ASSIGN_OR_RETURN(options.num_queries, GetCount(args, "random", 0));
+  PRIVELET_ASSIGN_OR_RETURN(options.seed, GetCount(args, "workload-seed", 7));
+  if (options.num_queries == 0) {
+    return Status::InvalidArgument("--random must be >= 1");
+  }
+  return query::GenerateWorkload(schema, options);
+}
+
+// The mechanism behind a planner candidate id. Only publishable
+// candidates reach this (the planner never chooses rank-only ones), and
+// every publishable id maps onto the mechanisms the publish pipeline
+// already supports.
+std::unique_ptr<mechanism::Mechanism> MechanismForCandidate(
+    const analysis::MechanismCandidate& candidate) {
+  if (candidate.id == "basic") {
+    return std::make_unique<mechanism::BasicMechanism>();
+  }
+  if (candidate.id == "hay") {
+    return std::make_unique<mechanism::HayHierarchicalMechanism>();
+  }
+  return std::make_unique<mechanism::PriveletPlusMechanism>(
+      candidate.sa_names);
+}
+
+// %.17g everywhere: plan output is diffed by the e2e test, and exact
+// round-tripping makes predicted variances comparable across runs.
+void PrintPlan(std::FILE* out, const analysis::MechanismPlan& plan) {
+  for (std::size_t i = 0; i < plan.ranked.size(); ++i) {
+    const analysis::MechanismCandidate& c = plan.ranked[i];
+    std::fprintf(out, "rank %zu: %s expected_variance=%.17g%s\n", i + 1,
+                 c.id.c_str(), c.expected_variance,
+                 c.publishable ? "" : " (rank-only)");
+  }
+  std::fprintf(out, "chosen: %s predicted_variance=%.17g over %zu queries\n",
+               plan.chosen.id.c_str(), plan.chosen.expected_variance,
+               plan.workload_queries);
+}
+
 // ID=FILE.pvls release specs (shared by serve and daemon).
 Status RegisterReleases(const std::vector<std::string>& specs,
                         query::ReleaseStore* store) {
@@ -408,14 +476,56 @@ int RunGen(const Args& args) {
   return 0;
 }
 
+// plan: the decision procedure without a publish — schema in, ranking
+// out. Data-free by construction (the variance models are closed-form),
+// so it takes a schema spec, never a table.
+int RunPlan(const Args& args) {
+  Status flags = RejectUnknownFlags(
+      args, {"schema", "workload", "random", "workload-seed", "epsilon"});
+  if (!flags.ok()) return Fail(flags);
+  if (!args.Has("schema")) {
+    return Fail(Status::InvalidArgument("plan needs --schema FILE"));
+  }
+  auto schema = ReadSchemaSpecFile(args.Get("schema", ""));
+  if (!schema.ok()) return Fail(schema.status());
+  auto epsilon = GetDouble(args, "epsilon", 1.0);
+  if (!epsilon.ok()) return Fail(epsilon.status());
+  if (!std::isfinite(*epsilon) || *epsilon <= 0.0) {
+    return Fail(Status::InvalidArgument(
+        "--epsilon must be a finite value > 0 (got '" +
+        args.Get("epsilon", "1.0") + "')"));
+  }
+  auto workload = MakePlanningWorkload(args, *schema);
+  if (!workload.ok()) return Fail(workload.status());
+  auto plan =
+      analysis::PlanMechanismForWorkload(*schema, *workload, *epsilon);
+  if (!plan.ok()) return Fail(plan.status());
+  PrintPlan(stdout, *plan);
+  return 0;
+}
+
 int RunPublish(const Args& args) {
   Status flags = RejectUnknownFlags(
       args, {"csv", "schema", "synthetic", "census", "tuples", "data-seed",
              "mechanism", "sa", "epsilon", "seed", "threads", "engine",
-             "tile-lines", "no-table", "max-memory", "scratch-dir", "output"});
+             "tile-lines", "no-table", "max-memory", "scratch-dir", "output",
+             "auto-plan", "workload", "random", "workload-seed"});
   if (!flags.ok()) return Fail(flags);
   if (!args.Has("output")) {
     return Fail(Status::InvalidArgument("publish needs --output FILE.pvls"));
+  }
+  const bool auto_plan = args.Has("auto-plan");
+  if (!auto_plan &&
+      (args.Has("workload") || args.Has("random") ||
+       args.Has("workload-seed"))) {
+    return Fail(Status::InvalidArgument(
+        "--workload/--random/--workload-seed are planning inputs and "
+        "require --auto-plan"));
+  }
+  if (auto_plan && (args.Has("mechanism") || args.Has("sa"))) {
+    return Fail(Status::InvalidArgument(
+        "--auto-plan picks the mechanism; it cannot be combined with "
+        "--mechanism or --sa"));
   }
   auto table = MakeInputTable(args);
   if (!table.ok()) return Fail(table.status());
@@ -439,6 +549,22 @@ int RunPublish(const Args& args) {
   auto pool = GetPool(args);
   if (!pool.ok()) return Fail(pool.status());
 
+  // --auto-plan: score every applicable mechanism on the planning
+  // workload and publish under the winner; the decision rides into the
+  // snapshot (PVLS v3) as provenance.
+  std::optional<analysis::MechanismPlan> plan;
+  std::optional<query::PlanRecord> plan_record;
+  if (auto_plan) {
+    auto workload = MakePlanningWorkload(args, table->schema());
+    if (!workload.ok()) return Fail(workload.status());
+    auto planned = analysis::PlanMechanismForWorkload(table->schema(),
+                                                      *workload, *epsilon);
+    if (!planned.ok()) return Fail(planned.status());
+    plan = std::move(*planned);
+    plan_record = plan->ToRecord();
+    *mech = MechanismForCandidate(plan->chosen);
+  }
+
   const bool streamed = options->out_of_core();
   if (streamed && args.Has("no-table")) {
     return Fail(Status::InvalidArgument(
@@ -457,15 +583,16 @@ int RunPublish(const Args& args) {
   if (streamed) {
     // One fused pass: the publish streams panels into the snapshot as
     // they materialize; there is no separate whole-release save step.
-    auto session =
-        storage::PublishToFile(output, table->schema(), **mech, m, *epsilon,
-                               *seed, pool->get(), *options);
+    auto session = storage::PublishToFile(
+        output, table->schema(), **mech, m, *epsilon, *seed, pool->get(),
+        *options, plan_record.has_value() ? &*plan_record : nullptr);
     if (!session.ok()) return Fail(session.status());
     publish_seconds = publish_watch.ElapsedSeconds();
   } else {
     auto session = query::PublishingSession::Publish(
         table->schema(), **mech, m, *epsilon, *seed, pool->get(), *options);
     if (!session.ok()) return Fail(session.status());
+    if (plan_record.has_value()) session->set_plan(*plan_record);
     publish_seconds = publish_watch.ElapsedSeconds();
 
     Stopwatch save_watch;
@@ -478,6 +605,7 @@ int RunPublish(const Args& args) {
       view.seed = session->metadata().seed;
       view.engine_options = session->engine_options();
       view.published = &session->published();
+      view.plan = plan_record.has_value() ? &*plan_record : nullptr;
       st = storage::WriteSnapshot(output, view);
     } else {
       st = storage::SaveSession(output, *session);
@@ -505,6 +633,7 @@ int RunPublish(const Args& args) {
   std::printf("kernels:      %s dispatch (host best %s)\n",
               std::string(simd::IsaLevelName(simd::ResolveIsa())).c_str(),
               std::string(simd::IsaLevelName(simd::DetectBestIsa())).c_str());
+  if (plan.has_value()) PrintPlan(stdout, *plan);
   return 0;
 }
 
@@ -547,6 +676,18 @@ int RunInspect(const Args& args) {
   std::printf(
       "publish mode: not recorded (streamed and in-core snapshots are "
       "byte-identical)\n");
+  if (info->plan.has_value()) {
+    const query::PlanRecord& plan = *info->plan;
+    std::printf("plan chosen:  %s predicted_variance=%.17g\n",
+                plan.chosen.c_str(), plan.predicted_variance);
+    std::printf("plan against: %s runner_up_variance=%.17g\n",
+                plan.runner_up.empty() ? "-" : plan.runner_up.c_str(),
+                plan.runner_up_variance);
+    std::printf("plan queries: %lu\n",
+                static_cast<unsigned long>(plan.workload_queries));
+  } else {
+    std::printf("plan:         none (published without --auto-plan)\n");
+  }
   for (std::size_t a = 0; a < info->schema.num_attributes(); ++a) {
     const data::Attribute& attr = info->schema.attribute(a);
     if (attr.is_ordinal()) {
@@ -1040,6 +1181,7 @@ int Run(int argc, char** argv) {
     return 0;
   }
   if (command == "gen") return RunGen(*args);
+  if (command == "plan") return RunPlan(*args);
   if (command == "publish") return RunPublish(*args);
   if (command == "inspect") return RunInspect(*args);
   if (command == "query") return RunQuery(*args);
