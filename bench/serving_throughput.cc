@@ -33,12 +33,14 @@
 #include "privelet/data/schema.h"
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/mechanism/privelet_mechanism.h"
+#include "privelet/query/compiled_workload.h"
 #include "privelet/query/publishing_session.h"
 #include "privelet/query/release_store.h"
 #include "privelet/query/workload.h"
 #include "privelet/rng/xoshiro256pp.h"
 #include "privelet/serving/protocol.h"
 #include "privelet/serving/server.h"
+#include "privelet/simd/dispatch.h"
 #include "privelet/storage/session_io.h"
 
 namespace privelet::bench {
@@ -252,10 +254,45 @@ int Run(bool smoke) {
   PRIVELET_CHECK(store_answers.ok() && *store_answers == mmap_answers,
                  "store answers differ");
 
+  // Compiled-workload evaluation: bounds and inclusion-exclusion corners
+  // resolve once, then every rep is a pooled fold over gathered table
+  // slots (simd/kernels.h gather_slots_16b). Timed at the dispatched
+  // level and at forced scalar, both pooled over the same grain as the
+  // uncompiled AnswerAll above — and both asserted bit-identical to it.
+  const matrix::PrefixSumTable<long double>& table =
+      mapped_session->prefix_table();
+  Stopwatch compile_watch;
+  const query::CompiledWorkload compiled =
+      query::CompiledWorkload::Compile(*workload, table.dims());
+  const double compile_ms = compile_watch.ElapsedSeconds() * 1e3;
+  const auto measure_compiled = [&](simd::IsaLevel level) {
+    double best_s = 0.0;
+    std::vector<double> answers(compiled.num_queries());
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch watch;
+      common::ParallelFor(&pool, compiled.num_queries(), /*grain=*/0,
+                          [&](std::size_t begin, std::size_t end) {
+                            compiled.AnswerInto(table, begin, end, level,
+                                                answers.data() + begin);
+                          });
+      const double elapsed = watch.ElapsedSeconds();
+      if (rep == 0 || elapsed < best_s) best_s = elapsed;
+      PRIVELET_CHECK(answers == mmap_answers,
+                     "compiled answers differ from AnswerAll");
+    }
+    return best_s;
+  };
+  const simd::IsaLevel active_isa = simd::ResolveIsa();
+  const double compiled_s = measure_compiled(active_isa);
+  const double compiled_scalar_s = measure_compiled(simd::IsaLevel::kScalar);
+
 #if defined(__linux__)
   // End-to-end loadgen: concurrent TCP clients through the daemon's
-  // event loop, so the report captures network tail latency, not just
-  // the in-process answer path.
+  // event loops, so the report captures network tail latency, not just
+  // the in-process answer path. Swept over the sharding knob — on a
+  // multi-core host the 8-loop row's throughput is the tentpole number;
+  // the 8/1 ratio is gated in CI (bench/baselines/manifest.json) as a
+  // "sharding never collapses below single-loop" tripwire.
   const std::size_t e2e_clients = smoke ? 2 : 4;
   const std::size_t e2e_rounds = smoke ? 150 : 500;
   const std::size_t e2e_batch = std::min<std::size_t>(64, workload->size());
@@ -276,16 +313,24 @@ int Run(bool smoke) {
   const std::vector<double> e2e_expected(mmap_answers.begin(),
                                          mmap_answers.begin() + e2e_batch);
 
-  serving::Server server(&store, serving::ServerOptions{});
-  PRIVELET_CHECK(server.Start().ok(), "daemon start failed");
-  std::thread server_thread([&server] { (void)server.Run(); });
-  const E2eResult e2e =
-      RunLoadgen(&server, wire, e2e_expected, e2e_clients, e2e_rounds);
-  server.Shutdown();
-  server_thread.join();
-  PRIVELET_CHECK(e2e.ok, "loadgen saw a failed or mismatched response");
-  PRIVELET_CHECK(e2e.latencies_us.size() == e2e_clients * e2e_rounds,
-                 "loadgen lost requests");
+  const std::size_t loop_counts[] = {1, 2, 8};
+  E2eResult e2e_runs[3];
+  for (std::size_t li = 0; li < 3; ++li) {
+    serving::ServerOptions server_options;
+    server_options.num_loops = loop_counts[li];
+    serving::Server server(&store, server_options);
+    PRIVELET_CHECK(server.Start().ok(), "daemon start failed");
+    std::thread server_thread([&server] { (void)server.Run(); });
+    e2e_runs[li] =
+        RunLoadgen(&server, wire, e2e_expected, e2e_clients, e2e_rounds);
+    server.Shutdown();
+    server_thread.join();
+    PRIVELET_CHECK(e2e_runs[li].ok,
+                   "loadgen saw a failed or mismatched response");
+    PRIVELET_CHECK(e2e_runs[li].latencies_us.size() ==
+                       e2e_clients * e2e_rounds,
+                   "loadgen lost requests");
+  }
 #endif
 
   const auto qps = [&](double seconds) {
@@ -299,16 +344,25 @@ int Run(bool smoke) {
   std::printf("  %-12s %12.3f %14.0f\n", "mmap", mmap.load_s * 1e3,
               qps(mmap.answer_s));
   std::printf("  %-12s %12s %14.0f\n", "store-hit", "-", qps(store_answer_s));
+  std::printf("  compiled (%s): compile %.3f ms, %0.f queries/s "
+              "(scalar %0.f queries/s)\n",
+              std::string(simd::IsaLevelName(active_isa)).c_str(), compile_ms,
+              qps(compiled_s), qps(compiled_scalar_s));
 #if defined(__linux__)
-  const double e2e_qps =
-      e2e.wall_s > 0.0 ? static_cast<double>(e2e.queries) / e2e.wall_s : 0.0;
-  const double p50_us = SortedQuantileUs(e2e.latencies_us, 0.50);
-  const double p99_us = SortedQuantileUs(e2e.latencies_us, 0.99);
-  const double p999_us = SortedQuantileUs(e2e.latencies_us, 0.999);
   std::printf(
-      "  e2e daemon: %zu clients x %zu reqs x %zu queries — %0.f queries/s, "
-      "request p50 %.1f us, p99 %.1f us, p999 %.1f us\n",
-      e2e_clients, e2e_rounds, e2e_batch, e2e_qps, p50_us, p99_us, p999_us);
+      "  e2e daemon: %zu clients x %zu reqs x %zu queries\n",
+      e2e_clients, e2e_rounds, e2e_batch);
+  for (std::size_t li = 0; li < 3; ++li) {
+    const E2eResult& run = e2e_runs[li];
+    const double run_qps =
+        run.wall_s > 0.0 ? static_cast<double>(run.queries) / run.wall_s : 0.0;
+    std::printf(
+        "    loops=%zu: %0.f queries/s, request p50 %.1f us, p99 %.1f us, "
+        "p999 %.1f us\n",
+        loop_counts[li], run_qps, SortedQuantileUs(run.latencies_us, 0.50),
+        SortedQuantileUs(run.latencies_us, 0.99),
+        SortedQuantileUs(run.latencies_us, 0.999));
+  }
 #endif
 
   // One process-wide VmHWM; identical across the rows of a run, there to
@@ -333,18 +387,43 @@ int Run(bool smoke) {
                  {"load_ms", 0.0},
                  {"queries_per_s", qps(store_answer_s)},
                  {"peak_rss", peak_rss}});
-#if defined(__linux__)
-  // The e2e row deliberately has no "mmap" key so the pre-existing
-  // guarded selects cannot match it.
-  report.AddRow({{"e2e", 1.0},
-                 {"clients", static_cast<double>(e2e_clients)},
-                 {"batch", static_cast<double>(e2e_batch)},
-                 {"queries", static_cast<double>(e2e.queries)},
-                 {"p50_us", p50_us},
-                 {"p99_us", p99_us},
-                 {"p999_us", p999_us},
-                 {"queries_per_s", e2e_qps},
+  // Compiled-workload rows: forced_scalar separates the dispatched level
+  // from the scalar-gather reference; "isa" records the level the
+  // dispatched row actually ran (0 scalar, 1 AVX2, 2 AVX-512).
+  report.AddRow({{"compiled", 1.0},
+                 {"forced_scalar", 0.0},
+                 {"isa", static_cast<double>(active_isa)},
+                 {"cells", static_cast<double>(m.size())},
+                 {"queries", static_cast<double>(num_queries)},
+                 {"compile_ms", compile_ms},
+                 {"queries_per_s", qps(compiled_s)},
                  {"peak_rss", peak_rss}});
+  report.AddRow({{"compiled", 1.0},
+                 {"forced_scalar", 1.0},
+                 {"isa", 0.0},
+                 {"cells", static_cast<double>(m.size())},
+                 {"queries", static_cast<double>(num_queries)},
+                 {"compile_ms", compile_ms},
+                 {"queries_per_s", qps(compiled_scalar_s)},
+                 {"peak_rss", peak_rss}});
+#if defined(__linux__)
+  // The e2e rows deliberately have no "mmap" key so the pre-existing
+  // guarded selects cannot match them; "loops" keys the sharding sweep.
+  for (std::size_t li = 0; li < 3; ++li) {
+    const E2eResult& run = e2e_runs[li];
+    const double run_qps =
+        run.wall_s > 0.0 ? static_cast<double>(run.queries) / run.wall_s : 0.0;
+    report.AddRow({{"e2e", 1.0},
+                   {"loops", static_cast<double>(loop_counts[li])},
+                   {"clients", static_cast<double>(e2e_clients)},
+                   {"batch", static_cast<double>(e2e_batch)},
+                   {"queries", static_cast<double>(run.queries)},
+                   {"p50_us", SortedQuantileUs(run.latencies_us, 0.50)},
+                   {"p99_us", SortedQuantileUs(run.latencies_us, 0.99)},
+                   {"p999_us", SortedQuantileUs(run.latencies_us, 0.999)},
+                   {"queries_per_s", run_qps},
+                   {"peak_rss", peak_rss}});
+  }
 #endif
 
 #ifdef NDEBUG

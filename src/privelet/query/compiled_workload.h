@@ -1,0 +1,72 @@
+// CompiledWorkload: a batch of range-count queries pre-resolved against
+// one prefix-sum table shape. Answering a query the direct way
+// (QueryEvaluator::Answer) re-derives everything per call: predicate
+// bounds, then 2^d inclusion-exclusion corners, each a d-term
+// stride-multiply plus an empty-side branch. Compiling does that work
+// once — every query flattens into a run of (table offset, sign) corner
+// pairs — so evaluation is just a signed fold of gathered table slots:
+// the offsets stream through the dispatched 16-byte gather kernel
+// (simd/kernels.h, scalar/AVX2/AVX-512) into an L1-resident staging
+// buffer, and a shared scalar x87 fold accumulates each query's corners
+// in compile order.
+//
+// Bit-identity (docs/DETERMINISM.md): the corner order and the
+// conditional negation are exactly PrefixSumTable::RangeSum's, corners
+// skipped there (a low side at the domain edge) are dropped at compile
+// time, and the gather moves bytes without arithmetic — so AnswerAll is
+// bit-identical to the per-query scalar path at every ISA level by
+// construction. The long double accumulation itself never vectorizes
+// (x87 has no vector form); the lanes carry only independent offsets.
+#ifndef PRIVELET_QUERY_COMPILED_WORKLOAD_H_
+#define PRIVELET_QUERY_COMPILED_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "privelet/matrix/prefix_sum.h"
+#include "privelet/query/range_query.h"
+#include "privelet/simd/dispatch.h"
+
+namespace privelet::query {
+
+class CompiledWorkload {
+ public:
+  CompiledWorkload() = default;
+
+  /// Resolves every query's bounds against per-attribute domain sizes
+  /// (the table's dims) and flattens its inclusion-exclusion corners.
+  /// Each query's arity must equal dims.size() (PRIVELET_CHECKed, same
+  /// contract as QueryEvaluator).
+  static CompiledWorkload Compile(std::span<const RangeQuery> queries,
+                                  std::span<const std::size_t> dims);
+
+  std::size_t num_queries() const { return num_queries_; }
+  std::size_t num_corners() const { return offsets_.size(); }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Answers queries [begin, end) into out[0 .. end-begin), evaluating
+  /// through the kernel table of `level`. `table` must have the dims this
+  /// workload was compiled against (PRIVELET_CHECKed). Thread-safe and
+  /// re-entrant: disjoint ranges may be answered concurrently.
+  void AnswerInto(const matrix::PrefixSumTable<long double>& table,
+                  std::size_t begin, std::size_t end, simd::IsaLevel level,
+                  double* out) const;
+
+  /// All answers, in query order.
+  std::vector<double> AnswerAll(
+      const matrix::PrefixSumTable<long double>& table,
+      simd::IsaLevel level) const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<std::uint64_t> offsets_;  ///< flat corner offsets, all queries
+  std::vector<std::int8_t> signs_;      ///< +1 / -1 per corner
+  std::vector<std::uint64_t> begins_;   ///< per-query [begin, end) corners
+  std::size_t num_queries_ = 0;
+};
+
+}  // namespace privelet::query
+
+#endif  // PRIVELET_QUERY_COMPILED_WORKLOAD_H_

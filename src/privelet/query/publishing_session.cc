@@ -100,4 +100,21 @@ std::vector<double> PublishingSession::AnswerAll(
   return answers;
 }
 
+CompiledWorkload PublishingSession::Compile(
+    std::span<const RangeQuery> queries) const {
+  return CompiledWorkload::Compile(queries, evaluator_->table().dims());
+}
+
+std::vector<double> PublishingSession::AnswerCompiled(
+    const CompiledWorkload& workload) const {
+  const simd::IsaLevel level = simd::ResolveIsa(options_.isa);
+  std::vector<double> answers(workload.num_queries());
+  common::ParallelFor(pool_, workload.num_queries(), /*grain=*/0,
+                      [&](std::size_t begin, std::size_t end) {
+                        workload.AnswerInto(evaluator_->table(), begin, end,
+                                            level, answers.data() + begin);
+                      });
+  return answers;
+}
+
 }  // namespace privelet::query

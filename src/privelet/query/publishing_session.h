@@ -33,6 +33,7 @@
 #include "privelet/matrix/frequency_matrix.h"
 #include "privelet/matrix/prefix_sum.h"
 #include "privelet/mechanism/mechanism.h"
+#include "privelet/query/compiled_workload.h"
 #include "privelet/query/evaluator.h"
 #include "privelet/query/plan_record.h"
 #include "privelet/query/range_query.h"
@@ -166,6 +167,16 @@ class PublishingSession {
   /// pool. Thread-safe: concurrent AnswerAll calls interleave on the
   /// shared workers.
   std::vector<double> AnswerAll(std::span<const RangeQuery> queries) const;
+
+  /// Pre-resolves a batch against this release's table shape; the result
+  /// may be answered repeatedly (and concurrently) via AnswerCompiled.
+  CompiledWorkload Compile(std::span<const RangeQuery> queries) const;
+
+  /// Answers a compiled batch, in input order, fanned across the session
+  /// pool and evaluated through the dispatched gather kernels at this
+  /// session's resolved ISA level. Bit-identical to AnswerAll on the
+  /// same queries (query::CompiledWorkload header). Thread-safe.
+  std::vector<double> AnswerCompiled(const CompiledWorkload& workload) const;
 
  private:
   PublishingSession(std::shared_ptr<const data::Schema> schema,

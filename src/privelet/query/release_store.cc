@@ -152,6 +152,16 @@ void ReleaseStore::EvictAll() {
   }
 }
 
+std::uint64_t ReleaseStore::generation(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return 0;
+  // +1 so a fresh Register (internal generation 0) is distinguishable
+  // from "unknown id" — a caller keying caches on the value must see a
+  // bump when an id it cached against is ever re-registered from scratch.
+  return it->second.generation + 1;
+}
+
 std::size_t ReleaseStore::resident_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t count = 0;

@@ -95,6 +95,14 @@ class ReleaseStore {
   std::shared_ptr<const PublishingSession> PeekResident(
       const std::string& id) const;
 
+  /// Rebind generation of `id`: a nonzero value that changes every time
+  /// Rebind points the id at a new path, and 0 for unknown ids. The
+  /// serving layer keys its per-release answer caches on this — read the
+  /// generation BEFORE Acquire and stamp cached answers with it, so a
+  /// Rebind racing the read at worst invalidates one extra time, never
+  /// serves a stale answer under the new generation.
+  std::uint64_t generation(const std::string& id) const;
+
   /// Drops the resident session for `id`, if any (borrowed shared_ptrs
   /// stay valid). Returns true when a session was resident. Unknown ids
   /// return false.

@@ -1,0 +1,30 @@
+#include "privelet/serving/answer_cache.h"
+
+#include <cstdint>
+
+namespace privelet::serving {
+
+namespace {
+
+void AppendU64(std::uint64_t v, std::string* key) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    key->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void AppendQueryKey(const query::RangeQuery& query, std::string* key) {
+  for (std::size_t attr = 0; attr < query.num_attributes(); ++attr) {
+    const auto& range = query.range(attr);
+    if (!range.has_value()) {
+      key->push_back('\0');
+      continue;
+    }
+    key->push_back('\1');
+    AppendU64(range->lo, key);
+    AppendU64(range->hi, key);
+  }
+}
+
+}  // namespace privelet::serving

@@ -1,0 +1,89 @@
+// AnswerCache: a small bounded LRU over one release's answered queries,
+// keyed by canonical predicate bytes and stamped with the release's
+// ReleaseStore Rebind generation. The daemon's hot repeated-query case —
+// dashboards polling the same handful of ranges — skips the table walk
+// entirely; a RELOAD bumps the generation and the next request drops the
+// whole cache (answers of the old release must never leak under the new
+// one).
+//
+// Correctness: a hit returns the exact double the evaluation produced,
+// so caching never perturbs the bit-identical answer contract
+// (docs/DETERMINISM.md). Not thread-safe by design — each event loop
+// owns its caches, like its histograms.
+#ifndef PRIVELET_SERVING_ANSWER_CACHE_H_
+#define PRIVELET_SERVING_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "privelet/query/range_query.h"
+
+namespace privelet::serving {
+
+/// Appends the canonical predicate bytes of `query` to `key`: per
+/// attribute one presence byte plus, when constrained, the inclusive
+/// bounds little-endian. Equal predicates always canonicalize equally
+/// regardless of framing (text and binary requests share the cache).
+void AppendQueryKey(const query::RangeQuery& query, std::string* key);
+
+class AnswerCache {
+ public:
+  /// `max_entries` bounds the resident answers; 0 disables (every Lookup
+  /// misses, Insert is a no-op).
+  explicit AnswerCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Drops everything when `generation` differs from the stamped one
+  /// (and stamps the new value). Call with the store generation read
+  /// BEFORE Acquire, so answers computed from an about-to-be-swapped
+  /// session are stamped with the old generation and die on the bump.
+  void SetGeneration(std::uint64_t generation) {
+    if (generation == generation_) return;
+    generation_ = generation;
+    entries_.clear();
+    order_.clear();
+  }
+
+  /// True (and `*answer` filled) on a hit; refreshes LRU order.
+  bool Lookup(const std::string& key, double* answer) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    *answer = it->second->second;
+    return true;
+  }
+
+  /// Remembers `key` -> `answer`, evicting the least recently used entry
+  /// past the bound. Duplicate keys just refresh the value and order.
+  void Insert(const std::string& key, double answer) {
+    if (max_entries_ == 0) return;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second->second = answer;
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, answer);
+    entries_.emplace(key, order_.begin());
+    if (entries_.size() > max_entries_) {
+      entries_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  using Order = std::list<std::pair<std::string, double>>;
+  std::size_t max_entries_;
+  std::uint64_t generation_ = 0;
+  Order order_;  ///< most recent first
+  std::unordered_map<std::string, Order::iterator> entries_;
+};
+
+}  // namespace privelet::serving
+
+#endif  // PRIVELET_SERVING_ANSWER_CACHE_H_

@@ -1,0 +1,72 @@
+// Lock-free sibling of LatencyHistogram for the sharded daemon: every
+// event loop records into its own ConcurrentHistogram with relaxed
+// atomic increments (no contention on the hot path — each loop touches
+// only its own instance; the atomics exist so the STATS renderer, which
+// may run on any loop, can read a consistent-enough snapshot without a
+// lock). SnapshotInto drains the counters into a plain LatencyHistogram;
+// the per-loop snapshots then combine via LatencyHistogram::Merge.
+//
+// Snapshot semantics under concurrent Record: each bucket counter is read
+// exactly once, and the reported sample count is the sum of the bucket
+// reads — so quantile math always sees a self-consistent mass even when
+// a Record lands mid-snapshot. `sum` and `max` are read separately and
+// may trail the buckets by in-flight samples; they feed only the mean and
+// max display, where a one-sample skew is invisible.
+#ifndef PRIVELET_SERVING_CONCURRENT_HISTOGRAM_H_
+#define PRIVELET_SERVING_CONCURRENT_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "privelet/serving/latency_histogram.h"
+
+namespace privelet::serving {
+
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram() = default;
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  /// Adds one sample. Wait-free apart from the max CAS (which retries
+  /// only while another thread is publishing a larger maximum).
+  void Record(std::uint64_t value) {
+    buckets_[LatencyHistogram::BucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Accumulates the current counters into `out` (without clearing them;
+  /// the daemon's histograms are monotonic since Start).
+  void SnapshotInto(LatencyHistogram* out) const {
+    std::array<std::uint64_t, LatencyHistogram::kNumBuckets> counts;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    out->AccumulateBuckets(counts, sum_.load(std::memory_order_relaxed),
+                           max_.load(std::memory_order_relaxed));
+  }
+
+  /// The current counters as a plain histogram.
+  LatencyHistogram Snapshot() const {
+    LatencyHistogram out;
+    SnapshotInto(&out);
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, LatencyHistogram::kNumBuckets>
+      buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace privelet::serving
+
+#endif  // PRIVELET_SERVING_CONCURRENT_HISTOGRAM_H_

@@ -59,6 +59,20 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void LatencyHistogram::AccumulateBuckets(
+    std::span<const std::uint64_t> bucket_counts, std::uint64_t sum,
+    std::uint64_t max) {
+  std::uint64_t mass = 0;
+  const std::size_t n = std::min(bucket_counts.size(), kNumBuckets);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i] += bucket_counts[i];
+    mass += bucket_counts[i];
+  }
+  count_ += mass;
+  sum_ += sum;
+  max_ = std::max(max_, max);
+}
+
 std::string LatencyHistogram::SummaryMicros() const {
   const auto micros = [](std::uint64_t nanos) {
     return static_cast<double>(nanos) * 1e-3;

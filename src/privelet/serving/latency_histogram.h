@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace privelet::serving {
@@ -34,6 +35,17 @@ class LatencyHistogram {
 
   /// Element-wise accumulation of another histogram's samples.
   void Merge(const LatencyHistogram& other);
+
+  /// Raw accumulation of pre-bucketed samples: `bucket_counts` must have
+  /// kNumBuckets entries (one count per bucket, in BucketIndex order);
+  /// `sum` and `max` are the totals of the underlying samples. The sample
+  /// count is derived from the bucket mass so count and bucket totals can
+  /// never disagree. This is the landing pad for
+  /// ConcurrentHistogram::SnapshotInto — a lock-free per-loop histogram
+  /// drains into a plain one here, then the loops' plain histograms
+  /// combine via Merge().
+  void AccumulateBuckets(std::span<const std::uint64_t> bucket_counts,
+                         std::uint64_t sum, std::uint64_t max);
 
   /// One-line "count=N mean_us=... p50_us=... p99_us=... p999_us=...
   /// max_us=..." rendering, interpreting samples as nanoseconds (the

@@ -6,9 +6,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "privelet/common/io_util.h"
+#include "privelet/query/compiled_workload.h"
 #include "privelet/simd/dispatch.h"
 
 #if defined(__linux__)
@@ -17,6 +19,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
@@ -24,6 +27,8 @@
 namespace privelet::serving {
 
 namespace {
+
+constexpr std::size_t kMaxLoops = 256;  // sanity bound on num_loops
 
 #if defined(__linux__)
 
@@ -69,29 +74,53 @@ Server::Server(query::ReleaseStore* store, ServerOptions options)
 
 Server::~Server() {
 #if defined(__linux__)
-  for (auto& [fd, conn] : connections_) common::CloseFd(fd);
-  connections_.clear();
-  if (listen_fd_ >= 0) common::CloseFd(listen_fd_);
-  if (epoll_fd_ >= 0) common::CloseFd(epoll_fd_);
-  if (wake_read_fd_ >= 0) common::CloseFd(wake_read_fd_);
-  if (wake_write_fd_ >= 0) common::CloseFd(wake_write_fd_);
+  for (const auto& loop : loops_) {
+    if (loop == nullptr) continue;
+    for (auto& [fd, conn] : loop->connections) common::CloseFd(fd);
+    loop->connections.clear();
+    for (const int fd : loop->handoff_queue) common::CloseFd(fd);
+    loop->handoff_queue.clear();
+    if (loop->listen_fd >= 0) common::CloseFd(loop->listen_fd);
+    if (loop->epoll_fd >= 0) common::CloseFd(loop->epoll_fd);
+    if (loop->wake_read_fd >= 0) common::CloseFd(loop->wake_read_fd);
+    if (loop->wake_write_fd >= 0) common::CloseFd(loop->wake_write_fd);
+    if (loop->handoff_fd >= 0) common::CloseFd(loop->handoff_fd);
+  }
 #endif
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServerStats total;
+  for (const auto& loop : loops_) {
+    if (loop == nullptr) continue;
+    const LoopCounters& c = loop->counters;
+    total.connections_accepted +=
+        c.connections_accepted.load(std::memory_order_relaxed);
+    total.connections_dropped +=
+        c.connections_dropped.load(std::memory_order_relaxed);
+    total.requests += c.requests.load(std::memory_order_relaxed);
+    total.failures += c.failures.load(std::memory_order_relaxed);
+    total.queries += c.queries.load(std::memory_order_relaxed);
+    total.reloads += c.reloads.load(std::memory_order_relaxed);
+    total.answer_cache_hits +=
+        c.answer_cache_hits.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Server::Shutdown() {
   stop_.store(true, std::memory_order_relaxed);
 #if defined(__linux__)
-  // One byte into the wake pipe; safe from a signal handler. A full pipe
-  // (EAGAIN) means a wakeup is already pending.
-  const int fd = wake_write_fd_;
-  if (fd >= 0) {
-    const char byte = 'q';
-    [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+  // One byte into every loop's wake pipe; safe from a signal handler —
+  // no allocation, no locks, only fds wired up before Run() began. A
+  // full pipe (EAGAIN) means that loop's wakeup is already pending.
+  for (const auto& loop : loops_) {
+    if (loop == nullptr) continue;
+    const int fd = loop->wake_write_fd;
+    if (fd >= 0) {
+      const char byte = 'q';
+      [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+    }
   }
 #endif
 }
@@ -108,150 +137,272 @@ Status Server::Run() {
 #else  // defined(__linux__)
 
 Status Server::Start() {
-  int pipe_fds[2];
-  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
-    return Status::IOError("cannot create wake pipe: " +
-                           common::ErrnoMessage());
-  }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
+  num_loops_ = options_.num_loops != 0
+                   ? options_.num_loops
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency());
+  num_loops_ = std::min(num_loops_, kMaxLoops);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) {
-    return Status::IOError("epoll_create1 failed: " + common::ErrnoMessage());
+  switch (options_.accept_mode) {
+    case ServerOptions::AcceptMode::kHandoff:
+      handoff_ = num_loops_ > 1;
+      break;
+    case ServerOptions::AcceptMode::kReusePort:
+    case ServerOptions::AcceptMode::kAuto: {
+      handoff_ = false;
+      if (num_loops_ > 1) {
+        // Probe SO_REUSEPORT on a scratch socket; every modern Linux has
+        // it, but the fallback keeps the daemon multi-loop regardless.
+        const int probe =
+            ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        const int one = 1;
+        const bool supported =
+            probe >= 0 && ::setsockopt(probe, SOL_SOCKET, SO_REUSEPORT, &one,
+                                       sizeof(one)) == 0;
+        if (probe >= 0) common::CloseFd(probe);
+        if (!supported) {
+          if (options_.accept_mode == ServerOptions::AcceptMode::kReusePort) {
+            return Status::IOError("SO_REUSEPORT is not supported here");
+          }
+          handoff_ = true;
+        }
+      }
+      break;
+    }
   }
 
-  PRIVELET_RETURN_IF_ERROR(SetupListener());
-
-  struct epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
-    return Status::IOError("epoll_ctl(listener) failed: " +
-                           common::ErrnoMessage());
+  loops_.clear();
+  loops_.reserve(num_loops_);
+  for (std::size_t i = 0; i < num_loops_; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->index = i;
+    loops_.push_back(std::move(loop));
   }
-  ev.events = EPOLLIN;
-  ev.data.fd = wake_read_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) != 0) {
-    return Status::IOError("epoll_ctl(wake pipe) failed: " +
-                           common::ErrnoMessage());
+  for (const auto& loop : loops_) {
+    PRIVELET_RETURN_IF_ERROR(SetupLoop(*loop));
+  }
+
+  // Listeners. Sharded mode: one SO_REUSEPORT listener per loop, the
+  // first bind resolving an ephemeral port for the rest of the group.
+  // Handoff mode (and num_loops == 1): a single listener on loop 0, plus
+  // an eventfd per other loop for the fd handover.
+  const std::size_t listeners = handoff_ ? 1 : num_loops_;
+  for (std::size_t i = 0; i < listeners; ++i) {
+    PRIVELET_RETURN_IF_ERROR(
+        SetupListener(*loops_[i], /*reuse_port=*/!handoff_ && num_loops_ > 1));
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loops_[i]->listen_fd;
+    if (::epoll_ctl(loops_[i]->epoll_fd, EPOLL_CTL_ADD, loops_[i]->listen_fd,
+                    &ev) != 0) {
+      return Status::IOError("epoll_ctl(listener) failed: " +
+                             common::ErrnoMessage());
+    }
+  }
+  if (handoff_) {
+    for (std::size_t i = 1; i < num_loops_; ++i) {
+      EventLoop& loop = *loops_[i];
+      loop.handoff_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+      if (loop.handoff_fd < 0) {
+        return Status::IOError("eventfd failed: " + common::ErrnoMessage());
+      }
+      struct epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = loop.handoff_fd;
+      if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.handoff_fd, &ev) !=
+          0) {
+        return Status::IOError("epoll_ctl(handoff eventfd) failed: " +
+                               common::ErrnoMessage());
+      }
+    }
   }
   uptime_.Restart();
   return Status::OK();
 }
 
-Status Server::SetupListener() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) {
+Status Server::SetupLoop(EventLoop& loop) {
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+    return Status::IOError("cannot create wake pipe: " +
+                           common::ErrnoMessage());
+  }
+  loop.wake_read_fd = pipe_fds[0];
+  loop.wake_write_fd = pipe_fds[1];
+
+  loop.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (loop.epoll_fd < 0) {
+    return Status::IOError("epoll_create1 failed: " + common::ErrnoMessage());
+  }
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = loop.wake_read_fd;
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.wake_read_fd, &ev) != 0) {
+    return Status::IOError("epoll_ctl(wake pipe) failed: " +
+                           common::ErrnoMessage());
+  }
+  return Status::OK();
+}
+
+Status Server::SetupListener(EventLoop& loop, bool reuse_port) {
+  loop.listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (loop.listen_fd < 0) {
     return Status::IOError("socket failed: " + common::ErrnoMessage());
   }
   const int one = 1;
-  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // SO_REUSEADDR so a restarted daemon rebinds through TIME_WAIT remnants
+  // of its predecessor instead of flaking with EADDRINUSE.
+  (void)::setsockopt(loop.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(loop.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                   sizeof(one)) != 0) {
+    return Status::IOError("setsockopt(SO_REUSEPORT) failed: " +
+                           common::ErrnoMessage());
+  }
 
   struct sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
+  // Loop 0 binds the configured port (possibly ephemeral); the rest of a
+  // REUSEPORT group binds the port loop 0 resolved.
+  addr.sin_port = htons(loop.index == 0 ? options_.port : port_);
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("'" + options_.host +
                                    "' is not an IPv4 address");
   }
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+  if (::bind(loop.listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     return Status::IOError("cannot bind " + options_.host + ":" +
                            std::to_string(options_.port) + ": " +
                            common::ErrnoMessage());
   }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
+  if (::listen(loop.listen_fd, options_.backlog) != 0) {
     return Status::IOError("listen failed: " + common::ErrnoMessage());
   }
-  struct sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
-                    &len) != 0) {
-    return Status::IOError("getsockname failed: " + common::ErrnoMessage());
+  if (loop.index == 0) {
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(loop.listen_fd,
+                      reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+      return Status::IOError("getsockname failed: " + common::ErrnoMessage());
+    }
+    port_ = ntohs(bound.sin_port);
   }
-  port_ = ntohs(bound.sin_port);
   return Status::OK();
 }
 
 Status Server::Run() {
-  if (epoll_fd_ < 0 || listen_fd_ < 0) {
+  if (loops_.empty() || loops_[0]->epoll_fd < 0) {
     return Status::FailedPrecondition("Run() before Start()");
   }
-  const Status status = RunLoop();
-  // Drain: one non-blocking flush attempt per connection, then close.
-  for (auto& [fd, conn] : connections_) {
-    FlushConnection(*conn);
-    common::CloseFd(fd);
+  std::vector<Status> statuses(num_loops_, Status::OK());
+  if (num_loops_ == 1) {
+    statuses[0] = RunLoop(*loops_[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_loops_ - 1);
+    for (std::size_t i = 1; i < num_loops_; ++i) {
+      threads.emplace_back([this, i, &statuses] {
+        statuses[i] = RunLoop(*loops_[i]);
+        // A fatal loop error downs the whole daemon rather than leaving
+        // a silent shard hole.
+        if (!statuses[i].ok()) Shutdown();
+      });
+    }
+    statuses[0] = RunLoop(*loops_[0]);
+    if (!statuses[0].ok()) Shutdown();
+    for (std::thread& t : threads) t.join();
   }
-  connections_.clear();
-  return status;
+  // Drain: one non-blocking flush attempt per connection, then close.
+  for (const auto& loop : loops_) {
+    for (auto& [fd, conn] : loop->connections) {
+      FlushConnection(*conn);
+      common::CloseFd(fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop->connections.clear();
+    for (const int fd : loop->handoff_queue) {
+      common::CloseFd(fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop->handoff_queue.clear();
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
-Status Server::RunLoop() {
+Status Server::RunLoop(EventLoop& loop) {
   constexpr int kMaxEvents = 64;
   struct epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_relaxed)) {
-    const int timeout_ms = ready_.empty() ? -1 : 0;
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    const int timeout_ms = loop.ready.empty() ? -1 : 0;
+    const int n = ::epoll_wait(loop.epoll_fd, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("epoll_wait failed: " + common::ErrnoMessage());
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        AcceptPending();
+      if (fd == loop.listen_fd) {
+        AcceptPending(loop);
         continue;
       }
-      if (fd == wake_read_fd_) {
+      if (fd == loop.wake_read_fd) {
         char drain[64];
-        while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+        while (::read(loop.wake_read_fd, drain, sizeof(drain)) > 0) {
         }
         continue;
       }
-      const auto it = connections_.find(fd);
-      if (it == connections_.end()) continue;  // closed earlier this cycle
+      if (fd == loop.handoff_fd) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t rc =
+            ::read(loop.handoff_fd, &drain, sizeof(drain));
+        AdoptHandoff(loop);
+        continue;
+      }
+      const auto it = loop.connections.find(fd);
+      if (it == loop.connections.end()) continue;  // closed earlier
       Connection& conn = *it->second;
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
           (events[i].events & EPOLLIN) == 0) {
-        CloseConnection(fd);
+        CloseConnection(loop, fd);
         continue;
       }
       if ((events[i].events & EPOLLOUT) != 0) FlushConnection(conn);
       if (conn.fd < 0) {
-        CloseConnection(fd);
+        CloseConnection(loop, fd);
         continue;
       }
-      if ((events[i].events & EPOLLIN) != 0) OnReadable(conn);
+      if ((events[i].events & EPOLLIN) != 0) OnReadable(loop, conn);
       if (conn.fd < 0) {
-        CloseConnection(fd);
+        CloseConnection(loop, fd);
         continue;
       }
-      UpdateInterest(conn);
+      UpdateInterest(loop, conn);
     }
     // Connections whose pipelined input outlasted their per-cycle budget.
     std::vector<int> still_ready;
-    still_ready.swap(ready_);
+    still_ready.swap(loop.ready);
     for (const int fd : still_ready) {
-      const auto it = connections_.find(fd);
-      if (it == connections_.end()) continue;
+      const auto it = loop.connections.find(fd);
+      if (it == loop.connections.end()) continue;
       Connection& conn = *it->second;
-      ProcessConnection(conn);
+      ProcessConnection(loop, conn);
       if (conn.fd < 0) {
-        CloseConnection(fd);
+        CloseConnection(loop, fd);
         continue;
       }
-      UpdateInterest(conn);
+      UpdateInterest(loop, conn);
     }
   }
   return Status::OK();
 }
 
-void Server::AcceptPending() {
+void Server::AcceptPending(EventLoop& loop) {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(loop.listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -259,37 +410,72 @@ void Server::AcceptPending() {
       // (ECONNABORTED, EMFILE pressure) just stop this accept burst.
       return;
     }
-    if (connections_.size() >= options_.max_connections) {
+    // Global cap across loops: the increment is the reservation, undone
+    // when the admission fails.
+    if (open_connections_.fetch_add(1, std::memory_order_relaxed) >=
+        options_.max_connections) {
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
       common::CloseFd(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_dropped;
+      loop.counters.connections_dropped.fetch_add(1,
+                                                  std::memory_order_relaxed);
       continue;
     }
+    // Pipelined request/response turnarounds are tiny writes; Nagle
+    // would batch them behind delayed ACKs, so turn it off at accept.
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    struct epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      common::CloseFd(fd);
-      continue;
+    loop.counters.connections_accepted.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    if (handoff_ && num_loops_ > 1) {
+      // Round-robin over all loops, including the acceptor itself.
+      EventLoop& target = *loops_[accept_rr_++ % num_loops_];
+      if (target.index != loop.index) {
+        {
+          std::lock_guard<std::mutex> lock(target.handoff_mu);
+          target.handoff_queue.push_back(fd);
+        }
+        const std::uint64_t ping = 1;
+        [[maybe_unused]] ssize_t rc =
+            ::write(target.handoff_fd, &ping, sizeof(ping));
+        continue;
+      }
     }
-    connections_.emplace(fd, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_accepted;
+    AdoptConnection(loop, fd);
   }
 }
 
-void Server::CloseConnection(int fd) {
-  const auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
-  common::CloseFd(fd);  // also deregisters from epoll
-  connections_.erase(it);
+void Server::AdoptConnection(EventLoop& loop, int fd) {
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    common::CloseFd(fd);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  loop.connections.emplace(fd, std::move(conn));
 }
 
-void Server::OnReadable(Connection& conn) {
+void Server::AdoptHandoff(EventLoop& loop) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(loop.handoff_mu);
+    fds.swap(loop.handoff_queue);
+  }
+  for (const int fd : fds) AdoptConnection(loop, fd);
+}
+
+void Server::CloseConnection(EventLoop& loop, int fd) {
+  const auto it = loop.connections.find(fd);
+  if (it == loop.connections.end()) return;
+  common::CloseFd(fd);  // also deregisters from epoll
+  loop.connections.erase(it);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::OnReadable(EventLoop& loop, Connection& conn) {
   char buf[64 * 1024];
   while (conn.reading) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
@@ -307,10 +493,10 @@ void Server::OnReadable(Connection& conn) {
     conn.in.append(buf, static_cast<std::size_t>(n));
     if (conn.in.size() - conn.in_head > options_.max_request_bytes) break;
   }
-  ProcessConnection(conn);
+  ProcessConnection(loop, conn);
 }
 
-void Server::ProcessConnection(Connection& conn) {
+void Server::ProcessConnection(EventLoop& loop, Connection& conn) {
   if (conn.mode == Mode::kUnknown) {
     const std::size_t avail = conn.in.size() - conn.in_head;
     if (avail > 0) {
@@ -334,8 +520,8 @@ void Server::ProcessConnection(Connection& conn) {
   bool more = false;
   if (conn.mode != Mode::kUnknown) {
     std::size_t budget = options_.max_pipeline;
-    more = conn.mode == Mode::kText ? ProcessText(conn, &budget)
-                                    : ProcessBinary(conn, &budget);
+    more = conn.mode == Mode::kText ? ProcessText(loop, conn, &budget)
+                                    : ProcessBinary(loop, conn, &budget);
   }
 
   // Compact the consumed prefix of the input buffer.
@@ -357,13 +543,14 @@ void Server::ProcessConnection(Connection& conn) {
     if (conn.mode == Mode::kBinary) {
       EncodeErrorResponse(&conn.out, err);
     } else {
-      AppendTextError(conn, err);
+      conn.out += "error: ";
+      conn.out += err.ToString();
+      conn.out += '\n';
     }
     conn.in.clear();
     conn.in_head = 0;
     conn.want_close = true;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_dropped;
+    loop.counters.connections_dropped.fetch_add(1, std::memory_order_relaxed);
   }
 
   FlushConnection(conn);
@@ -372,18 +559,18 @@ void Server::ProcessConnection(Connection& conn) {
   // Slow-client cap: a connection buffering more than the limit is gone.
   if (OutPending(conn) > options_.max_buffered_bytes) {
     conn.fd = -1;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_dropped;
+    loop.counters.connections_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Backpressure: pause reads while the output backlog is high.
   conn.reading = OutPending(conn) <= options_.max_buffered_bytes / 2 &&
                  !conn.want_close;
-  if (more && !conn.want_close) ready_.push_back(conn.fd);
+  if (more && !conn.want_close) loop.ready.push_back(conn.fd);
   if (conn.want_close && OutPending(conn) == 0) conn.fd = -1;
 }
 
-bool Server::ProcessText(Connection& conn, std::size_t* budget) {
+bool Server::ProcessText(EventLoop& loop, Connection& conn,
+                         std::size_t* budget) {
   while (*budget > 0) {
     if (OutPending(conn) > options_.max_buffered_bytes / 2) break;
     const std::size_t nl = conn.in.find('\n', conn.in_head);
@@ -396,20 +583,21 @@ bool Server::ProcessText(Connection& conn, std::size_t* budget) {
     if (conn.batch_expected > 0) {
       conn.batch_lines.push_back(std::move(line));
       if (conn.batch_lines.size() == conn.batch_expected) {
-        FinishTextBatch(conn);
+        FinishTextBatch(loop, conn);
         --*budget;
       }
       continue;
     }
     if (line.empty() || line[0] == '#') continue;
-    HandleTextLine(conn, line);
+    HandleTextLine(loop, conn, line);
     --*budget;
     if (conn.want_close) break;
   }
   return conn.in.find('\n', conn.in_head) != std::string::npos;
 }
 
-bool Server::ProcessBinary(Connection& conn, std::size_t* budget) {
+bool Server::ProcessBinary(EventLoop& loop, Connection& conn,
+                           std::size_t* budget) {
   while (*budget > 0) {
     if (OutPending(conn) > options_.max_buffered_bytes / 2) break;
     const auto frame = PeekFrame(
@@ -419,8 +607,7 @@ bool Server::ProcessBinary(Connection& conn, std::size_t* budget) {
       conn.in.clear();
       conn.in_head = 0;
       conn.want_close = true;
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.failures;
+      loop.counters.failures.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     if (*frame == 0) return false;
@@ -432,11 +619,10 @@ bool Server::ProcessBinary(Connection& conn, std::size_t* budget) {
       // The frame boundary held, so the stream is still in sync: report
       // and continue.
       EncodeErrorResponse(&conn.out, request.status());
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.requests;
-      ++stats_.failures;
+      loop.counters.requests.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.failures.fetch_add(1, std::memory_order_relaxed);
     } else {
-      HandleBinaryRequest(conn, *request);
+      HandleBinaryRequest(loop, conn, *request);
     }
     --*budget;
   }
@@ -444,18 +630,16 @@ bool Server::ProcessBinary(Connection& conn, std::size_t* budget) {
   return next.ok() && *next > 0;
 }
 
-void Server::HandleTextLine(Connection& conn, std::string_view line) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-  }
+void Server::HandleTextLine(EventLoop& loop, Connection& conn,
+                            std::string_view line) {
+  loop.counters.requests.fetch_add(1, std::memory_order_relaxed);
   std::string_view rest = line;
   std::string verb(NextToken(&rest));
   std::transform(verb.begin(), verb.end(), verb.begin(),
                  [](unsigned char c) { return std::toupper(c); });
 
   const auto fail = [&](const Status& status) {
-    AppendTextError(conn, status);
+    AppendTextError(loop, conn, status);
   };
 
   if (verb == "QUERY") {
@@ -468,7 +652,7 @@ void Server::HandleTextLine(Connection& conn, std::string_view line) {
       return;
     }
     const std::string pred_line(rest.substr(preds));
-    auto answers = AnswerTextQueries(id, std::span(&pred_line, 1));
+    auto answers = AnswerTextQueries(loop, id, std::span(&pred_line, 1));
     if (!answers.ok()) {
       fail(answers.status());
       return;
@@ -504,7 +688,7 @@ void Server::HandleTextLine(Connection& conn, std::string_view line) {
           "usage: RELOAD <release-id> <snapshot-path>"));
       return;
     }
-    auto message = DoReload(id, path);
+    auto message = DoReload(loop, id, path);
     if (!message.ok()) {
       fail(message.status());
       return;
@@ -544,49 +728,41 @@ void Server::HandleTextLine(Connection& conn, std::string_view line) {
       "' (QUERY|BATCH|RELOAD|STATS|IDS|PING|QUIT)"));
 }
 
-void Server::FinishTextBatch(Connection& conn) {
+void Server::FinishTextBatch(EventLoop& loop, Connection& conn) {
   const std::string id = std::move(conn.batch_id);
   std::vector<std::string> lines = std::move(conn.batch_lines);
   conn.batch_id.clear();
   conn.batch_expected = 0;
   conn.batch_lines.clear();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-  }
-  auto answers = AnswerTextQueries(id, lines);
+  loop.counters.requests.fetch_add(1, std::memory_order_relaxed);
+  auto answers = AnswerTextQueries(loop, id, lines);
   if (!answers.ok()) {
-    AppendTextError(conn, answers.status());
+    AppendTextError(loop, conn, answers.status());
     return;
   }
   AppendTextHeader(conn, answers->size());
   AppendTextAnswers(conn, *answers);
 }
 
-void Server::HandleBinaryRequest(Connection& conn,
+void Server::HandleBinaryRequest(EventLoop& loop, Connection& conn,
                                  const BinaryRequest& request) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-  }
+  loop.counters.requests.fetch_add(1, std::memory_order_relaxed);
   switch (request.verb) {
     case Verb::kQuery: {
-      auto answers = AnswerSpecQueries(request.id, request.queries);
+      auto answers = AnswerSpecQueries(loop, request.id, request.queries);
       if (!answers.ok()) {
         EncodeErrorResponse(&conn.out, answers.status());
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.failures;
+        loop.counters.failures.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       EncodeOkAnswers(&conn.out, *answers);
       return;
     }
     case Verb::kReload: {
-      auto message = DoReload(request.id, request.path);
+      auto message = DoReload(loop, request.id, request.path);
       if (!message.ok()) {
         EncodeErrorResponse(&conn.out, message.status());
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.failures;
+        loop.counters.failures.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       EncodeOkText(&conn.out, *message);
@@ -605,29 +781,108 @@ void Server::HandleBinaryRequest(Connection& conn,
   EncodeErrorResponse(&conn.out, Status::Internal("unhandled verb"));
 }
 
+std::vector<double> Server::Evaluate(
+    const query::PublishingSession& session,
+    std::span<const query::RangeQuery> queries) {
+  if (options_.compile_batch_threshold > 0 &&
+      queries.size() >= options_.compile_batch_threshold) {
+    return session.AnswerCompiled(session.Compile(queries));
+  }
+  return session.AnswerAll(queries);
+}
+
+ConcurrentHistogram* Server::LatencySlot(EventLoop& loop,
+                                         const std::string& id) {
+  const auto cached = loop.latency_slots.find(id);
+  if (cached != loop.latency_slots.end()) return cached->second;
+  std::unique_ptr<ConcurrentHistogram[]>* slots = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(release_latency_mu_);
+    slots = &release_latency_[id];
+    if (*slots == nullptr) {
+      *slots = std::make_unique<ConcurrentHistogram[]>(num_loops_);
+    }
+  }
+  ConcurrentHistogram* slot = &(*slots)[loop.index];
+  loop.latency_slots.emplace(id, slot);
+  return slot;
+}
+
 template <typename BuildQueries>
-Result<std::vector<double>> Server::AnswerTimed(const std::string& id,
+Result<std::vector<double>> Server::AnswerTimed(EventLoop& loop,
+                                                const std::string& id,
                                                 const BuildQueries& build) {
   // Failures are counted where the error response is rendered
   // (AppendTextError / the binary encode sites), exactly once per
   // request; error returns here just propagate.
   const std::uint64_t start = NowNanos();
+  // Generation before Acquire: if a RELOAD lands in between, answers
+  // computed from the new session are stamped with the old generation
+  // and the cache invalidates one request later — never the reverse
+  // (stale answers surviving under a new generation).
+  const std::uint64_t generation = store_->generation(id);
   PRIVELET_ASSIGN_OR_RETURN(auto session, store_->Acquire(id));
   PRIVELET_ASSIGN_OR_RETURN(std::vector<query::RangeQuery> queries,
                             build(session->schema()));
-  std::vector<double> answers = session->AnswerAll(queries);
+  std::vector<double> answers(queries.size());
+
+  AnswerCache* cache = nullptr;
+  if (options_.answer_cache_entries > 0) {
+    cache = &loop.caches.try_emplace(id, options_.answer_cache_entries)
+                 .first->second;
+    cache->SetGeneration(generation);
+  }
+
+  std::vector<std::string> keys;
+  std::vector<std::size_t> misses;
+  if (cache != nullptr) {
+    keys.resize(queries.size());
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      AppendQueryKey(queries[i], &keys[i]);
+      if (cache->Lookup(keys[i], &answers[i])) {
+        ++hits;
+      } else {
+        misses.push_back(i);
+      }
+    }
+    if (hits > 0) {
+      loop.counters.answer_cache_hits.fetch_add(hits,
+                                                std::memory_order_relaxed);
+    }
+  }
+
+  if (cache == nullptr) {
+    answers = Evaluate(*session, queries);
+  } else if (!misses.empty()) {
+    std::vector<double> computed;
+    if (misses.size() == queries.size()) {
+      computed = Evaluate(*session, queries);
+    } else {
+      std::vector<query::RangeQuery> miss_queries;
+      miss_queries.reserve(misses.size());
+      for (const std::size_t i : misses) miss_queries.push_back(queries[i]);
+      computed = Evaluate(*session, miss_queries);
+    }
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      const std::size_t i = misses[j];
+      answers[i] = computed[misses.size() == queries.size() ? i : j];
+      cache->Insert(keys[i], answers[i]);
+    }
+  }
+
   const std::uint64_t elapsed = NowNanos() - start;
-  all_latency_.Record(elapsed);
-  release_latency_[id].Record(elapsed);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.queries += answers.size();
+  loop.all_latency.Record(elapsed);
+  LatencySlot(loop, id)->Record(elapsed);
+  loop.counters.queries.fetch_add(answers.size(), std::memory_order_relaxed);
   return answers;
 }
 
 Result<std::vector<double>> Server::AnswerTextQueries(
-    const std::string& id, std::span<const std::string> lines) {
+    EventLoop& loop, const std::string& id,
+    std::span<const std::string> lines) {
   return AnswerTimed(
-      id,
+      loop, id,
       [&](const data::Schema& schema)
           -> Result<std::vector<query::RangeQuery>> {
         std::vector<query::RangeQuery> queries;
@@ -642,12 +897,13 @@ Result<std::vector<double>> Server::AnswerTextQueries(
 }
 
 Result<std::vector<double>> Server::AnswerSpecQueries(
-    const std::string& id, std::span<const QuerySpec> specs) {
+    EventLoop& loop, const std::string& id,
+    std::span<const QuerySpec> specs) {
   if (specs.size() > kMaxQueriesPerRequest) {
     return Status::InvalidArgument("batch exceeds the query limit");
   }
   return AnswerTimed(
-      id,
+      loop, id,
       [&](const data::Schema& schema)
           -> Result<std::vector<query::RangeQuery>> {
         std::vector<query::RangeQuery> queries;
@@ -661,25 +917,18 @@ Result<std::vector<double>> Server::AnswerSpecQueries(
       });
 }
 
-Result<std::string> Server::DoReload(const std::string& id,
+Result<std::string> Server::DoReload(EventLoop& loop, const std::string& id,
                                      const std::string& path) {
   PRIVELET_RETURN_IF_ERROR(store_->Rebind(id, path));
   // Load eagerly so a bad path is the RELOAD's error, not the next
   // query's; in-flight borrowers of the old session are untouched.
   PRIVELET_RETURN_IF_ERROR(store_->Acquire(id).status());
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.reloads;
-  }
+  loop.counters.reloads.fetch_add(1, std::memory_order_relaxed);
   return "reloaded " + id;
 }
 
 std::string Server::RenderStatsText() {
-  ServerStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    snapshot = stats_;
-  }
+  const ServerStats snapshot = stats();
   const query::ReleaseStore::Stats store_stats = store_->stats();
   std::string out;
   char buf[256];
@@ -691,12 +940,15 @@ std::string Server::RenderStatsText() {
   std::snprintf(buf, sizeof(buf), "uptime_s %.3f\n",
                 uptime_.ElapsedSeconds());
   out += buf;
-  line("connections_open", connections_.size());
+  line("loops", num_loops_);
+  line("connections_open",
+       open_connections_.load(std::memory_order_relaxed));
   line("connections_accepted", snapshot.connections_accepted);
   line("connections_dropped", snapshot.connections_dropped);
   line("requests", snapshot.requests);
   line("failures", snapshot.failures);
   line("queries", snapshot.queries);
+  line("answer_cache_hits", snapshot.answer_cache_hits);
   line("reloads", snapshot.reloads);
   line("store_loads", store_stats.loads);
   line("store_hits", store_stats.hits);
@@ -709,9 +961,20 @@ std::string Server::RenderStatsText() {
          "\n";
   out += "isa_best " +
          std::string(simd::IsaLevelName(simd::DetectBestIsa())) + "\n";
-  out += "latency _all " + all_latency_.SummaryMicros() + "\n";
-  for (const auto& [id, histogram] : release_latency_) {
-    out += "latency " + id + " " + histogram.SummaryMicros() + "\n";
+  // Histograms: per-loop lock-free snapshots combined via Merge. The
+  // render may run on any loop while others keep recording.
+  LatencyHistogram all;
+  for (const auto& loop : loops_) loop->all_latency.SnapshotInto(&all);
+  out += "latency _all " + all.SummaryMicros() + "\n";
+  {
+    std::lock_guard<std::mutex> lock(release_latency_mu_);
+    for (const auto& [id, slots] : release_latency_) {
+      LatencyHistogram merged;
+      for (std::size_t i = 0; i < num_loops_; ++i) {
+        slots[i].SnapshotInto(&merged);
+      }
+      out += "latency " + id + " " + merged.SummaryMicros() + "\n";
+    }
   }
   // Planner provenance of each resident release that was published under
   // --auto-plan (PVLS v3). PeekResident only: STATS must not force loads
@@ -761,12 +1024,12 @@ void Server::AppendTextAnswers(Connection& conn,
   }
 }
 
-void Server::AppendTextError(Connection& conn, const Status& status) {
+void Server::AppendTextError(EventLoop& loop, Connection& conn,
+                             const Status& status) {
   conn.out += "error: ";
   conn.out += status.ToString();
   conn.out += '\n';
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.failures;
+  loop.counters.failures.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::FlushConnection(Connection& conn) {
@@ -793,14 +1056,14 @@ void Server::FlushConnection(Connection& conn) {
   conn.writing = OutPending(conn) > 0;
 }
 
-void Server::UpdateInterest(Connection& conn) {
+void Server::UpdateInterest(EventLoop& loop, Connection& conn) {
   if (conn.fd < 0) return;
   struct epoll_event ev{};
   ev.data.fd = conn.fd;
   ev.events = 0;
   if (conn.reading) ev.events |= EPOLLIN;
   if (conn.writing || OutPending(conn) > 0) ev.events |= EPOLLOUT;
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  (void)::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
 #endif  // defined(__linux__)

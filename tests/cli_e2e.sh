@@ -186,6 +186,51 @@ kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 grep -q '^daemon: ' "$TMP/daemon.err"
 
+echo "== sharded daemon (--loops/--backlog) + multi-connection client"
+# Rebinding the SAME port immediately after the shutdown above: the
+# previous daemon's closed connections leave TIME_WAIT entries on this
+# port, so a missing SO_REUSEADDR turns this into an EADDRINUSE flake.
+"$CLI" daemon "main=$TMP/release.pvls" --port "$DPORT" --loops 2 \
+       --backlog 16 --port-file "$TMP/port2.txt" \
+       > "$TMP/daemon2.log" 2> "$TMP/daemon2.err" &
+DAEMON_PID=$!
+tries=0
+while [ ! -s "$TMP/port2.txt" ] && [ "$tries" -lt 100 ]; do
+  tries=$((tries + 1))
+  sleep 0.1
+done
+[ -s "$TMP/port2.txt" ]
+[ "$(cat "$TMP/port2.txt")" = "$DPORT" ]
+grep -q '(2 loops)' "$TMP/daemon2.log"
+
+# The same request stream through 1 and 3 client connections (requests
+# rotate over the sockets, so they land on different event loops) must
+# print byte-identical output — sharding is invisible to answers.
+{
+  echo "PING"
+  echo "BATCH main 500"
+  cat "$TMP/predicates.txt"
+  echo "QUERY main *"
+  echo "BATCH main 500"
+  cat "$TMP/predicates.txt"
+  echo "STATS"
+} > "$TMP/sharded_requests.txt"
+"$CLI" client --port "$DPORT" --requests "$TMP/sharded_requests.txt" \
+       --connections 1 > "$TMP/sharded_out1.txt"
+"$CLI" client --port "$DPORT" --requests "$TMP/sharded_requests.txt" \
+       --connections 3 > "$TMP/sharded_out3.txt"
+# STATS output varies between runs (uptime, counters): compare only the
+# answer payloads above it.
+sed -n '/^uptime_s/q;p' "$TMP/sharded_out1.txt" > "$TMP/sharded_answers1.txt"
+sed -n '/^uptime_s/q;p' "$TMP/sharded_out3.txt" > "$TMP/sharded_answers3.txt"
+cmp "$TMP/sharded_answers1.txt" "$TMP/sharded_answers3.txt"
+grep -q '^ok 500$' "$TMP/sharded_answers1.txt"
+grep -q '^loops 2$' "$TMP/sharded_out3.txt"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+grep -q '^daemon: ' "$TMP/daemon2.err"
+
 echo "== bad privacy parameters are rejected before publishing"
 for bad_epsilon in 0 -1 nan inf abc; do
   if "$CLI" publish --synthetic 4096 --tuples 100 --epsilon "$bad_epsilon" \

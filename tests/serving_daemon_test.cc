@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -19,6 +20,7 @@
 #if defined(__linux__)
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -32,6 +34,7 @@
 #include "privelet/query/publishing_session.h"
 #include "privelet/query/release_store.h"
 #include "privelet/rng/xoshiro256pp.h"
+#include "privelet/serving/latency_histogram.h"
 #include "privelet/serving/protocol.h"
 #include "privelet/serving/server.h"
 #include "privelet/storage/session_io.h"
@@ -100,6 +103,11 @@ class TestClient {
     const timeval timeout{/*tv_sec=*/30, /*tv_usec=*/0};
     (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                        sizeof(timeout));
+    // Like the real CLI client: without it, request/response turnarounds
+    // serialize behind Nagle + delayed-ACK (~40ms each) and the latency
+    // assertions below would measure the kernel, not the daemon.
+    const int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -216,13 +224,15 @@ class DaemonTest : public ::testing::Test {
     server_thread_ = std::thread([this] { run_status_ = server_->Run(); });
   }
 
-  void TearDown() override {
+  void StopServer() {
     if (server_thread_.joinable()) {
       server_->Shutdown();
       server_thread_.join();
       EXPECT_TRUE(run_status_.ok()) << run_status_.ToString();
     }
   }
+
+  void TearDown() override { StopServer(); }
 
   /// Direct (in-process) answers for text predicate lines against `path`,
   /// formatted exactly as the daemon renders them.
@@ -552,6 +562,167 @@ TEST_F(DaemonTest, OversizedRequestLineDropsTheConnection) {
   ASSERT_TRUE(after.ReadResponse(&header, &payload));
   EXPECT_EQ(header, "ok 1");
   EXPECT_EQ(server_->stats().connections_dropped, 1u);
+}
+
+TEST_F(DaemonTest, ResponsesAreByteIdenticalAcrossLoopCounts) {
+  // The sharding contract: num_loops is a pure throughput knob. The same
+  // request stream must produce byte-identical responses at 1, 2, and 8
+  // loops, in both framings, with the answer cache on and the compiled
+  // path forced (threshold 1). Answers also pin to the directly loaded
+  // session, so "identical" can't mean "identically wrong".
+  const std::vector<std::string> lines = {"*", "A=0:31", "A=3:9 B=1:30",
+                                          "A=0:63 B=0:31"};
+  const std::vector<std::string> expected = DirectAnswers(paths_[0], lines);
+
+  QuerySpec range;
+  range.predicates.push_back({/*kind=*/0, /*attr=*/0, /*lo=*/2, /*hi=*/40});
+  std::string binary_request;
+  EncodeQueryRequest(&binary_request, "r0", std::span(&range, 1));
+
+  std::string first_binary_payload;
+  for (const std::size_t loops : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    ServerOptions options;
+    options.num_loops = loops;
+    options.compile_batch_threshold = 1;
+    StartServer(options);
+    EXPECT_EQ(server_->num_loops(), loops);
+
+    // Text: every predicate twice (the second answer comes from the
+    // answer cache and must not differ), then once more as a batch.
+    TestClient text;
+    ASSERT_TRUE(text.Connect(server_->port()));
+    std::string header;
+    std::vector<std::string> payload;
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        ASSERT_TRUE(text.Send("QUERY r0 " + lines[i] + "\n"));
+        ASSERT_TRUE(text.ReadResponse(&header, &payload));
+        ASSERT_EQ(header, "ok 1") << header;
+        EXPECT_EQ(payload[0], expected[i])
+            << "loops=" << loops << " round=" << round << " " << lines[i];
+      }
+    }
+    std::string batch = "BATCH r0 " + std::to_string(lines.size()) + "\n";
+    for (const std::string& line : lines) batch += line + "\n";
+    ASSERT_TRUE(text.Send(batch));
+    ASSERT_TRUE(text.ReadResponse(&header, &payload));
+    EXPECT_EQ(payload, expected) << "loops=" << loops;
+
+    // Binary: the raw response frame must match the 1-loop run's bytes.
+    TestClient binary;
+    ASSERT_TRUE(binary.Connect(server_->port()));
+    ASSERT_TRUE(binary.Send(std::string_view(kBinaryMagic, 4)));
+    ASSERT_TRUE(binary.Send(binary_request));
+    std::string frame;
+    ASSERT_TRUE(binary.ReadFrame(&frame));
+    if (first_binary_payload.empty()) {
+      first_binary_payload = frame;
+      auto response = DecodeResponse(frame);
+      ASSERT_TRUE(response.ok() && response->ok);
+    } else {
+      EXPECT_EQ(frame, first_binary_payload) << "loops=" << loops;
+    }
+
+    if (loops > 1) {
+      EXPECT_GT(server_->stats().answer_cache_hits, 0u);
+    }
+    StopServer();
+  }
+}
+
+TEST_F(DaemonTest, HandoffAcceptModeServesAllConnections) {
+  // Force the single-acceptor eventfd handoff (the non-REUSEPORT
+  // fallback): connections land round-robin on both loops and every one
+  // must be fully served.
+  ServerOptions options;
+  options.num_loops = 2;
+  options.accept_mode = ServerOptions::AcceptMode::kHandoff;
+  StartServer(options);
+
+  const std::string line = "A=1:20";
+  const std::vector<std::string> expected =
+      DirectAnswers(paths_[0], std::span(&line, 1));
+  constexpr std::size_t kClients = 8;
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<TestClient>());
+    ASSERT_TRUE(clients.back()->Connect(server_->port())) << i;
+  }
+  std::string header;
+  std::vector<std::string> payload;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(clients[i]->Send("QUERY r0 " + line + "\n")) << i;
+    ASSERT_TRUE(clients[i]->ReadResponse(&header, &payload)) << i;
+    EXPECT_EQ(header, "ok 1") << i;
+    EXPECT_EQ(payload[0], expected[0]) << i;
+  }
+  EXPECT_EQ(server_->stats().connections_accepted, kClients);
+}
+
+TEST_F(DaemonTest, ReloadInvalidatesTheAnswerCache) {
+  // A cached answer must die with the release that produced it: QUERY,
+  // RELOAD to a different snapshot, QUERY again on the same connection
+  // (same loop, same cache) must return the new release's answer.
+  StartServer();
+  const std::string star = "*";
+  const std::vector<std::string> expected0 =
+      DirectAnswers(paths_[0], std::span(&star, 1));
+  const std::vector<std::string> expected1 =
+      DirectAnswers(paths_[1], std::span(&star, 1));
+  ASSERT_NE(expected0[0], expected1[0]);
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  std::string header;
+  std::vector<std::string> payload;
+  ASSERT_TRUE(client.Send("RELOAD swap " + paths_[0] + "\n"));
+  ASSERT_TRUE(client.ReadResponse(&header, &payload));
+  ASSERT_EQ(header, "ok 1");
+
+  for (int round = 0; round < 2; ++round) {  // second hit is cached
+    ASSERT_TRUE(client.Send("QUERY swap *\n"));
+    ASSERT_TRUE(client.ReadResponse(&header, &payload));
+    ASSERT_EQ(header, "ok 1");
+    EXPECT_EQ(payload[0], expected0[0]) << "round " << round;
+  }
+  ASSERT_TRUE(client.Send("RELOAD swap " + paths_[1] + "\n"));
+  ASSERT_TRUE(client.ReadResponse(&header, &payload));
+  ASSERT_EQ(header, "ok 1");
+  ASSERT_TRUE(client.Send("QUERY swap *\n"));
+  ASSERT_TRUE(client.ReadResponse(&header, &payload));
+  ASSERT_EQ(header, "ok 1");
+  EXPECT_EQ(payload[0], expected1[0]) << "stale cached answer after RELOAD";
+}
+
+TEST_F(DaemonTest, SequentialQueryLatencyStaysInteractive) {
+  // 200 sequential request/response turnarounds on one connection. With
+  // TCP_NODELAY on both ends each is well under a millisecond on
+  // loopback; a Nagle/delayed-ACK regression turns them into ~40ms
+  // stalls, which no amount of CI noise hides behind this bound.
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  std::string header;
+  std::vector<std::string> payload;
+
+  LatencyHistogram latency;
+  constexpr std::size_t kRequests = 200;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(client.Send("QUERY r0 A=2:40\n"));
+    ASSERT_TRUE(client.ReadResponse(&header, &payload));
+    ASSERT_EQ(header, "ok 1");
+    latency.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  EXPECT_EQ(latency.count(), kRequests);
+  // p99 under 25ms: generous for a sanitized debug build, impossible to
+  // meet if even a handful of turnarounds hit a 40ms Nagle stall.
+  EXPECT_LT(latency.Quantile(0.99), std::uint64_t{25} * 1000 * 1000)
+      << latency.SummaryMicros();
 }
 
 TEST_F(DaemonTest, ShutdownFromAnotherThreadClosesClients) {

@@ -1,15 +1,23 @@
-// Serving-layer units: the log-linear latency histogram's bucket math and
-// quantiles, and the wire protocol's encode/decode round-trips plus its
-// rejection of malformed frames (the daemon feeds it raw network bytes).
+// Serving-layer units: the log-linear latency histogram's bucket math,
+// quantiles, and merge exactness (single-loop vs per-loop-then-merged
+// recording must agree bucket for bucket), the lock-free
+// ConcurrentHistogram the sharded daemon records into, the per-release
+// answer cache, and the wire protocol's encode/decode round-trips plus
+// its rejection of malformed frames (the daemon feeds it raw network
+// bytes).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "privelet/data/attribute.h"
 #include "privelet/data/schema.h"
+#include "privelet/query/range_query.h"
+#include "privelet/serving/answer_cache.h"
+#include "privelet/serving/concurrent_histogram.h"
 #include "privelet/serving/latency_histogram.h"
 #include "privelet/serving/protocol.h"
 
@@ -71,6 +79,159 @@ TEST(LatencyHistogramTest, EmptyAndMerge) {
   EXPECT_EQ(a.count(), 2u);
   EXPECT_EQ(a.max(), 1'000'000u);
   EXPECT_GE(a.Quantile(0.99), 900'000u);
+}
+
+TEST(LatencyHistogramTest, MergeIsBucketExact) {
+  // Recording a value stream split across histograms and merging must
+  // reproduce the single-histogram result exactly: same count, sum, max,
+  // and the same quantile at every probe — including values that land in
+  // the top (overflow-side) buckets near 2^64.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v != 0 && values.size() < 4000; v = v * 3 + 7) {
+    values.push_back(v);
+  }
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  values.push_back(std::numeric_limits<std::uint64_t>::max() - 1);
+  values.push_back(0);
+
+  LatencyHistogram single;
+  LatencyHistogram parts[3];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    single.Record(values[i]);
+    parts[i % 3].Record(values[i]);
+  }
+  LatencyHistogram merged;
+  for (LatencyHistogram& part : parts) merged.Merge(part);
+
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_EQ(merged.max(), single.max());
+  EXPECT_EQ(merged.SummaryMicros(), single.SummaryMicros());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_EQ(merged.Quantile(q), single.Quantile(q)) << "quantile " << q;
+  }
+}
+
+// --- ConcurrentHistogram ---------------------------------------------------
+
+TEST(ConcurrentHistogramTest, SnapshotMatchesDirectRecording) {
+  ConcurrentHistogram concurrent;
+  LatencyHistogram direct;
+  for (std::uint64_t v = 1; v < (std::uint64_t{1} << 50); v = v * 5 + 11) {
+    concurrent.Record(v);
+    direct.Record(v);
+  }
+  concurrent.Record(std::numeric_limits<std::uint64_t>::max());
+  direct.Record(std::numeric_limits<std::uint64_t>::max());
+
+  const LatencyHistogram snapshot = concurrent.Snapshot();
+  EXPECT_EQ(snapshot.count(), direct.count());
+  EXPECT_EQ(snapshot.max(), direct.max());
+  EXPECT_EQ(snapshot.SummaryMicros(), direct.SummaryMicros());
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_EQ(snapshot.Quantile(q), direct.Quantile(q));
+  }
+}
+
+TEST(ConcurrentHistogramTest, SnapshotIntoAccumulatesLikeMerge) {
+  // SnapshotInto on top of existing contents behaves like Merge: the
+  // daemon's STATS render folds every loop's histogram into one.
+  ConcurrentHistogram loops[3];
+  LatencyHistogram expected;
+  std::uint64_t v = 1;
+  for (std::size_t i = 0; i < 300; ++i, v = v * 7 + 3) {
+    loops[i % 3].Record(v);
+    expected.Record(v);
+  }
+  LatencyHistogram combined;
+  for (ConcurrentHistogram& loop : loops) loop.SnapshotInto(&combined);
+  EXPECT_EQ(combined.count(), expected.count());
+  EXPECT_EQ(combined.SummaryMicros(), expected.SummaryMicros());
+}
+
+TEST(ConcurrentHistogramTest, ParallelRecordersLoseNothing) {
+  ConcurrentHistogram h;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        h.Record(t * kPerThread + i + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LatencyHistogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count(), kThreads * kPerThread);
+  EXPECT_EQ(snapshot.max(), kThreads * kPerThread);
+}
+
+// --- AnswerCache -----------------------------------------------------------
+
+TEST(AnswerCacheTest, CanonicalKeysDistinguishPredicates) {
+  const data::Schema schema = TestSchema();
+  query::RangeQuery a(2);
+  ASSERT_TRUE(a.SetRange(schema, 0, 2, 5).ok());
+  query::RangeQuery a_again(2);
+  ASSERT_TRUE(a_again.SetRange(schema, 0, 2, 5).ok());
+  query::RangeQuery b(2);
+  ASSERT_TRUE(b.SetRange(schema, 0, 2, 6).ok());
+  query::RangeQuery other_attr(2);
+  ASSERT_TRUE(other_attr.SetRange(schema, 1, 2, 5).ok());
+  query::RangeQuery unconstrained(2);
+
+  std::string ka, ka2, kb, kattr, kall;
+  AppendQueryKey(a, &ka);
+  AppendQueryKey(a_again, &ka2);
+  AppendQueryKey(b, &kb);
+  AppendQueryKey(other_attr, &kattr);
+  AppendQueryKey(unconstrained, &kall);
+  EXPECT_EQ(ka, ka2);
+  EXPECT_NE(ka, kb);
+  EXPECT_NE(ka, kattr);
+  EXPECT_NE(ka, kall);
+  EXPECT_NE(kb, kattr);
+}
+
+TEST(AnswerCacheTest, LruBoundAndRefresh) {
+  AnswerCache cache(2);
+  cache.Insert("k1", 1.0);
+  cache.Insert("k2", 2.0);
+  double answer = 0;
+  ASSERT_TRUE(cache.Lookup("k1", &answer));  // refreshes k1: k2 is now LRU
+  EXPECT_EQ(answer, 1.0);
+  cache.Insert("k3", 3.0);  // evicts k2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup("k2", &answer));
+  EXPECT_TRUE(cache.Lookup("k1", &answer));
+  EXPECT_TRUE(cache.Lookup("k3", &answer));
+  EXPECT_EQ(answer, 3.0);
+
+  cache.Insert("k1", 10.0);  // duplicate key refreshes the value
+  ASSERT_TRUE(cache.Lookup("k1", &answer));
+  EXPECT_EQ(answer, 10.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(AnswerCacheTest, GenerationBumpDropsEverything) {
+  AnswerCache cache(16);
+  cache.SetGeneration(1);
+  cache.Insert("k", 42.0);
+  double answer = 0;
+  ASSERT_TRUE(cache.Lookup("k", &answer));
+  cache.SetGeneration(1);  // same generation: nothing happens
+  EXPECT_TRUE(cache.Lookup("k", &answer));
+  cache.SetGeneration(2);  // RELOAD
+  EXPECT_FALSE(cache.Lookup("k", &answer));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AnswerCacheTest, ZeroCapacityDisables) {
+  AnswerCache cache(0);
+  cache.Insert("k", 1.0);
+  double answer = 0;
+  EXPECT_FALSE(cache.Lookup("k", &answer));
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 // --- predicate grammar -----------------------------------------------------

@@ -89,9 +89,11 @@ usage:
   privelet_cli serve   ID=FILE.pvls [ID=FILE.pvls ...] [--threads N]
                        [--max-resident K] [--requests FILE] [--output FILE]
   privelet_cli daemon  ID=FILE.pvls [ID=FILE.pvls ...] [--host H] [--port P]
-                       [--port-file FILE] [--threads N] [--max-resident K]
+                       [--port-file FILE] [--threads N] [--loops N]
+                       [--backlog K] [--max-resident K]
                        [--max-connections K] [--max-pipeline K]
   privelet_cli client  --port P [--host H] [--requests FILE]
+                       [--connections N]
 
 serve reads one request per line — `<release-id> <workload-file>` — from
 stdin (or --requests), lazily memory-maps the named release, and answers
@@ -103,9 +105,12 @@ daemon serves the same releases over TCP (text + binary protocol, see
 src/privelet/serving/protocol.h): verbs QUERY/BATCH/RELOAD/STATS/IDS/
 PING/QUIT, one `ok <n>`-or-`error:` response per request. --port 0 (the
 default) binds an ephemeral port; the bound port is printed as
-`listening on H:P` and written to --port-file when given. SIGINT/SIGTERM
-shut the daemon down cleanly. client connects to a daemon, forwards
-stdin (or --requests) lines, and prints each response.
+`listening on H:P` and written to --port-file when given. --loops N runs
+N sharded event loops (0, the default, means one per hardware thread; 1
+reproduces the single-loop daemon). SIGINT/SIGTERM shut the daemon down
+cleanly. client connects to a daemon, forwards stdin (or --requests)
+lines, and prints each response; --connections N spreads the requests
+round-robin over N connections (responses stay in request order).
 
 plan scores every applicable mechanism against a representative workload
 by exact expected per-query noise variance — a closed-form, data-free
@@ -898,8 +903,8 @@ extern "C" void HandleShutdownSignal(int) {
 
 int RunDaemon(const Args& args) {
   Status flags = RejectUnknownFlags(
-      args, {"host", "port", "port-file", "threads", "max-resident",
-             "max-connections", "max-pipeline"});
+      args, {"host", "port", "port-file", "threads", "loops", "backlog",
+             "max-resident", "max-connections", "max-pipeline"});
   if (!flags.ok()) return Fail(flags);
   if (args.positional.empty()) {
     return Fail(Status::InvalidArgument(
@@ -935,6 +940,16 @@ int RunDaemon(const Args& args) {
     return Fail(Status::InvalidArgument("--max-pipeline must be >= 1"));
   }
   options.max_pipeline = *max_pipeline;
+  auto loops = GetCount(args, "loops", options.num_loops);
+  if (!loops.ok()) return Fail(loops.status());
+  options.num_loops = *loops;  // 0 = one per hardware thread
+  auto backlog = GetCount(args, "backlog",
+                          static_cast<std::uint64_t>(options.backlog));
+  if (!backlog.ok()) return Fail(backlog.status());
+  if (*backlog == 0 || *backlog > 65535) {
+    return Fail(Status::InvalidArgument("--backlog must be in [1, 65535]"));
+  }
+  options.backlog = static_cast<int>(*backlog);
 
   serving::Server server(&store, options);
   Status st = server.Start();
@@ -950,8 +965,9 @@ int RunDaemon(const Args& args) {
     }
   }
   // Parseable readiness line: tests and scripts wait for it.
-  std::printf("listening on %s:%u\n", options.host.c_str(),
-              static_cast<unsigned>(server.port()));
+  std::printf("listening on %s:%u (%u loops)\n", options.host.c_str(),
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned>(server.num_loops()));
   std::fflush(stdout);
 
   g_daemon = &server;
@@ -1034,8 +1050,45 @@ Status SendAll(int fd, std::string_view data) {
   return Status::OK();
 }
 
+/// One daemon connection with its receive buffer.
+struct ClientConn {
+  int fd = -1;
+  std::string buffer;
+};
+
+Result<int> ConnectTo(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError("socket failed: " + common::ErrnoMessage());
+  }
+  // Request/response turnarounds: Nagle + delayed ACK would cost ~40ms
+  // per request.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    common::CloseFd(fd);
+    return Status::InvalidArgument("'" + host + "' is not an IPv4 address");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    common::CloseFd(fd);
+    return Status::IOError("cannot connect to " + host + ":" +
+                           std::to_string(port) + ": " +
+                           common::ErrnoMessage());
+  }
+  return fd;
+}
+
 int RunClient(const Args& args) {
-  Status flags = RejectUnknownFlags(args, {"host", "port", "requests"});
+  Status flags =
+      RejectUnknownFlags(args, {"host", "port", "requests", "connections"});
   if (!flags.ok()) return Fail(flags);
   if (!args.Has("port")) {
     return Fail(Status::InvalidArgument("client needs --port P"));
@@ -1046,6 +1099,12 @@ int RunClient(const Args& args) {
     return Fail(Status::InvalidArgument("--port must be in [1, 65535]"));
   }
   const std::string host = args.Get("host", "127.0.0.1");
+  auto num_connections = GetCount(args, "connections", 1);
+  if (!num_connections.ok()) return Fail(num_connections.status());
+  if (*num_connections == 0 || *num_connections > 1024) {
+    return Fail(
+        Status::InvalidArgument("--connections must be in [1, 1024]"));
+  }
 
   std::ifstream request_file;
   std::istream* in = &std::cin;
@@ -1058,35 +1117,33 @@ int RunClient(const Args& args) {
     in = &request_file;
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Fail(Status::IOError("socket failed: " + common::ErrnoMessage()));
-  }
-  struct sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(*port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    common::CloseFd(fd);
-    return Fail(Status::InvalidArgument("'" + host +
-                                        "' is not an IPv4 address"));
-  }
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    common::CloseFd(fd);
-    return Fail(Status::IOError("cannot connect to " + host + ":" +
-                                std::to_string(*port) + ": " +
-                                common::ErrnoMessage()));
+  std::vector<ClientConn> conns(*num_connections);
+  const auto close_all = [&] {
+    for (ClientConn& conn : conns) {
+      if (conn.fd >= 0) common::CloseFd(conn.fd);
+      conn.fd = -1;
+    }
+  };
+  for (ClientConn& conn : conns) {
+    auto fd = ConnectTo(host, static_cast<std::uint16_t>(*port));
+    if (!fd.ok()) {
+      close_all();
+      return Fail(fd.status());
+    }
+    conn.fd = *fd;
   }
 
   const auto fail_closing = [&](const Status& status) {
-    common::CloseFd(fd);
+    close_all();
     return Fail(status);
   };
-  std::string line, response, buffer;
+  // Requests rotate over the connections (a BATCH and its predicate
+  // lines stay on one). Each request is answered before the next is
+  // sent, so the output order equals the input order regardless of
+  // --connections — replays must diff clean against a 1-connection run.
+  std::string line, response;
+  std::size_t next_conn = 0;
+  ClientConn* conn = &conns[0];
   std::size_t pending_payload_lines = 0;  // BATCH predicate lines still owed
   bool sent_quit = false;
   int errors = 0;
@@ -1094,8 +1151,12 @@ int RunClient(const Args& args) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     const bool is_payload = pending_payload_lines > 0;
     if (!is_payload && (line.empty() || line[0] == '#')) continue;
+    if (!is_payload) {
+      conn = &conns[next_conn];
+      next_conn = (next_conn + 1) % conns.size();
+    }
 
-    Status st = SendAll(fd, line + "\n");
+    Status st = SendAll(conn->fd, line + "\n");
     if (!st.ok()) return fail_closing(st);
 
     if (is_payload) {
@@ -1121,7 +1182,7 @@ int RunClient(const Args& args) {
       }
     }
 
-    auto got = ReadSocketLine(fd, &buffer, &response);
+    auto got = ReadSocketLine(conn->fd, &conn->buffer, &response);
     if (!got.ok()) return fail_closing(got.status());
     if (!*got) {
       return fail_closing(Status::IOError("daemon closed the connection"));
@@ -1136,7 +1197,7 @@ int RunClient(const Args& args) {
             Status::IOError("malformed response header '" + response + "'"));
       }
       for (std::size_t i = 0; i < *n; ++i) {
-        got = ReadSocketLine(fd, &buffer, &response);
+        got = ReadSocketLine(conn->fd, &conn->buffer, &response);
         if (!got.ok()) return fail_closing(got.status());
         if (!*got) {
           return fail_closing(Status::IOError("daemon closed mid-response"));
@@ -1152,11 +1213,15 @@ int RunClient(const Args& args) {
     }
   }
   if (sent_quit) {
-    // Wait for the daemon's close so QUIT is observable in scripts.
-    auto got = ReadSocketLine(fd, &buffer, &response);
+    // QUIT closes every connection; wait for the daemon's close on the
+    // one that carried it so QUIT is observable in scripts.
+    for (ClientConn& c : conns) {
+      if (&c != conn) (void)SendAll(c.fd, "QUIT\n");
+    }
+    auto got = ReadSocketLine(conn->fd, &conn->buffer, &response);
     if (got.ok() && *got) std::printf("%s\n", response.c_str());
   }
-  common::CloseFd(fd);
+  close_all();
   return errors > 0 ? 3 : 0;
 }
 
